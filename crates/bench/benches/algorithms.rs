@@ -1,0 +1,103 @@
+//! End-to-end training-time benchmarks of the four algorithms (the
+//! statistical counterpart of the reproduction binaries' wall-clock
+//! columns), plus the bias-trick-vs-explicit-centering ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srda::{IdrQr, IdrQrConfig, Lda, LdaConfig, Rlda, RldaConfig, Srda, SrdaConfig, SrdaSolver};
+use srda_solvers::lsqr::{lsqr, LsqrConfig};
+use srda_solvers::{AugmentedOp, CenteredOp};
+use std::hint::black_box;
+
+fn dataset(l: usize) -> (srda_linalg::Mat, Vec<usize>) {
+    let data = srda_data::mnist_like(0.2, 3);
+    let split = srda_data::per_class_split(&data.labels, l, 0);
+    let tr = data.select(&split.train);
+    (tr.x, tr.labels)
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fit_mnist_like");
+    group.sample_size(10);
+    for &l in &[20usize, 40] {
+        let (x, y) = dataset(l);
+        let label = format!("l{l}");
+        group.bench_with_input(BenchmarkId::new("lda", &label), &x, |b, x| {
+            b.iter(|| Lda::new(LdaConfig::default()).fit_dense(black_box(x), &y).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("rlda", &label), &x, |b, x| {
+            b.iter(|| Rlda::new(RldaConfig::default()).fit_dense(black_box(x), &y).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("srda_ne", &label), &x, |b, x| {
+            b.iter(|| {
+                Srda::new(SrdaConfig::default())
+                    .fit_dense(black_box(x), &y)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("srda_lsqr20", &label), &x, |b, x| {
+            b.iter(|| {
+                Srda::new(SrdaConfig {
+                    solver: SrdaSolver::Lsqr {
+                        max_iter: 20,
+                        tol: 0.0,
+                    },
+                    ..SrdaConfig::default()
+                })
+                .fit_dense(black_box(x), &y)
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("idr_qr", &label), &x, |b, x| {
+            b.iter(|| {
+                IdrQr::new(IdrQrConfig::default())
+                    .fit_dense(black_box(x), &y)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: §III.B's bias-absorption trick vs implicit centering, as the
+/// per-iteration operator inside LSQR.
+fn bench_centering_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("centering_ablation");
+    group.sample_size(10);
+    let (x, y) = dataset(40);
+    let index = srda::ClassIndex::new(&y).unwrap();
+    let ybar = srda::responses::generate(&index);
+    let cfg = LsqrConfig {
+        damp: 1.0,
+        max_iter: 20,
+        tol: 0.0,
+    };
+    group.bench_function("bias_trick", |b| {
+        b.iter(|| {
+            let op = AugmentedOp::new(black_box(&x));
+            for j in 0..ybar.ncols() {
+                lsqr(&op, &ybar.col(j), &cfg);
+            }
+        })
+    });
+    group.bench_function("implicit_centering", |b| {
+        b.iter(|| {
+            let mu = srda_linalg::stats::col_means(black_box(&x));
+            let op = CenteredOp::new(&x, mu);
+            for j in 0..ybar.ncols() {
+                lsqr(&op, &ybar.col(j), &cfg);
+            }
+        })
+    });
+    group.bench_function("explicit_centering", |b| {
+        b.iter(|| {
+            let (xc, _) = srda_linalg::stats::centered(black_box(&x));
+            for j in 0..ybar.ncols() {
+                lsqr(&xc, &ybar.col(j), &cfg);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit, bench_centering_ablation);
+criterion_main!(benches);

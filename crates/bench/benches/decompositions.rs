@@ -1,0 +1,105 @@
+//! Factorization benchmarks, including the DESIGN.md ablation:
+//! cross-product SVD (the paper's choice inside LDA) vs one-sided Jacobi.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srda_linalg::{Cholesky, Mat, Qr, Svd, SymmetricEigen};
+use std::hint::black_box;
+
+fn noise(m: usize, n: usize) -> Mat {
+    Mat::from_fn(m, n, |i, j| {
+        let x = (i as f64 * 45.164 + j as f64 * 94.673).sin() * 43758.5453;
+        x - x.floor() - 0.5
+    })
+}
+
+fn spd(n: usize) -> Mat {
+    let a = noise(n + 8, n);
+    let mut g = srda_linalg::ops::gram(&a);
+    g.add_to_diag(1.0);
+    g
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cholesky");
+    group.sample_size(10);
+    for &n in &[64usize, 256] {
+        let a = spd(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &a, |b, a| {
+            b.iter(|| Cholesky::factor(black_box(a)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_qr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qr");
+    group.sample_size(10);
+    for &(m, n) in &[(256usize, 64usize), (512, 128)] {
+        let a = noise(m, n);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{n}")),
+            &a,
+            |b, a| b.iter(|| Qr::factor(black_box(a)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_symmetric_eigen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symmetric_eigen");
+    group.sample_size(10);
+    for &n in &[64usize, 128] {
+        let a = spd(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &a, |b, a| {
+            b.iter(|| SymmetricEigen::factor(black_box(a)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: the paper's cross-product SVD vs high-accuracy Jacobi.
+fn bench_svd_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svd_ablation");
+    group.sample_size(10);
+    let a = noise(192, 48);
+    group.bench_function("cross_product", |b| {
+        b.iter(|| Svd::cross_product(black_box(&a), 1e-10).unwrap())
+    });
+    group.bench_function("jacobi", |b| {
+        b.iter(|| Svd::jacobi(black_box(&a), 1e-10).unwrap())
+    });
+    group.finish();
+}
+
+/// Matrix-free top-k extraction vs the dense eigensolver — the trade the
+/// spectral-regression step makes on large graphs.
+fn bench_topk_vs_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topk_vs_dense_eigen");
+    group.sample_size(10);
+    let n = 256;
+    let a = spd(n);
+    group.bench_function("dense_full", |b| {
+        b.iter(|| SymmetricEigen::factor(black_box(&a)).unwrap())
+    });
+    group.bench_function("power_top4", |b| {
+        b.iter(|| {
+            srda_linalg::power::top_k_symmetric(
+                n,
+                4,
+                |v| srda_linalg::ops::matvec(black_box(&a), v).unwrap(),
+                &srda_linalg::power::PowerConfig::default(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cholesky,
+    bench_qr,
+    bench_symmetric_eigen,
+    bench_svd_methods,
+    bench_topk_vs_dense
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Microbenchmarks of the dense kernels every algorithm is built from:
+//! general product, Gram matrices, matrix-vector products.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srda_linalg::ops;
+use srda_linalg::Mat;
+use std::hint::black_box;
+
+fn noise(m: usize, n: usize) -> Mat {
+    Mat::from_fn(m, n, |i, j| {
+        let x = (i as f64 * 12.9898 + j as f64 * 78.233).sin() * 43758.5453;
+        x - x.floor() - 0.5
+    })
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(10);
+    for &n in &[64usize, 128, 256] {
+        let a = noise(n, n);
+        let b = noise(n, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| ops::matmul(black_box(&a), black_box(&b)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_gram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gram");
+    group.sample_size(10);
+    for &(m, n) in &[(512usize, 128usize), (128, 512)] {
+        let a = noise(m, n);
+        group.bench_with_input(
+            BenchmarkId::new("ata", format!("{m}x{n}")),
+            &a,
+            |bch, a| bch.iter(|| ops::gram(black_box(a))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("aat", format!("{m}x{n}")),
+            &a,
+            |bch, a| bch.iter(|| ops::gram_t(black_box(a))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_matvec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matvec");
+    let a = noise(1024, 1024);
+    let x: Vec<f64> = (0..1024).map(|i| (i as f64 * 0.37).sin()).collect();
+    group.bench_function("forward", |b| {
+        b.iter(|| ops::matvec(black_box(&a), black_box(&x)).unwrap())
+    });
+    group.bench_function("transpose", |b| {
+        b.iter(|| ops::matvec_t(black_box(&a), black_box(&x)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_gram, bench_matvec);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! The linear-time claim as a statistical benchmark: SRDA+LSQR training
+//! time on sparse data must grow linearly with the number of documents
+//! (fixed density) and with the number of non-zeros per document (fixed
+//! document count). Criterion's per-size estimates make the trend visible
+//! in `bench_output.txt`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use srda::{Srda, SrdaConfig};
+use srda_sparse::{CooBuilder, CsrMatrix};
+use std::hint::black_box;
+
+fn text_like(m: usize, n: usize, s: usize, c: usize, seed: u64) -> (CsrMatrix, Vec<usize>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let labels: Vec<usize> = (0..m).map(|i| i % c).collect();
+    let mut b = CooBuilder::with_capacity(m, n, m * s);
+    for i in 0..m {
+        let band = labels[i] * (n / c);
+        for _ in 0..s {
+            let j = if rng.gen::<f64>() < 0.4 {
+                band + rng.gen_range(0..n / c)
+            } else {
+                rng.gen_range(0..n)
+            };
+            b.push(i, j, rng.gen::<f64>()).unwrap();
+        }
+    }
+    let mut x = b.build();
+    x.normalize_rows_l2();
+    (x, labels)
+}
+
+fn bench_scale_m(c: &mut Criterion) {
+    let mut group = c.benchmark_group("srda_lsqr_scale_m");
+    group.sample_size(10);
+    for &m in &[1_000usize, 2_000, 4_000] {
+        let (x, y) = text_like(m, 20_000, 60, 10, m as u64);
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(m), &x, |b, x| {
+            b.iter(|| {
+                Srda::new(SrdaConfig::lsqr_default())
+                    .fit_sparse(black_box(x), &y)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scale_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("srda_lsqr_scale_s");
+    group.sample_size(10);
+    for &s in &[30usize, 60, 120] {
+        let (x, y) = text_like(2_000, 20_000, s, 10, s as u64);
+        group.throughput(Throughput::Elements(x.nnz() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(s), &x, |b, x| {
+            b.iter(|| {
+                Srda::new(SrdaConfig::lsqr_default())
+                    .fit_sparse(black_box(x), &y)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scale_m, bench_scale_density);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Solver ablation (DESIGN.md §8): primal vs dual normal equations vs
+//! LSQR vs CGLS on the same ridge problem, across the `n/m` aspect ratios
+//! where the paper's §III.C.1 analysis predicts the crossover.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srda_linalg::Mat;
+use srda_solvers::cgls::{cgls, CglsConfig};
+use srda_solvers::lsqr::{lsqr, LsqrConfig};
+use srda_solvers::ridge::RidgeSolver;
+use std::hint::black_box;
+
+fn noise(m: usize, n: usize) -> Mat {
+    Mat::from_fn(m, n, |i, j| {
+        let x = (i as f64 * 91.17 + j as f64 * 13.73).sin() * 43758.5453;
+        x - x.floor() - 0.5
+    })
+}
+
+fn bench_ridge_forms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ridge_solvers");
+    group.sample_size(10);
+    // tall (m > n), square, wide (n > m): the dual should win only when wide
+    for &(m, n) in &[(600usize, 150usize), (300, 300), (150, 600)] {
+        let x = noise(m, n);
+        let y = Mat::from_fn(m, 9, |i, j| ((i + j) as f64 * 0.37).sin());
+        let label = format!("{m}x{n}");
+        group.bench_with_input(BenchmarkId::new("primal", &label), &x, |b, x| {
+            b.iter(|| {
+                let s = RidgeSolver::primal(black_box(x), 1.0).unwrap();
+                s.solve(x, &y).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dual", &label), &x, |b, x| {
+            b.iter(|| {
+                let s = RidgeSolver::dual(black_box(x), 1.0).unwrap();
+                s.solve(x, &y).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("lsqr20x9", &label), &x, |b, x| {
+            b.iter(|| {
+                let cfg = LsqrConfig {
+                    damp: 1.0,
+                    max_iter: 20,
+                    tol: 0.0,
+                };
+                for j in 0..9 {
+                    lsqr(black_box(x), &y.col(j), &cfg);
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cgls20x9", &label), &x, |b, x| {
+            b.iter(|| {
+                let cfg = CglsConfig {
+                    alpha: 1.0,
+                    max_iter: 20,
+                    tol: 0.0,
+                };
+                for j in 0..9 {
+                    cgls(black_box(x), &y.col(j), &cfg);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ridge_forms);
+criterion_main!(benches);

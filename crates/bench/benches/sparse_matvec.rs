@@ -1,0 +1,53 @@
+//! Sparse-kernel benchmarks: the two `O(nnz)` products LSQR lives on, and
+//! the cost of construction/transposition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use srda_sparse::{CooBuilder, CsrMatrix};
+use std::hint::black_box;
+
+fn random_csr(m: usize, n: usize, nnz_per_row: usize, seed: u64) -> CsrMatrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = CooBuilder::with_capacity(m, n, m * nnz_per_row);
+    for i in 0..m {
+        for _ in 0..nnz_per_row {
+            b.push(i, rng.gen_range(0..n), rng.gen::<f64>()).unwrap();
+        }
+    }
+    b.build()
+}
+
+fn bench_matvec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_matvec");
+    for &m in &[1_000usize, 10_000] {
+        let a = random_csr(m, 20_000, 80, 7);
+        let x: Vec<f64> = (0..20_000).map(|i| (i as f64 * 0.11).sin()).collect();
+        let xt: Vec<f64> = (0..m).map(|i| (i as f64 * 0.13).cos()).collect();
+        group.bench_with_input(BenchmarkId::new("forward", m), &a, |b, a| {
+            b.iter(|| a.matvec(black_box(&x)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("transpose", m), &a, |b, a| {
+            b.iter(|| a.matvec_t(black_box(&xt)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_structure_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_structure");
+    group.sample_size(10);
+    let a = random_csr(5_000, 20_000, 80, 11);
+    group.bench_function("transpose", |b| b.iter(|| black_box(&a).transpose()));
+    let idx: Vec<usize> = (0..5_000).step_by(2).collect();
+    group.bench_function("select_rows", |b| {
+        b.iter(|| black_box(&a).select_rows(black_box(&idx)))
+    });
+    group.bench_function("append_bias_col", |b| {
+        b.iter(|| black_box(&a).append_constant_col(1.0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matvec, bench_structure_ops);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Reproduces **Tables V & VI and Figure 2**: error and training time on
+//! the Isolet-like spoken-letter dataset, l ∈ {20,30,50,70,90,110} per
+//! class over 20 random splits in the paper's protocol.
+
+use srda_bench::driver::{
+    default_lineup, env_scale, env_splits, print_tables, sweep_dense,
+};
+
+fn main() {
+    let scale = env_scale();
+    let splits = env_splits();
+    let data = srda_data::isolet_like(scale, 42);
+    println!(
+        "Isolet-like: m={} n={} c={} (scale {scale}, {splits} splits)\n",
+        data.x.nrows(),
+        data.x.ncols(),
+        data.n_classes
+    );
+
+    let per_class = data.x.nrows() / data.n_classes;
+    let axis: Vec<usize> = [20, 30, 50, 70, 90, 110]
+        .iter()
+        .map(|&l| ((l as f64 * scale).round() as usize).clamp(2, per_class.saturating_sub(2)))
+        .collect();
+
+    let algos = default_lineup();
+    let cells = sweep_dense(&data, &axis, &algos, splits, None);
+    let axis_str: Vec<String> = axis.iter().map(|l| format!("{l}x{}", data.n_classes)).collect();
+    print_tables(
+        "Isolet-like",
+        "Table V / Fig 2(a)",
+        "Table VI / Fig 2(b)",
+        "TrainSize",
+        &axis_str,
+        &algos,
+        &cells,
+    );
+}

@@ -1,0 +1,44 @@
+//! Reproduces **Tables III & IV and Figure 1** of the paper: classification
+//! error and training time on the PIE-like face dataset as functions of the
+//! number of labeled samples per class.
+//!
+//! Paper protocol: 68 classes, 1024 features, l ∈ {10,20,30,40,50,60}
+//! training images per class, 20 random splits.
+//! Honours `SRDA_REPRO_SCALE` / `SRDA_REPRO_SPLITS` (see `driver`).
+
+use srda_bench::driver::{
+    default_lineup, env_scale, env_splits, print_tables, sweep_dense,
+};
+
+fn main() {
+    let scale = env_scale();
+    let splits = env_splits();
+    let data = srda_data::pie_like(scale, 42);
+    println!(
+        "PIE-like: m={} n={} c={} (scale {scale}, {splits} splits)\n",
+        data.x.nrows(),
+        data.x.ncols(),
+        data.n_classes
+    );
+
+    // scale the per-class training sizes with the per-class budget so the
+    // sweep shape survives downscaling (full scale: 10..60 of 170)
+    let per_class = data.x.nrows() / data.n_classes;
+    let axis: Vec<usize> = [10, 20, 30, 40, 50, 60]
+        .iter()
+        .map(|&l| ((l as f64 * scale).round() as usize).clamp(2, per_class.saturating_sub(2)))
+        .collect();
+
+    let algos = default_lineup();
+    let cells = sweep_dense(&data, &axis, &algos, splits, None);
+    let axis_str: Vec<String> = axis.iter().map(|l| format!("{l}x{}", data.n_classes)).collect();
+    print_tables(
+        "PIE-like",
+        "Table III / Fig 1(a)",
+        "Table IV / Fig 1(b)",
+        "TrainSize",
+        &axis_str,
+        &algos,
+        &cells,
+    );
+}

@@ -1,0 +1,78 @@
+//! Development utility: sweeps generator parameters and prints the error
+//! rates of the four algorithms at a small and a large training size, so
+//! the synthetic datasets can be calibrated to the paper's error bands.
+//! Not part of the reproduction itself, but kept in-tree so the
+//! calibration is repeatable.
+
+use srda_data::model::{generate, GaussianSpec};
+use srda_data::{per_class_split, DenseDataset};
+use srda_eval::{run_dense, Algo};
+
+fn eval(spec: &GaussianSpec, l: usize, name: &'static str) -> Vec<f64> {
+    let (x, labels) = generate(spec, 42);
+    let data = DenseDataset {
+        x,
+        labels,
+        n_classes: spec.n_classes,
+        name,
+    };
+    let algos = [
+        Algo::Lda,
+        Algo::Rlda { alpha: 1.0 },
+        Algo::Srda(srda::SrdaConfig::default()),
+        Algo::IdrQr { lambda: 1.0 },
+    ];
+    algos
+        .iter()
+        .map(|algo| {
+            let mut errs = Vec::new();
+            for s in 0..2 {
+                let sp = per_class_split(&data.labels, l, s);
+                let tr = data.select(&sp.train);
+                let te = data.select(&sp.test);
+                if let Some(e) = run_dense(
+                    algo,
+                    &tr.x,
+                    &tr.labels,
+                    &te.x,
+                    &te.labels,
+                    data.n_classes,
+                    None,
+                )
+                .error_rate
+                {
+                    errs.push(e);
+                }
+            }
+            100.0 * errs.iter().sum::<f64>() / errs.len().max(1) as f64
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    // usage: tune_datasets <signal> <factor_scale> <overlap> <noise> [c n q d per]
+    let f = |i: usize, d: f64| args.get(i).and_then(|s| s.parse().ok()).unwrap_or(d);
+    let u = |i: usize, d: usize| args.get(i).and_then(|s| s.parse().ok()).unwrap_or(d);
+    let spec = GaussianSpec {
+        n_classes: u(5, 10),
+        n_features: u(6, 784),
+        samples_per_class: u(9, 120),
+        class_rank: u(8, 9),
+        signal: f(1, 1.0),
+        n_factors: u(7, 8),
+        factor_scale: f(2, 0.55),
+        factor_class_overlap: f(3, 0.8),
+        noise_scale: f(4, 0.5),
+        class_noise: f(10, 0.0),
+    };
+    println!("{spec:?}");
+    for l in [10usize, 30, 100] {
+        let l = l.min(spec.samples_per_class - 5);
+        let e = eval(&spec, l, "tune");
+        println!(
+            "l={l:3}  LDA {:5.1}  RLDA {:5.1}  SRDA {:5.1}  IDR/QR {:5.1}",
+            e[0], e[1], e[2], e[3]
+        );
+    }
+}

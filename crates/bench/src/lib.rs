@@ -1,0 +1,11 @@
+//! # srda-bench
+//!
+//! Benchmark harness reproducing every table and figure of the paper.
+//! The reproduction binaries live in `src/bin/` (one per experiment, see
+//! DESIGN.md's experiment index); Criterion microbenchmarks live in
+//! `benches/`. Shared table-formatting helpers are in [`report`].
+
+#![forbid(unsafe_code)]
+
+pub mod driver;
+pub mod report;

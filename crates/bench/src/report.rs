@@ -1,0 +1,69 @@
+//! Plain-text table rendering shared by the reproduction binaries.
+
+/// Render an aligned text table: a header row plus data rows.
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&head, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format `mean ± std` like the paper's tables (one decimal place).
+pub fn mean_std(mean: f64, std: f64) -> String {
+    format!("{mean:.1}±{std:.1}")
+}
+
+/// Format a time in seconds with millisecond resolution.
+pub fn secs(t: f64) -> String {
+    format!("{t:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let s = render_table(
+            "T",
+            &["a", "bbbb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        assert!(s.contains("T\n"));
+        assert!(s.lines().count() >= 4);
+        // all data lines have equal width
+        let lines: Vec<&str> = s.lines().skip(1).collect();
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    fn formats() {
+        assert_eq!(mean_std(19.05, 1.24), "19.1±1.2");
+        assert_eq!(secs(0.2349), "0.235");
+    }
+}

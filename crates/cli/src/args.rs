@@ -1,0 +1,162 @@
+//! Hand-rolled `--flag value` argument parsing (no external CLI crate is
+//! on the approved dependency list, and the grammar is tiny).
+
+use crate::{CliError, Result};
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    options: BTreeMap<String, String>,
+}
+
+/// Parse `args` (excluding the program name).
+pub fn parse(args: &[String]) -> Result<ParsedArgs> {
+    let mut it = args.iter();
+    let command = it
+        .next()
+        .ok_or_else(|| CliError::new(usage()))?
+        .to_string();
+    if command == "--help" || command == "-h" || command == "help" {
+        return Err(CliError::new(usage()));
+    }
+    let mut options = BTreeMap::new();
+    while let Some(flag) = it.next() {
+        let key = flag
+            .strip_prefix("--")
+            .ok_or_else(|| CliError::new(format!("expected --flag, got {flag:?}\n{}", usage())))?;
+        let value = it
+            .next()
+            .ok_or_else(|| CliError::new(format!("flag --{key} needs a value")))?;
+        if options.insert(key.to_string(), value.to_string()).is_some() {
+            return Err(CliError::new(format!("duplicate flag --{key}")));
+        }
+    }
+    Ok(ParsedArgs { command, options })
+}
+
+impl ParsedArgs {
+    /// Required string option.
+    pub fn required(&self, key: &str) -> Result<&str> {
+        self.options
+            .get(key)
+            .map(|s| s.as_str())
+            .ok_or_else(|| CliError::new(format!("missing required flag --{key}")))
+    }
+
+    /// Optional string option.
+    pub fn optional(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(|s| s.as_str())
+    }
+
+    /// Optional typed option with default.
+    pub fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(s) => s
+                .parse()
+                .map_err(|_| CliError::new(format!("bad value for --{key}: {s:?}"))),
+        }
+    }
+
+    /// Required typed option.
+    pub fn parse_required<T: std::str::FromStr>(&self, key: &str) -> Result<T> {
+        let s = self.required(key)?;
+        s.parse()
+            .map_err(|_| CliError::new(format!("bad value for --{key}: {s:?}")))
+    }
+
+    /// Reject unknown flags (call after reading everything you accept).
+    pub fn ensure_only(&self, allowed: &[&str]) -> Result<()> {
+        for key in self.options.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(CliError::new(format!(
+                    "unknown flag --{key} for command {:?}",
+                    self.command
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The usage banner.
+pub fn usage() -> String {
+    "srda — Spectral Regression Discriminant Analysis (ICDE 2008 reproduction)
+
+USAGE:
+  srda train     --data FILE --features N --model OUT.json
+                 [--alpha 1.0] [--solver ne|lsqr] [--iters 15]
+  srda eval      --data FILE --model MODEL.json
+  srda transform --data FILE --model MODEL.json [--out FILE.csv]
+  srda generate  --dataset pie|isolet|mnist|news --out FILE
+                 [--scale 0.1] [--seed 42]
+  srda tune      --data FILE [--grid 0.01,0.1,1,10,100]
+                 [--folds 5] [--iters 15] [--seed 0]
+
+Data files use the LIBSVM text format with 0-based feature indices:
+  <label> <idx>:<val> <idx>:<val> ...
+"
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let p = parse(&sv(&["train", "--data", "x.svm", "--alpha", "0.5"])).unwrap();
+        assert_eq!(p.command, "train");
+        assert_eq!(p.required("data").unwrap(), "x.svm");
+        assert_eq!(p.parse_or("alpha", 1.0).unwrap(), 0.5);
+        assert_eq!(p.parse_or("iters", 15usize).unwrap(), 15);
+    }
+
+    #[test]
+    fn missing_command_is_usage() {
+        assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let err = parse(&sv(&["--help"])).unwrap_err();
+        assert!(err.message.contains("USAGE"));
+    }
+
+    #[test]
+    fn rejects_bare_values() {
+        assert!(parse(&sv(&["train", "oops"])).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        assert!(parse(&sv(&["train", "--data"])).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        assert!(parse(&sv(&["train", "--a", "1", "--a", "2"])).is_err());
+    }
+
+    #[test]
+    fn required_and_typed_errors() {
+        let p = parse(&sv(&["eval", "--alpha", "zebra"])).unwrap();
+        assert!(p.required("data").is_err());
+        assert!(p.parse_or("alpha", 1.0f64).is_err());
+        assert!(p.parse_required::<f64>("alpha").is_err());
+    }
+
+    #[test]
+    fn ensure_only_flags() {
+        let p = parse(&sv(&["train", "--data", "x", "--bogus", "1"])).unwrap();
+        assert!(p.ensure_only(&["data"]).is_err());
+        assert!(p.ensure_only(&["data", "bogus"]).is_ok());
+    }
+}

@@ -1,0 +1,450 @@
+//! The four subcommands. Each takes parsed args and writes its report to
+//! the returned `String` (printing is `main`'s job — keeps them testable).
+
+use crate::args::ParsedArgs;
+use crate::model_file::{SavedModel, FORMAT_VERSION};
+use crate::{CliError, Result};
+use srda::{Srda, SrdaConfig, SrdaSolver};
+use srda_eval::ConfusionMatrix;
+use srda_sparse::io::LabeledSparse;
+use std::path::Path;
+
+fn load_data(path: &str, n_features: Option<usize>) -> Result<LabeledSparse> {
+    let text = std::fs::read_to_string(path)?;
+    // when --features is omitted, infer from the file
+    let n = match n_features {
+        Some(n) => n,
+        None => infer_features(&text)?,
+    };
+    Ok(srda_sparse::io::parse(&text, n)?)
+}
+
+fn infer_features(text: &str) -> Result<usize> {
+    let mut max_idx = 0usize;
+    for line in text.lines() {
+        for tok in line.split_whitespace().skip(1) {
+            if let Some((idx, _)) = tok.split_once(':') {
+                if let Ok(i) = idx.parse::<usize>() {
+                    max_idx = max_idx.max(i + 1);
+                }
+            }
+        }
+    }
+    if max_idx == 0 {
+        return Err(CliError::new("could not infer --features from the data"));
+    }
+    Ok(max_idx)
+}
+
+/// `srda train`.
+pub fn train(args: &ParsedArgs) -> Result<String> {
+    args.ensure_only(&["data", "features", "model", "alpha", "solver", "iters"])?;
+    let data_path = args.required("data")?;
+    let model_path = args.required("model")?.to_string();
+    let n_features = args.optional("features").map(|_| args.parse_required("features")).transpose()?;
+    let alpha: f64 = args.parse_or("alpha", 1.0)?;
+    let iters: usize = args.parse_or("iters", 15)?;
+    let solver = match args.optional("solver").unwrap_or("lsqr") {
+        "ne" => SrdaSolver::NormalEquations,
+        "lsqr" => SrdaSolver::Lsqr {
+            max_iter: iters,
+            tol: 0.0,
+        },
+        other => return Err(CliError::new(format!("unknown --solver {other:?}"))),
+    };
+
+    let data = load_data(data_path, n_features)?;
+    let n_classes = data
+        .labels
+        .iter()
+        .max()
+        .map(|&m| m + 1)
+        .ok_or_else(|| CliError::new("empty data file"))?;
+
+    let start = std::time::Instant::now();
+    let model = Srda::new(SrdaConfig {
+        alpha,
+        solver,
+        ..SrdaConfig::default()
+    })
+    .fit_sparse(&data.x, &data.labels)?;
+    let secs = start.elapsed().as_secs_f64();
+
+    // centroids in embedded space, for data-free prediction later
+    let z = model.embedding().transform_sparse(&data.x)?;
+    let (centroids, _) = srda_linalg::stats::class_means(&z, &data.labels, n_classes)
+        .map_err(srda::SrdaError::from)?;
+
+    let saved = SavedModel {
+        version: FORMAT_VERSION,
+        n_classes,
+        alpha,
+        embedding: model.embedding().clone(),
+        centroids,
+    };
+    saved.save(Path::new(&model_path))?;
+
+    Ok(format!(
+        "trained on {} samples x {} features ({} classes) in {:.3}s\n\
+         embedding: {} -> {} dims; model written to {}",
+        data.x.nrows(),
+        data.x.ncols(),
+        n_classes,
+        secs,
+        data.x.ncols(),
+        saved.embedding.n_components(),
+        model_path
+    ))
+}
+
+/// `srda eval`.
+pub fn eval(args: &ParsedArgs) -> Result<String> {
+    args.ensure_only(&["data", "features", "model"])?;
+    let model = SavedModel::load(Path::new(args.required("model")?))?;
+    let data = load_data(args.required("data")?, Some(model.embedding.n_features()))?;
+    let z = model.embedding.transform_sparse(&data.x)?;
+    let pred = model.predict_embedded(&z);
+    let cm = ConfusionMatrix::from_predictions(&pred, &data.labels, model.n_classes);
+    let mut out = format!(
+        "samples: {}\nerror rate: {:.2}%\naccuracy: {:.2}%\nmacro F1: {:.3}\n",
+        data.x.nrows(),
+        cm.error_rate() * 100.0,
+        cm.accuracy() * 100.0,
+        cm.macro_f1()
+    );
+    if let Some((t, p, n)) = cm.worst_confusion() {
+        out.push_str(&format!("worst confusion: true {t} -> predicted {p} ({n}x)\n"));
+    }
+    Ok(out)
+}
+
+/// `srda transform`.
+pub fn transform(args: &ParsedArgs) -> Result<String> {
+    args.ensure_only(&["data", "features", "model", "out"])?;
+    let model = SavedModel::load(Path::new(args.required("model")?))?;
+    let data = load_data(args.required("data")?, Some(model.embedding.n_features()))?;
+    let z = model.embedding.transform_sparse(&data.x)?;
+
+    let mut csv = String::new();
+    for i in 0..z.nrows() {
+        let row: Vec<String> = z.row(i).iter().map(|v| format!("{v}")).collect();
+        csv.push_str(&row.join(","));
+        csv.push('\n');
+    }
+    match args.optional("out") {
+        Some(path) => {
+            std::fs::write(path, &csv)?;
+            Ok(format!(
+                "embedded {} samples into {} dims -> {path}",
+                z.nrows(),
+                z.ncols()
+            ))
+        }
+        None => Ok(csv),
+    }
+}
+
+/// `srda generate`.
+pub fn generate(args: &ParsedArgs) -> Result<String> {
+    args.ensure_only(&["dataset", "scale", "seed", "out"])?;
+    let name = args.required("dataset")?;
+    let scale: f64 = args.parse_or("scale", 0.1)?;
+    let seed: u64 = args.parse_or("seed", 42)?;
+    let out = args.required("out")?.to_string();
+
+    let labeled = match name {
+        "news" => {
+            let d = srda_data::newsgroups_like(scale, seed);
+            LabeledSparse {
+                x: d.x,
+                labels: d.labels,
+            }
+        }
+        "pie" | "isolet" | "mnist" => {
+            let d = match name {
+                "pie" => srda_data::pie_like(scale, seed),
+                "isolet" => srda_data::isolet_like(scale, seed),
+                _ => srda_data::mnist_like(scale, seed),
+            };
+            LabeledSparse {
+                x: srda_sparse::CsrMatrix::from_dense(&d.x, 0.0),
+                labels: d.labels,
+            }
+        }
+        other => {
+            return Err(CliError::new(format!(
+                "unknown --dataset {other:?} (pie|isolet|mnist|news)"
+            )))
+        }
+    };
+    let text = srda_sparse::io::write(&labeled);
+    std::fs::write(&out, text)?;
+    Ok(format!(
+        "wrote {} samples x {} features to {out}",
+        labeled.x.nrows(),
+        labeled.x.ncols()
+    ))
+}
+
+/// `srda tune`: cross-validated grid search over α.
+pub fn tune(args: &ParsedArgs) -> Result<String> {
+    args.ensure_only(&["data", "features", "folds", "iters", "grid", "seed"])?;
+    let n_features = args
+        .optional("features")
+        .map(|_| args.parse_required("features"))
+        .transpose()?;
+    let data = load_data(args.required("data")?, n_features)?;
+    let folds: usize = args.parse_or("folds", 5)?;
+    let iters: usize = args.parse_or("iters", 15)?;
+    let seed: u64 = args.parse_or("seed", 0)?;
+    let grid: Vec<f64> = match args.optional("grid") {
+        None => vec![0.01, 0.1, 1.0, 10.0, 100.0],
+        Some(s) => s
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse()
+                    .map_err(|_| CliError::new(format!("bad --grid entry {t:?}")))
+            })
+            .collect::<Result<Vec<f64>>>()?,
+    };
+    if grid.is_empty() {
+        return Err(CliError::new("--grid must contain at least one alpha"));
+    }
+    let (alpha, err) = srda_eval::select_alpha_sparse(
+        &data.x,
+        &data.labels,
+        &grid,
+        iters,
+        folds,
+        seed,
+    );
+    Ok(format!(
+        "grid {grid:?} over {folds}-fold CV (LSQR k = {iters})\n\
+         best alpha = {alpha} with CV error {:.2}%",
+        err * 100.0
+    ))
+}
+
+/// Dispatch a parsed command line.
+pub fn run(args: &ParsedArgs) -> Result<String> {
+    match args.command.as_str() {
+        "train" => train(args),
+        "eval" => eval(args),
+        "transform" => transform(args),
+        "generate" => generate(args),
+        "tune" => tune(args),
+        other => Err(CliError::new(format!(
+            "unknown command {other:?}\n{}",
+            crate::args::usage()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("srda_cli_{tag}"));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn sv(parts: &[&str]) -> crate::args::ParsedArgs {
+        parse(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn full_workflow_generate_train_eval_transform() {
+        let dir = tmpdir("workflow");
+        let data = dir.join("data.svm");
+        let model = dir.join("model.json");
+        let emb = dir.join("z.csv");
+
+        let msg = run(&sv(&[
+            "generate",
+            "--dataset",
+            "news",
+            "--scale",
+            "0.02",
+            "--seed",
+            "3",
+            "--out",
+            data.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(msg.contains("wrote"));
+
+        let msg = run(&sv(&[
+            "train",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+            "--solver",
+            "lsqr",
+            "--iters",
+            "10",
+        ]))
+        .unwrap();
+        assert!(msg.contains("trained"), "{msg}");
+
+        let msg = run(&sv(&[
+            "eval",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(msg.contains("error rate"), "{msg}");
+
+        let msg = run(&sv(&[
+            "transform",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+            "--out",
+            emb.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(msg.contains("embedded"), "{msg}");
+        let csv = std::fs::read_to_string(&emb).unwrap();
+        // 20 balanced classes -> row count is a positive multiple of 20
+        let rows = csv.lines().count();
+        assert!(rows > 0 && rows % 20 == 0, "rows = {rows}");
+        // c − 1 = 19 embedded dimensions per row
+        assert_eq!(csv.lines().next().unwrap().split(',').count(), 19);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn train_with_normal_equations_on_dense_generated() {
+        let dir = tmpdir("ne");
+        let data = dir.join("mnist.svm");
+        let model = dir.join("m.json");
+        run(&sv(&[
+            "generate",
+            "--dataset",
+            "mnist",
+            "--scale",
+            "0.03",
+            "--out",
+            data.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let msg = run(&sv(&[
+            "train",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+            "--solver",
+            "ne",
+            "--alpha",
+            "0.5",
+        ]))
+        .unwrap();
+        assert!(msg.contains("784 -> 9 dims"), "{msg}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_command_and_flags() {
+        assert!(run(&sv(&["frobnicate"])).is_err());
+        let dir = tmpdir("badflag");
+        let out = dir.join("x.svm");
+        assert!(run(&sv(&[
+            "generate",
+            "--dataset",
+            "news",
+            "--bogus",
+            "1",
+            "--out",
+            out.to_str().unwrap()
+        ]))
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_dataset_and_solver() {
+        let dir = tmpdir("unknowns");
+        let out = dir.join("x.svm");
+        assert!(run(&sv(&[
+            "generate",
+            "--dataset",
+            "cifar",
+            "--out",
+            out.to_str().unwrap()
+        ]))
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn infer_features_from_file() {
+        assert_eq!(infer_features("0 3:1 7:2\n1 5:1\n").unwrap(), 8);
+        assert!(infer_features("0\n1\n").is_err());
+    }
+
+    #[test]
+    fn tune_picks_an_alpha_from_the_grid() {
+        let dir = tmpdir("tune");
+        let data = dir.join("t.svm");
+        run(&sv(&[
+            "generate",
+            "--dataset",
+            "news",
+            "--scale",
+            "0.02",
+            "--out",
+            data.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let msg = run(&sv(&[
+            "tune",
+            "--data",
+            data.to_str().unwrap(),
+            "--folds",
+            "3",
+            "--iters",
+            "8",
+            "--grid",
+            "0.5,2.0",
+        ]))
+        .unwrap();
+        assert!(msg.contains("best alpha"), "{msg}");
+        assert!(msg.contains("0.5") || msg.contains("2"), "{msg}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tune_rejects_bad_grid() {
+        let dir = tmpdir("tunebad");
+        let data = dir.join("t.svm");
+        run(&sv(&[
+            "generate",
+            "--dataset",
+            "news",
+            "--scale",
+            "0.02",
+            "--out",
+            data.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(run(&sv(&[
+            "tune",
+            "--data",
+            data.to_str().unwrap(),
+            "--grid",
+            "1.0,zebra",
+        ]))
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,76 @@
+//! # srda-cli
+//!
+//! Library backing the `srda` command-line tool: argument parsing,
+//! model persistence, and the four subcommands (`train`, `eval`,
+//! `transform`, `generate`). Kept as a library so every piece is unit
+//! testable; `main.rs` is a thin shell.
+//!
+//! ```text
+//! srda train    --data train.svm --features 26214 --model model.json \
+//!               [--alpha 1.0] [--solver ne|lsqr] [--iters 15]
+//! srda eval     --data test.svm --model model.json
+//! srda transform --data x.svm --model model.json [--out embedded.csv]
+//! srda generate --dataset pie|isolet|mnist|news --scale 0.1 --seed 42 \
+//!               --out data.svm
+//! ```
+//!
+//! Data files use the LIBSVM convention (`label idx:val ...`, 0-based
+//! indices) via [`srda_sparse::io`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod model_file;
+
+/// CLI error type: a message destined for stderr plus an exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Message printed to stderr.
+    pub message: String,
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl CliError {
+    /// Build from anything printable.
+    pub fn new(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+        }
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::new(format!("io error: {e}"))
+    }
+}
+
+impl From<serde_json::Error> for CliError {
+    fn from(e: serde_json::Error) -> Self {
+        CliError::new(format!("model file error: {e}"))
+    }
+}
+
+impl From<srda::SrdaError> for CliError {
+    fn from(e: srda::SrdaError) -> Self {
+        CliError::new(format!("training error: {e}"))
+    }
+}
+
+impl From<srda_sparse::SparseError> for CliError {
+    fn from(e: srda_sparse::SparseError) -> Self {
+        CliError::new(format!("data error: {e}"))
+    }
+}
+
+/// Result alias for CLI operations.
+pub type Result<T> = std::result::Result<T, CliError>;

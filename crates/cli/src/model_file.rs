@@ -1,0 +1,115 @@
+//! On-disk model format: the trained embedding plus the metadata needed to
+//! evaluate it, as JSON.
+
+use crate::Result;
+use srda::Embedding;
+use std::path::Path;
+
+/// A persisted SRDA model.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SavedModel {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// Number of classes at training time.
+    pub n_classes: usize,
+    /// Ridge parameter used.
+    pub alpha: f64,
+    /// The affine embedding.
+    pub embedding: Embedding,
+    /// Per-class centroids in embedded space (for nearest-centroid
+    /// prediction without the training data), `n_classes × n_components`.
+    pub centroids: srda_linalg::Mat,
+}
+
+/// Current format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+impl SavedModel {
+    /// Serialize to a JSON file.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let json = serde_json::to_vec_pretty(self)?;
+        std::fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Load from a JSON file.
+    pub fn load(path: &Path) -> Result<Self> {
+        let bytes = std::fs::read(path)?;
+        let model: SavedModel = serde_json::from_slice(&bytes)?;
+        if model.version != FORMAT_VERSION {
+            return Err(crate::CliError::new(format!(
+                "unsupported model version {} (expected {FORMAT_VERSION})",
+                model.version
+            )));
+        }
+        Ok(model)
+    }
+
+    /// Predict labels for embedded rows via nearest centroid.
+    pub fn predict_embedded(&self, z: &srda_linalg::Mat) -> Vec<usize> {
+        (0..z.nrows())
+            .map(|i| {
+                let mut best = (f64::INFINITY, 0usize);
+                for k in 0..self.centroids.nrows() {
+                    let d = srda_linalg::vector::dist2_sq(z.row(i), self.centroids.row(k));
+                    if d < best.0 {
+                        best = (d, k);
+                    }
+                }
+                best.1
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srda_linalg::Mat;
+
+    fn toy_model() -> SavedModel {
+        SavedModel {
+            version: FORMAT_VERSION,
+            n_classes: 2,
+            alpha: 1.0,
+            embedding: Embedding::new(Mat::identity(2), vec![0.0, 0.0]).unwrap(),
+            centroids: Mat::from_rows(&[vec![0.0, 0.0], vec![5.0, 5.0]]).unwrap(),
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("srda_cli_model_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.json");
+        let m = toy_model();
+        m.save(&path).unwrap();
+        let back = SavedModel::load(&path).unwrap();
+        assert_eq!(m, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version_check() {
+        let dir = std::env::temp_dir().join("srda_cli_model_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.json");
+        let mut m = toy_model();
+        m.version = 99;
+        std::fs::write(&path, serde_json::to_vec(&m).unwrap()).unwrap();
+        assert!(SavedModel::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn nearest_centroid_prediction() {
+        let m = toy_model();
+        let z = Mat::from_rows(&[vec![0.4, 0.4], vec![4.6, 4.9]]).unwrap();
+        assert_eq!(m.predict_embedded(&z), vec![0, 1]);
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(SavedModel::load(Path::new("/nonexistent/model.json")).is_err());
+    }
+}

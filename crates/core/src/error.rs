@@ -1,0 +1,110 @@
+//! Error type for discriminant-analysis training and transformation.
+
+use std::fmt;
+
+/// Errors produced when fitting or applying discriminant models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SrdaError {
+    /// Labels are inconsistent with the data (wrong length, empty class,
+    /// fewer than two classes, ...).
+    InvalidLabels {
+        /// Human-readable description.
+        context: String,
+    },
+    /// Operand shapes are incompatible (e.g. transforming data whose
+    /// feature count differs from the training data's).
+    ShapeMismatch {
+        /// Operation name.
+        op: &'static str,
+        /// Expected dimension.
+        expected: usize,
+        /// Dimension actually supplied.
+        got: usize,
+    },
+    /// A required densification or allocation would exceed the configured
+    /// memory budget. This mirrors the paper's Tables IX/X, where LDA,
+    /// RLDA, and IDR/QR "can not be applied as the size of training set
+    /// increases due to the memory limit".
+    MemoryBudgetExceeded {
+        /// Bytes the operation would need.
+        needed_bytes: usize,
+        /// The configured budget.
+        budget_bytes: usize,
+        /// What was being allocated.
+        context: &'static str,
+    },
+    /// An underlying linear-algebra routine failed.
+    Linalg(srda_linalg::LinalgError),
+    /// An underlying sparse-matrix routine failed.
+    Sparse(srda_sparse::SparseError),
+}
+
+impl fmt::Display for SrdaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SrdaError::InvalidLabels { context } => write!(f, "invalid labels: {context}"),
+            SrdaError::ShapeMismatch { op, expected, got } => {
+                write!(f, "shape mismatch in {op}: expected {expected}, got {got}")
+            }
+            SrdaError::MemoryBudgetExceeded {
+                needed_bytes,
+                budget_bytes,
+                context,
+            } => write!(
+                f,
+                "memory budget exceeded in {context}: need {needed_bytes} bytes, budget {budget_bytes}"
+            ),
+            SrdaError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            SrdaError::Sparse(e) => write!(f, "sparse matrix error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SrdaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SrdaError::Linalg(e) => Some(e),
+            SrdaError::Sparse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<srda_linalg::LinalgError> for SrdaError {
+    fn from(e: srda_linalg::LinalgError) -> Self {
+        SrdaError::Linalg(e)
+    }
+}
+
+impl From<srda_sparse::SparseError> for SrdaError {
+    fn from(e: srda_sparse::SparseError) -> Self {
+        SrdaError::Sparse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = SrdaError::InvalidLabels {
+            context: "class 3 is empty".into(),
+        };
+        assert!(e.to_string().contains("class 3"));
+        let m = SrdaError::MemoryBudgetExceeded {
+            needed_bytes: 100,
+            budget_bytes: 10,
+            context: "centering",
+        };
+        assert!(m.to_string().contains("100"));
+    }
+
+    #[test]
+    fn from_linalg_preserves_source() {
+        let inner = srda_linalg::LinalgError::Singular { pivot: 2 };
+        let e: SrdaError = inner.clone().into();
+        assert_eq!(e, SrdaError::Linalg(inner));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,542 @@
+//! Kernel SRDA — the kernelized variant of the paper's algorithm (the
+//! authors' companion paper "Efficient Kernel Discriminant Analysis via
+//! Spectral Regression", ICDM 2007, which the ICDE paper cites as \[14\]).
+//!
+//! The reduction is identical: the responses `ȳ` are still the closed-form
+//! eigenvectors of the class graph; only the regression step changes to
+//! **kernel ridge regression** — find coefficients `β` with
+//!
+//! ```text
+//! (K + αI) β = ȳ
+//! ```
+//!
+//! where `K` is the kernel Gram matrix of the training samples. The
+//! projective function is `f(x) = Σᵢ βᵢ·κ(xᵢ, x)`, so the model must keep
+//! the training data. One Cholesky factorization of `K + αI` (`m³/6` flam)
+//! is shared by all `c − 1` responses, exactly mirroring the linear case.
+
+use crate::labels::ClassIndex;
+use crate::responses;
+use crate::{Result, SrdaError};
+use srda_linalg::{vector, Cholesky, Mat};
+
+/// Kernel functions κ(x, y).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Kernel {
+    /// `xᵀy` — recovers linear SRDA in function space.
+    Linear,
+    /// `exp(−γ·‖x − y‖²)`.
+    Rbf {
+        /// Width parameter `γ > 0`.
+        gamma: f64,
+    },
+    /// `(xᵀy + coef0)^degree`.
+    Polynomial {
+        /// Polynomial degree (≥ 1).
+        degree: u32,
+        /// Additive constant.
+        coef0: f64,
+    },
+}
+
+impl Kernel {
+    /// Evaluate κ(x, y).
+    pub fn eval(&self, x: &[f64], y: &[f64]) -> f64 {
+        match *self {
+            Kernel::Linear => vector::dot(x, y),
+            Kernel::Rbf { gamma } => (-gamma * vector::dist2_sq(x, y)).exp(),
+            Kernel::Polynomial { degree, coef0 } => {
+                (vector::dot(x, y) + coef0).powi(degree as i32)
+            }
+        }
+    }
+
+    /// Gram matrix of the rows of `a` (symmetric, `m × m`).
+    pub fn gram(&self, a: &Mat) -> Mat {
+        let m = a.nrows();
+        let mut k = Mat::zeros(m, m);
+        for i in 0..m {
+            for j in i..m {
+                let v = self.eval(a.row(i), a.row(j));
+                k[(i, j)] = v;
+                k[(j, i)] = v;
+            }
+        }
+        k
+    }
+
+    /// Cross-Gram matrix between the rows of `a` and the rows of `b`
+    /// (`a.nrows() × b.nrows()`).
+    pub fn cross_gram(&self, a: &Mat, b: &Mat) -> Mat {
+        let mut k = Mat::zeros(a.nrows(), b.nrows());
+        for i in 0..a.nrows() {
+            for j in 0..b.nrows() {
+                k[(i, j)] = self.eval(a.row(i), b.row(j));
+            }
+        }
+        k
+    }
+
+    /// Gram matrix of sparse rows, `O(m²·s)` via sorted-index merges and
+    /// the identity `‖x − y‖² = ‖x‖² + ‖y‖² − 2xᵀy` (so RBF needs only
+    /// sparse dot products).
+    pub fn gram_sparse(&self, a: &srda_sparse::CsrMatrix) -> Mat {
+        let m = a.nrows();
+        let sq: Vec<f64> = (0..m)
+            .map(|i| a.row_entries(i).map(|(_, v)| v * v).sum())
+            .collect();
+        let mut k = Mat::zeros(m, m);
+        for i in 0..m {
+            for j in i..m {
+                let dot = sparse_row_dot(a, i, a, j);
+                let v = self.eval_from_dot(dot, sq[i], sq[j]);
+                k[(i, j)] = v;
+                k[(j, i)] = v;
+            }
+        }
+        k
+    }
+
+    /// Cross-Gram between sparse row sets (`a.nrows() × b.nrows()`).
+    pub fn cross_gram_sparse(
+        &self,
+        a: &srda_sparse::CsrMatrix,
+        b: &srda_sparse::CsrMatrix,
+    ) -> Mat {
+        let sq_a: Vec<f64> = (0..a.nrows())
+            .map(|i| a.row_entries(i).map(|(_, v)| v * v).sum())
+            .collect();
+        let sq_b: Vec<f64> = (0..b.nrows())
+            .map(|i| b.row_entries(i).map(|(_, v)| v * v).sum())
+            .collect();
+        let mut k = Mat::zeros(a.nrows(), b.nrows());
+        for i in 0..a.nrows() {
+            for j in 0..b.nrows() {
+                let dot = sparse_row_dot(a, i, b, j);
+                k[(i, j)] = self.eval_from_dot(dot, sq_a[i], sq_b[j]);
+            }
+        }
+        k
+    }
+
+    /// Evaluate the kernel from a dot product and the two squared norms.
+    fn eval_from_dot(&self, dot: f64, xx: f64, yy: f64) -> f64 {
+        match *self {
+            Kernel::Linear => dot,
+            Kernel::Rbf { gamma } => (-gamma * (xx + yy - 2.0 * dot)).exp(),
+            Kernel::Polynomial { degree, coef0 } => (dot + coef0).powi(degree as i32),
+        }
+    }
+}
+
+/// Dot product of sparse row `i` of `a` with sparse row `j` of `b`
+/// (sorted-index merge).
+fn sparse_row_dot(
+    a: &srda_sparse::CsrMatrix,
+    i: usize,
+    b: &srda_sparse::CsrMatrix,
+    j: usize,
+) -> f64 {
+    let mut ai = a.row_entries(i).peekable();
+    let mut bj = b.row_entries(j).peekable();
+    let mut acc = 0.0;
+    while let (Some(&(ca, va)), Some(&(cb, vb))) = (ai.peek(), bj.peek()) {
+        match ca.cmp(&cb) {
+            std::cmp::Ordering::Less => {
+                ai.next();
+            }
+            std::cmp::Ordering::Greater => {
+                bj.next();
+            }
+            std::cmp::Ordering::Equal => {
+                acc += va * vb;
+                ai.next();
+                bj.next();
+            }
+        }
+    }
+    acc
+}
+
+/// Configuration for [`KernelSrda`].
+#[derive(Debug, Clone)]
+pub struct KernelSrdaConfig {
+    /// The kernel.
+    pub kernel: Kernel,
+    /// Ridge parameter `α > 0`.
+    pub alpha: f64,
+}
+
+impl Default for KernelSrdaConfig {
+    fn default() -> Self {
+        KernelSrdaConfig {
+            kernel: Kernel::Rbf { gamma: 1.0 },
+            alpha: 1.0,
+        }
+    }
+}
+
+/// The Kernel SRDA estimator.
+#[derive(Debug, Clone, Default)]
+pub struct KernelSrda {
+    config: KernelSrdaConfig,
+}
+
+/// The retained training data of a kernel model.
+#[derive(Debug, Clone)]
+enum TrainData {
+    Dense(Mat),
+    Sparse(srda_sparse::CsrMatrix),
+}
+
+/// A fitted Kernel SRDA model (keeps the training data — the price of the
+/// kernel trick).
+#[derive(Debug, Clone)]
+pub struct KernelSrdaModel {
+    kernel: Kernel,
+    train_x: TrainData,
+    /// Dual coefficients, `m × (c − 1)`.
+    beta: Mat,
+    n_classes: usize,
+}
+
+impl KernelSrda {
+    /// Create an estimator with the given configuration.
+    pub fn new(config: KernelSrdaConfig) -> Self {
+        KernelSrda { config }
+    }
+
+    /// Fit on dense data (samples as rows) with labels `y`.
+    pub fn fit_dense(&self, x: &Mat, y: &[usize]) -> Result<KernelSrdaModel> {
+        if x.nrows() != y.len() {
+            return Err(SrdaError::ShapeMismatch {
+                op: "kernel srda fit_dense",
+                expected: x.nrows(),
+                got: y.len(),
+            });
+        }
+        let gram = self.config.kernel.gram(x);
+        self.fit_from_gram(gram, y, TrainData::Dense(x.clone()))
+    }
+
+    /// Fit on sparse data; the Gram matrix is built from sparse dot
+    /// products (the data is never densified, though the `m × m` kernel
+    /// matrix itself is inherently dense).
+    pub fn fit_sparse(
+        &self,
+        x: &srda_sparse::CsrMatrix,
+        y: &[usize],
+    ) -> Result<KernelSrdaModel> {
+        if x.nrows() != y.len() {
+            return Err(SrdaError::ShapeMismatch {
+                op: "kernel srda fit_sparse",
+                expected: x.nrows(),
+                got: y.len(),
+            });
+        }
+        let gram = self.config.kernel.gram_sparse(x);
+        self.fit_from_gram(gram, y, TrainData::Sparse(x.clone()))
+    }
+
+    fn fit_from_gram(
+        &self,
+        mut k: Mat,
+        y: &[usize],
+        train_x: TrainData,
+    ) -> Result<KernelSrdaModel> {
+        let index = ClassIndex::new(y)?;
+        let ybar = responses::generate(&index);
+        k.add_to_diag(self.config.alpha);
+        let chol = Cholesky::factor(&k)?;
+        let beta = chol.solve_mat(&ybar)?;
+        Ok(KernelSrdaModel {
+            kernel: self.config.kernel,
+            train_x,
+            beta,
+            n_classes: index.n_classes(),
+        })
+    }
+}
+
+impl KernelSrdaModel {
+    /// Number of classes seen at fit time.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Embedding dimension (`c − 1`).
+    pub fn n_components(&self) -> usize {
+        self.beta.ncols()
+    }
+
+    /// The dual coefficient matrix `β` (`m_train × (c − 1)`).
+    pub fn beta(&self) -> &Mat {
+        &self.beta
+    }
+
+    /// Feature dimension of the training data.
+    pub fn n_features(&self) -> usize {
+        match &self.train_x {
+            TrainData::Dense(m) => m.ncols(),
+            TrainData::Sparse(s) => s.ncols(),
+        }
+    }
+
+    /// Embed a dense batch: `Z = K(X, X_train)·β`.
+    pub fn transform_dense(&self, x: &Mat) -> Result<Mat> {
+        if x.ncols() != self.n_features() {
+            return Err(SrdaError::ShapeMismatch {
+                op: "kernel srda transform",
+                expected: self.n_features(),
+                got: x.ncols(),
+            });
+        }
+        let k = match &self.train_x {
+            TrainData::Dense(train) => self.kernel.cross_gram(x, train),
+            TrainData::Sparse(train) => {
+                // sparsify the query; exact because from_dense keeps all
+                // non-zeros
+                let xs = srda_sparse::CsrMatrix::from_dense(x, 0.0);
+                self.kernel.cross_gram_sparse(&xs, train)
+            }
+        };
+        Ok(srda_linalg::ops::matmul(&k, &self.beta)?)
+    }
+
+    /// Embed a sparse batch.
+    pub fn transform_sparse(&self, x: &srda_sparse::CsrMatrix) -> Result<Mat> {
+        if x.ncols() != self.n_features() {
+            return Err(SrdaError::ShapeMismatch {
+                op: "kernel srda transform_sparse",
+                expected: self.n_features(),
+                got: x.ncols(),
+            });
+        }
+        let k = match &self.train_x {
+            TrainData::Sparse(train) => self.kernel.cross_gram_sparse(x, train),
+            TrainData::Dense(train) => {
+                let ts = srda_sparse::CsrMatrix::from_dense(train, 0.0);
+                self.kernel.cross_gram_sparse(x, &ts)
+            }
+        };
+        Ok(srda_linalg::ops::matmul(&k, &self.beta)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// XOR-style data: not linearly separable, trivially RBF-separable.
+    fn xor_data() -> (Mat, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for (cx, cy, label) in [
+            (0.0, 0.0, 0),
+            (4.0, 4.0, 0),
+            (0.0, 4.0, 1),
+            (4.0, 0.0, 1),
+        ] {
+            for s in 0..5 {
+                let n1 = ((s * 13 + label * 7) as f64 * 0.71).sin() * 0.2;
+                let n2 = ((s * 17 + label * 3) as f64 * 0.37).cos() * 0.2;
+                rows.push(vec![cx + n1, cy + n2]);
+                y.push(label);
+            }
+        }
+        (Mat::from_rows(&rows).unwrap(), y)
+    }
+
+    fn within_between(z: &Mat, y: &[usize], c: usize) -> (f64, f64) {
+        let (cent, _) = srda_linalg::stats::class_means(z, y, c).unwrap();
+        let mut within = 0.0;
+        for (i, &k) in y.iter().enumerate() {
+            within += vector::dist2_sq(z.row(i), cent.row(k)).sqrt();
+        }
+        within /= y.len() as f64;
+        let between = vector::dist2_sq(cent.row(0), cent.row(1)).sqrt();
+        (within, between)
+    }
+
+    #[test]
+    fn kernel_evaluations() {
+        let x = [1.0, 2.0];
+        let y = [3.0, -1.0];
+        assert_eq!(Kernel::Linear.eval(&x, &y), 1.0);
+        let rbf = Kernel::Rbf { gamma: 0.5 };
+        assert!((rbf.eval(&x, &x) - 1.0).abs() < 1e-15);
+        assert!(rbf.eval(&x, &y) < 1.0);
+        let poly = Kernel::Polynomial {
+            degree: 2,
+            coef0: 1.0,
+        };
+        assert_eq!(poly.eval(&x, &y), 4.0); // (1 + 1)² = 4
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd() {
+        let (x, _) = xor_data();
+        let k = Kernel::Rbf { gamma: 0.3 }.gram(&x);
+        assert!(k.approx_eq(&k.transpose(), 1e-14));
+        let eig = srda_linalg::SymmetricEigen::factor(&k).unwrap();
+        assert!(*eig.values.last().unwrap() > -1e-9);
+    }
+
+    #[test]
+    fn rbf_solves_xor() {
+        let (x, y) = xor_data();
+        let model = KernelSrda::new(KernelSrdaConfig {
+            kernel: Kernel::Rbf { gamma: 0.5 },
+            alpha: 0.1,
+        })
+        .fit_dense(&x, &y)
+        .unwrap();
+        let z = model.transform_dense(&x).unwrap();
+        let (within, between) = within_between(&z, &y, 2);
+        assert!(
+            between > 3.0 * within,
+            "RBF KSRDA failed XOR: within {within}, between {between}"
+        );
+    }
+
+    #[test]
+    fn linear_kernel_fails_xor_where_rbf_succeeds() {
+        let (x, y) = xor_data();
+        let lin = KernelSrda::new(KernelSrdaConfig {
+            kernel: Kernel::Linear,
+            alpha: 0.1,
+        })
+        .fit_dense(&x, &y)
+        .unwrap();
+        let z = lin.transform_dense(&x).unwrap();
+        let (within, between) = within_between(&z, &y, 2);
+        // XOR is not linearly separable: class centroids nearly coincide
+        assert!(
+            between < within,
+            "linear kernel should not separate XOR: within {within}, between {between}"
+        );
+    }
+
+    #[test]
+    fn linear_kernel_matches_linear_srda_on_separable_data() {
+        // on linearly separable data, linear-kernel KSRDA and linear SRDA
+        // embed the training set with the same class geometry up to an
+        // affine map; compare nearest-centroid predictions
+        let x = Mat::from_rows(&[
+            vec![0.0, 0.2],
+            vec![0.2, 0.0],
+            vec![0.1, 0.1],
+            vec![5.0, 5.2],
+            vec![5.2, 5.0],
+            vec![5.1, 5.1],
+        ])
+        .unwrap();
+        let y = vec![0, 0, 0, 1, 1, 1];
+        let kmodel = KernelSrda::new(KernelSrdaConfig {
+            kernel: Kernel::Linear,
+            alpha: 1.0,
+        })
+        .fit_dense(&x, &y)
+        .unwrap();
+        let z = kmodel.transform_dense(&x).unwrap();
+        let (within, between) = within_between(&z, &y, 2);
+        assert!(between > 3.0 * within);
+    }
+
+    #[test]
+    fn transform_unseen_points() {
+        let (x, y) = xor_data();
+        let model = KernelSrda::new(KernelSrdaConfig {
+            kernel: Kernel::Rbf { gamma: 0.5 },
+            alpha: 0.1,
+        })
+        .fit_dense(&x, &y)
+        .unwrap();
+        let test = Mat::from_rows(&[vec![0.1, 0.1], vec![0.1, 3.9]]).unwrap();
+        let zt = model.transform_dense(&test).unwrap();
+        let z = model.transform_dense(&x).unwrap();
+        // test point 0 (class 0 region) is closer to the class-0 embedding
+        let d0 = vector::dist2_sq(zt.row(0), z.row(0));
+        let d1 = vector::dist2_sq(zt.row(0), z.row(10));
+        assert!(d0 < d1);
+        // dimension check
+        assert_eq!(zt.shape(), (2, 1));
+        assert!(model.transform_dense(&Mat::zeros(1, 5)).is_err());
+    }
+
+    #[test]
+    fn alpha_shrinks_dual_coefficients() {
+        let (x, y) = xor_data();
+        let norm = |alpha: f64| {
+            KernelSrda::new(KernelSrdaConfig {
+                kernel: Kernel::Rbf { gamma: 0.5 },
+                alpha,
+            })
+            .fit_dense(&x, &y)
+            .unwrap()
+            .beta()
+            .frobenius_norm()
+        };
+        assert!(norm(0.01) > norm(10.0));
+    }
+
+    #[test]
+    fn label_validation() {
+        let (x, _) = xor_data();
+        assert!(KernelSrda::default().fit_dense(&x, &[0; 20]).is_err());
+        assert!(KernelSrda::default().fit_dense(&x, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn sparse_gram_matches_dense_gram() {
+        let (x, _) = xor_data();
+        let xs = srda_sparse::CsrMatrix::from_dense(&x, 0.0);
+        for kernel in [
+            Kernel::Linear,
+            Kernel::Rbf { gamma: 0.3 },
+            Kernel::Polynomial {
+                degree: 2,
+                coef0: 1.0,
+            },
+        ] {
+            let kd = kernel.gram(&x);
+            let ks = kernel.gram_sparse(&xs);
+            assert!(
+                kd.approx_eq(&ks, 1e-10),
+                "{kernel:?}: max diff {}",
+                kd.sub(&ks).unwrap().max_abs()
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_fit_matches_dense_fit() {
+        let (x, y) = xor_data();
+        let xs = srda_sparse::CsrMatrix::from_dense(&x, 0.0);
+        let cfg = KernelSrdaConfig {
+            kernel: Kernel::Rbf { gamma: 0.5 },
+            alpha: 0.2,
+        };
+        let md = KernelSrda::new(cfg.clone()).fit_dense(&x, &y).unwrap();
+        let ms = KernelSrda::new(cfg).fit_sparse(&xs, &y).unwrap();
+        assert!(md.beta().approx_eq(ms.beta(), 1e-9));
+        // transforms agree in all four (model repr × query repr) combos
+        let zd = md.transform_dense(&x).unwrap();
+        let zs = ms.transform_sparse(&xs).unwrap();
+        let z_cross1 = md.transform_sparse(&xs).unwrap();
+        let z_cross2 = ms.transform_dense(&x).unwrap();
+        assert!(zd.approx_eq(&zs, 1e-9));
+        assert!(zd.approx_eq(&z_cross1, 1e-9));
+        assert!(zd.approx_eq(&z_cross2, 1e-9));
+    }
+
+    #[test]
+    fn sparse_transform_shape_check() {
+        let (x, y) = xor_data();
+        let model = KernelSrda::default().fit_dense(&x, &y).unwrap();
+        assert!(model
+            .transform_sparse(&srda_sparse::CsrMatrix::zeros(1, 7))
+            .is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! Class-label bookkeeping shared by every algorithm in the crate.
+
+use crate::{Result, SrdaError};
+
+/// Validated class structure of a labeled training set.
+///
+/// Labels are `0..n_classes` with every class non-empty — the structure the
+/// paper's `W` matrix (Eqn 6) encodes. Built once per fit and shared by the
+/// response generator, the scatter computations, and the evaluators.
+#[derive(Debug, Clone)]
+pub struct ClassIndex {
+    n_samples: usize,
+    counts: Vec<usize>,
+    /// Row indices of each class, in ascending order.
+    members: Vec<Vec<usize>>,
+}
+
+impl ClassIndex {
+    /// Validate `labels` and build the index. `labels[i]` is the class of
+    /// sample `i`; classes must be `0..c` for some `c ≥ 2` with no class
+    /// empty.
+    pub fn new(labels: &[usize]) -> Result<Self> {
+        if labels.is_empty() {
+            return Err(SrdaError::InvalidLabels {
+                context: "no samples".into(),
+            });
+        }
+        let c = labels.iter().max().unwrap() + 1;
+        if c < 2 {
+            return Err(SrdaError::InvalidLabels {
+                context: "need at least 2 classes".into(),
+            });
+        }
+        let mut members = vec![Vec::new(); c];
+        for (i, &k) in labels.iter().enumerate() {
+            members[k].push(i);
+        }
+        let counts: Vec<usize> = members.iter().map(|v| v.len()).collect();
+        if let Some(empty) = counts.iter().position(|&n| n == 0) {
+            return Err(SrdaError::InvalidLabels {
+                context: format!("class {empty} has no samples"),
+            });
+        }
+        Ok(ClassIndex {
+            n_samples: labels.len(),
+            counts,
+            members,
+        })
+    }
+
+    /// Number of classes `c`.
+    pub fn n_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of samples `m`.
+    pub fn n_samples(&self) -> usize {
+        self.n_samples
+    }
+
+    /// Per-class sample counts `m_k`.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Row indices belonging to class `k` (ascending).
+    pub fn members(&self, k: usize) -> &[usize] {
+        &self.members[k]
+    }
+
+    /// The class-indicator vector of class `k` (the columns the paper's
+    /// Eqn 15 Gram-Schmidt step starts from).
+    pub fn indicator(&self, k: usize) -> Vec<f64> {
+        let mut v = vec![0.0; self.n_samples];
+        for &i in &self.members[k] {
+            v[i] = 1.0;
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_index() {
+        let ci = ClassIndex::new(&[0, 1, 0, 2, 1, 0]).unwrap();
+        assert_eq!(ci.n_classes(), 3);
+        assert_eq!(ci.n_samples(), 6);
+        assert_eq!(ci.counts(), &[3, 2, 1]);
+        assert_eq!(ci.members(0), &[0, 2, 5]);
+        assert_eq!(ci.members(2), &[3]);
+    }
+
+    #[test]
+    fn indicator_vectors() {
+        let ci = ClassIndex::new(&[0, 1, 1]).unwrap();
+        assert_eq!(ci.indicator(0), vec![1.0, 0.0, 0.0]);
+        assert_eq!(ci.indicator(1), vec![0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(ClassIndex::new(&[]).is_err());
+    }
+
+    #[test]
+    fn rejects_single_class() {
+        assert!(ClassIndex::new(&[0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn rejects_gap_in_labels() {
+        // class 1 missing
+        let err = ClassIndex::new(&[0, 2, 0, 2]).unwrap_err();
+        match err {
+            SrdaError::InvalidLabels { context } => assert!(context.contains("class 1")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn indicators_partition_ones() {
+        let ci = ClassIndex::new(&[0, 1, 2, 1, 0]).unwrap();
+        let mut total = vec![0.0; 5];
+        for k in 0..3 {
+            for (t, v) in total.iter_mut().zip(ci.indicator(k)) {
+                *t += v;
+            }
+        }
+        assert_eq!(total, vec![1.0; 5]);
+    }
+}

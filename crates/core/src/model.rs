@@ -1,0 +1,173 @@
+//! The common output of every discriminant algorithm: a linear embedding.
+
+use crate::{Result, SrdaError};
+use srda_linalg::Mat;
+use srda_sparse::CsrMatrix;
+
+/// An affine embedding `x ↦ Wᵀx + b` into the discriminant subspace.
+///
+/// `W` is `n_features × n_components` (the paper's transformation matrix
+/// `A = [a₁, …]`); `b` is the per-component intercept. For SRDA the
+/// intercept comes from the bias-absorption trick (§III.B); for the
+/// eigen-based methods it is `−Wᵀμ` so that the embedding is centered the
+/// same way the training data was.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Embedding {
+    weights: Mat,
+    bias: Vec<f64>,
+}
+
+impl Embedding {
+    /// Build from a weight matrix (`n_features × n_components`) and a bias
+    /// of length `n_components`.
+    pub fn new(weights: Mat, bias: Vec<f64>) -> Result<Self> {
+        if weights.ncols() != bias.len() {
+            return Err(SrdaError::ShapeMismatch {
+                op: "Embedding::new",
+                expected: weights.ncols(),
+                got: bias.len(),
+            });
+        }
+        Ok(Embedding { weights, bias })
+    }
+
+    /// The weight matrix `W` (`n_features × n_components`).
+    pub fn weights(&self) -> &Mat {
+        &self.weights
+    }
+
+    /// The intercept vector `b`.
+    pub fn bias(&self) -> &[f64] {
+        &self.bias
+    }
+
+    /// Input dimensionality `n_features`.
+    pub fn n_features(&self) -> usize {
+        self.weights.nrows()
+    }
+
+    /// Output dimensionality (at most `c − 1`).
+    pub fn n_components(&self) -> usize {
+        self.weights.ncols()
+    }
+
+    /// Embed one sample.
+    pub fn transform_row(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.n_features() {
+            return Err(SrdaError::ShapeMismatch {
+                op: "transform_row",
+                expected: self.n_features(),
+                got: x.len(),
+            });
+        }
+        let mut z = srda_linalg::ops::matvec_t(&self.weights, x)?;
+        for (zi, bi) in z.iter_mut().zip(&self.bias) {
+            *zi += bi;
+        }
+        Ok(z)
+    }
+
+    /// Embed a dense batch (samples as rows) → `m × n_components`.
+    pub fn transform_dense(&self, x: &Mat) -> Result<Mat> {
+        if x.ncols() != self.n_features() {
+            return Err(SrdaError::ShapeMismatch {
+                op: "transform_dense",
+                expected: self.n_features(),
+                got: x.ncols(),
+            });
+        }
+        let mut z = srda_linalg::ops::matmul(x, &self.weights)?;
+        for i in 0..z.nrows() {
+            for (zij, bj) in z.row_mut(i).iter_mut().zip(&self.bias) {
+                *zij += bj;
+            }
+        }
+        Ok(z)
+    }
+
+    /// Embed a sparse batch without densifying the input —
+    /// `O(nnz · n_components)`.
+    pub fn transform_sparse(&self, x: &CsrMatrix) -> Result<Mat> {
+        if x.ncols() != self.n_features() {
+            return Err(SrdaError::ShapeMismatch {
+                op: "transform_sparse",
+                expected: self.n_features(),
+                got: x.ncols(),
+            });
+        }
+        let mut z = x.matmul_dense(&self.weights)?;
+        for i in 0..z.nrows() {
+            for (zij, bj) in z.row_mut(i).iter_mut().zip(&self.bias) {
+                *zij += bj;
+            }
+        }
+        Ok(z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> Embedding {
+        // W = [[1, 0], [0, 2]], b = [10, 20]
+        let w = Mat::from_rows(&[vec![1.0, 0.0], vec![0.0, 2.0]]).unwrap();
+        Embedding::new(w, vec![10.0, 20.0]).unwrap()
+    }
+
+    #[test]
+    fn dimensions() {
+        let e = simple();
+        assert_eq!(e.n_features(), 2);
+        assert_eq!(e.n_components(), 2);
+    }
+
+    #[test]
+    fn bias_length_checked() {
+        let w = Mat::zeros(3, 2);
+        assert!(Embedding::new(w, vec![0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn transform_row_affine() {
+        let e = simple();
+        let z = e.transform_row(&[3.0, 4.0]).unwrap();
+        assert_eq!(z, vec![13.0, 28.0]);
+        assert!(e.transform_row(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn dense_batch_matches_rowwise() {
+        let e = simple();
+        let x = Mat::from_rows(&[vec![1.0, 1.0], vec![-2.0, 0.5]]).unwrap();
+        let z = e.transform_dense(&x).unwrap();
+        for i in 0..2 {
+            let zi = e.transform_row(x.row(i)).unwrap();
+            assert_eq!(z.row(i), zi.as_slice());
+        }
+        assert!(e.transform_dense(&Mat::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn sparse_matches_dense() {
+        let e = simple();
+        let xd = Mat::from_rows(&[vec![1.0, 0.0], vec![0.0, 3.0], vec![0.0, 0.0]]).unwrap();
+        let xs = CsrMatrix::from_dense(&xd, 0.0);
+        let zd = e.transform_dense(&xd).unwrap();
+        let zs = e.transform_sparse(&xs).unwrap();
+        assert!(zd.approx_eq(&zs, 1e-14));
+        assert!(e
+            .transform_sparse(&CsrMatrix::zeros(1, 5))
+            .is_err());
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn serde_roundtrip() {
+        let e = simple();
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Embedding = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+}

@@ -1,0 +1,320 @@
+//! PCA and the two-stage Fisherfaces (PCA + LDA) baseline.
+//!
+//! The paper's §II-A closes with: "Since X̄ has zero mean, the SVD of X̄ is
+//! exactly the same as the PCA of X̄ ... Our analysis here justifies the
+//! rationale behind \[the\] two-stage PCA+LDA approach" — i.e. Belhumeur et
+//! al.'s *Fisherfaces* (reference \[5\]). This module provides both pieces:
+//!
+//! * [`Pca`] — principal component analysis via the same cross-product
+//!   SVD the LDA path uses;
+//! * [`Fisherfaces`] — PCA down to at most `m − c` dimensions (making the
+//!   within-class scatter nonsingular), then LDA in the reduced space,
+//!   composed into a single [`Embedding`]. The SVD analysis in §II-A shows
+//!   this is mathematically the same stabilization the direct SVD-LDA
+//!   performs, which the tests verify.
+
+use crate::labels::ClassIndex;
+use crate::lda::{Lda, LdaConfig};
+use crate::model::Embedding;
+use crate::{Result, SrdaError};
+use srda_linalg::ops::matmul;
+use srda_linalg::stats::centered;
+use srda_linalg::svd::Svd;
+use srda_linalg::Mat;
+
+/// Configuration for [`Pca`].
+#[derive(Debug, Clone)]
+pub struct PcaConfig {
+    /// Number of principal components to keep (capped by the data rank).
+    pub n_components: usize,
+    /// Relative singular-value truncation tolerance.
+    pub rank_tol: f64,
+}
+
+impl Default for PcaConfig {
+    fn default() -> Self {
+        PcaConfig {
+            n_components: 2,
+            rank_tol: 1e-10,
+        }
+    }
+}
+
+/// Principal component analysis (samples as rows).
+#[derive(Debug, Clone, Default)]
+pub struct Pca {
+    config: PcaConfig,
+}
+
+/// A fitted PCA model.
+#[derive(Debug, Clone)]
+pub struct PcaModel {
+    embedding: Embedding,
+    /// Singular values of the centered data for the kept components.
+    singular_values: Vec<f64>,
+}
+
+impl Pca {
+    /// Create an estimator with the given configuration.
+    pub fn new(config: PcaConfig) -> Self {
+        Pca { config }
+    }
+
+    /// Fit on dense data. The resulting embedding maps `x ↦ Vᵀ(x − μ)`
+    /// where `V` holds the top right-singular vectors of the centered data.
+    pub fn fit_dense(&self, x: &Mat) -> Result<PcaModel> {
+        if x.nrows() == 0 {
+            return Err(SrdaError::InvalidLabels {
+                context: "PCA needs at least one sample".into(),
+            });
+        }
+        let (xc, mu) = centered(x);
+        let svd = Svd::cross_product(&xc, self.config.rank_tol)?;
+        let k = self.config.n_components.min(svd.rank());
+        let idx: Vec<usize> = (0..k).collect();
+        let weights = svd.v.select_cols(&idx);
+        let bias: Vec<f64> = srda_linalg::ops::matvec_t(&weights, &mu)?
+            .iter()
+            .map(|v| -v)
+            .collect();
+        Ok(PcaModel {
+            embedding: Embedding::new(weights, bias)?,
+            singular_values: svd.s[..k].to_vec(),
+        })
+    }
+}
+
+impl PcaModel {
+    /// The learned embedding.
+    pub fn embedding(&self) -> &Embedding {
+        &self.embedding
+    }
+
+    /// Singular values (√ of component variances × (m)) of the kept
+    /// components, descending.
+    pub fn singular_values(&self) -> &[f64] {
+        &self.singular_values
+    }
+
+    /// Fraction of total variance captured by each kept component,
+    /// relative to the total variance of the training data.
+    pub fn explained_variance_ratio(&self, total_frobenius_sq: f64) -> Vec<f64> {
+        self.singular_values
+            .iter()
+            .map(|s| s * s / total_frobenius_sq)
+            .collect()
+    }
+}
+
+/// Configuration for [`Fisherfaces`].
+#[derive(Debug, Clone, Default)]
+pub struct FisherfacesConfig {
+    /// LDA settings applied in the PCA-reduced space.
+    pub lda: LdaConfig,
+}
+
+/// The classical two-stage PCA + LDA pipeline (Belhumeur et al. 1997).
+#[derive(Debug, Clone, Default)]
+pub struct Fisherfaces {
+    config: FisherfacesConfig,
+}
+
+impl Fisherfaces {
+    /// Create an estimator with the given configuration.
+    pub fn new(config: FisherfacesConfig) -> Self {
+        Fisherfaces { config }
+    }
+
+    /// Fit: PCA to at most `m − c` components, then LDA on the scores,
+    /// returning the composed affine embedding into `c − 1` dimensions.
+    pub fn fit_dense(&self, x: &Mat, y: &[usize]) -> Result<Embedding> {
+        if x.nrows() != y.len() {
+            return Err(SrdaError::ShapeMismatch {
+                op: "fisherfaces fit_dense",
+                expected: x.nrows(),
+                got: y.len(),
+            });
+        }
+        let index = ClassIndex::new(y)?;
+        let m = x.nrows();
+        let c = index.n_classes();
+        if m <= c {
+            return Err(SrdaError::InvalidLabels {
+                context: format!("fisherfaces needs m > c ({m} ≤ {c})"),
+            });
+        }
+        // stage 1: PCA to m − c dims (the Fisherfaces prescription, which
+        // makes S_w nonsingular in the reduced space)
+        let pca = Pca::new(PcaConfig {
+            n_components: m - c,
+            rank_tol: 1e-10,
+        })
+        .fit_dense(x)?;
+        let scores = pca.embedding().transform_dense(x)?;
+
+        // stage 2: LDA in the reduced space
+        let lda = Lda::new(self.config.lda.clone()).fit_dense(&scores, y)?;
+
+        // compose: z = W_ldaᵀ (W_pcaᵀ(x − μ)) + b_lda
+        //            = (W_pca·W_lda)ᵀ x + (W_ldaᵀ b_pca + b_lda)
+        let weights = matmul(pca.embedding().weights(), lda.weights())?;
+        let mut bias = srda_linalg::ops::matvec_t(lda.weights(), pca.embedding().bias())?;
+        for (b, bl) in bias.iter_mut().zip(lda.bias()) {
+            *b += bl;
+        }
+        Embedding::new(weights, bias)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(m_per: usize, n: usize, sep: f64) -> (Mat, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for k in 0..3usize {
+            for s in 0..m_per {
+                let noise = |d: usize| {
+                    let h = ((k * 61 + s * 23 + d * 7) as f64 * 12.9898).sin() * 43758.5453;
+                    (h - h.floor() - 0.5) * 0.4
+                };
+                rows.push(
+                    (0..n)
+                        .map(|d| if d % 3 == k { sep } else { 0.0 } + noise(d))
+                        .collect::<Vec<_>>(),
+                );
+                y.push(k);
+            }
+        }
+        (Mat::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn pca_embeds_with_zero_mean_scores() {
+        let (x, _) = blobs(8, 6, 3.0);
+        let model = Pca::new(PcaConfig {
+            n_components: 3,
+            rank_tol: 1e-10,
+        })
+        .fit_dense(&x)
+        .unwrap();
+        let z = model.embedding().transform_dense(&x).unwrap();
+        assert_eq!(z.ncols(), 3);
+        for mu in srda_linalg::stats::col_means(&z) {
+            assert!(mu.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn pca_components_ordered_by_variance() {
+        let (x, _) = blobs(10, 5, 4.0);
+        let model = Pca::new(PcaConfig {
+            n_components: 4,
+            rank_tol: 1e-10,
+        })
+        .fit_dense(&x)
+        .unwrap();
+        let z = model.embedding().transform_dense(&x).unwrap();
+        let vars = srda_linalg::stats::col_stds(&z);
+        for w in vars.windows(2) {
+            assert!(w[0] >= w[1] - 1e-10, "variance not descending: {vars:?}");
+        }
+        // singular values match score variances: s² = m·var
+        let m = x.nrows() as f64;
+        for (s, v) in model.singular_values().iter().zip(&vars) {
+            assert!((s * s - m * v * v).abs() < 1e-6 * s * s, "{s} vs {v}");
+        }
+    }
+
+    #[test]
+    fn pca_scores_are_uncorrelated() {
+        let (x, _) = blobs(12, 6, 3.0);
+        let model = Pca::new(PcaConfig {
+            n_components: 3,
+            rank_tol: 1e-10,
+        })
+        .fit_dense(&x)
+        .unwrap();
+        let z = model.embedding().transform_dense(&x).unwrap();
+        let (zc, _) = centered(&z);
+        let cov = srda_linalg::ops::gram(&zc);
+        for i in 0..3 {
+            for j in 0..3 {
+                if i != j {
+                    assert!(
+                        cov[(i, j)].abs() < 1e-8 * cov[(i, i)].max(1.0),
+                        "covariance ({i},{j}) = {}",
+                        cov[(i, j)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pca_reconstruction_improves_with_components() {
+        let (x, _) = blobs(10, 8, 3.0);
+        let err = |k: usize| {
+            let model = Pca::new(PcaConfig {
+                n_components: k,
+                rank_tol: 1e-12,
+            })
+            .fit_dense(&x)
+            .unwrap();
+            let z = model.embedding().transform_dense(&x).unwrap();
+            // reconstruct: x̂ = z·Wᵀ + μ
+            let (xc, _) = centered(&x);
+            let recon = srda_linalg::ops::matmul_transb(&z, model.embedding().weights()).unwrap();
+            recon.sub(&xc).unwrap().frobenius_norm()
+        };
+        assert!(err(1) > err(3));
+        assert!(err(3) > err(6) - 1e-9);
+    }
+
+    #[test]
+    fn fisherfaces_matches_direct_svd_lda_subspace() {
+        // §II-A's claim: the SVD step of direct LDA *is* PCA, so the two
+        // pipelines span the same discriminant subspace
+        let (x, y) = blobs(8, 10, 4.0);
+        let ff = Fisherfaces::default().fit_dense(&x, &y).unwrap();
+        let lda = Lda::default().fit_dense(&x, &y).unwrap();
+        assert_eq!(ff.n_components(), lda.n_components());
+        let cols: Vec<Vec<f64>> = (0..lda.n_components())
+            .map(|j| lda.weights().col(j))
+            .collect();
+        let basis = srda_linalg::gram_schmidt::orthonormalize(&cols, 1e-10);
+        for j in 0..ff.n_components() {
+            let mut a = ff.weights().col(j);
+            srda_linalg::vector::normalize(&mut a);
+            let proj: f64 = basis
+                .iter()
+                .map(|b| srda_linalg::vector::dot(b, &a).powi(2))
+                .sum();
+            assert!(proj > 1.0 - 1e-6, "direction {j}: proj {proj}");
+        }
+    }
+
+    #[test]
+    fn fisherfaces_handles_singular_high_dimensional_case() {
+        // m ≪ n: exactly the case Fisherfaces was invented for
+        let (x, y) = blobs(4, 60, 3.0);
+        let emb = Fisherfaces::default().fit_dense(&x, &y).unwrap();
+        assert!(emb.weights().is_finite());
+        let z = emb.transform_dense(&x).unwrap();
+        let (cent, _) = srda_linalg::stats::class_means(&z, &y, 3).unwrap();
+        let between = srda_linalg::vector::dist2_sq(cent.row(0), cent.row(1)).sqrt();
+        assert!(between > 0.0);
+    }
+
+    #[test]
+    fn fisherfaces_requires_m_greater_than_c() {
+        let (x, y) = blobs(1, 8, 3.0); // m = 3 = c
+        assert!(Fisherfaces::default().fit_dense(&x, &y).is_err());
+    }
+
+    #[test]
+    fn pca_empty_input_rejected() {
+        assert!(Pca::default().fit_dense(&Mat::zeros(0, 4)).is_err());
+    }
+}

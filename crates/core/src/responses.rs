@@ -1,0 +1,175 @@
+//! SRDA response generation — §III.B step 1 of the paper.
+//!
+//! The eigenvectors of the class-affinity matrix `W` (Eqn 6) for its
+//! (repeated) eigenvalue 1 are spanned by the `c` class-indicator vectors
+//! (Eqn 15). Because the eigenvalue is repeated, *any* orthogonal basis of
+//! that span works; the paper picks the basis produced by taking the
+//! all-ones vector first and Gram-Schmidt-orthogonalizing the indicators
+//! against it, then discards the ones vector. The result is `c − 1`
+//! orthonormal responses `ȳ_k` with (Eqn 16):
+//!
+//! * `ȳ_iᵀ ȳ_j = δ_ij` (orthonormal),
+//! * `ȳ_iᵀ 1 = 0` (each response sums to zero),
+//! * each `ȳ_k` is constant within every class (it lives in the indicator
+//!   span) — which is what makes Theorem 1 applicable.
+
+use crate::labels::ClassIndex;
+use srda_linalg::gram_schmidt::{orthogonalize_against, GsOutcome};
+use srda_linalg::Mat;
+
+/// Numerical dependence threshold for the Gram-Schmidt sweep. The inputs
+/// are exact 0/1 indicators, so anything below this is rounding noise.
+const GS_TOL: f64 = 1e-8;
+
+/// Generate the `m × (c − 1)` response matrix `Ȳ` (columns are the `ȳ_k`).
+pub fn generate(index: &ClassIndex) -> Mat {
+    let m = index.n_samples();
+    let c = index.n_classes();
+
+    // ones vector first, normalized — the eigenvector to be discarded
+    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(c);
+    let ones_normalized = vec![1.0 / (m as f64).sqrt(); m];
+    basis.push(ones_normalized);
+
+    // orthogonalize each indicator in turn; exactly one becomes dependent
+    // (the indicators sum to the ones vector)
+    let mut responses: Vec<Vec<f64>> = Vec::with_capacity(c - 1);
+    for k in 0..c {
+        let mut v = index.indicator(k);
+        if orthogonalize_against(&basis, &mut v, GS_TOL) == GsOutcome::Added {
+            basis.push(v.clone());
+            responses.push(v);
+        }
+    }
+    debug_assert_eq!(responses.len(), c - 1, "exactly c-1 responses survive");
+
+    let mut y = Mat::zeros(m, c - 1);
+    for (j, r) in responses.iter().enumerate() {
+        y.set_col(j, r);
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srda_linalg::vector;
+
+    fn index(labels: &[usize]) -> ClassIndex {
+        ClassIndex::new(labels).unwrap()
+    }
+
+    #[test]
+    fn shape_is_m_by_c_minus_1() {
+        let y = generate(&index(&[0, 0, 1, 1, 2, 2, 2]));
+        assert_eq!(y.shape(), (7, 2));
+    }
+
+    #[test]
+    fn columns_are_orthonormal() {
+        let y = generate(&index(&[0, 1, 2, 0, 1, 2, 0, 3, 3]));
+        for i in 0..y.ncols() {
+            for j in 0..y.ncols() {
+                let d = vector::dot(&y.col(i), &y.col(j));
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((d - expect).abs() < 1e-12, "({i},{j}) -> {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn columns_sum_to_zero() {
+        // orthogonality to the ones vector, Eqn 16's second condition
+        let y = generate(&index(&[0, 0, 0, 1, 1, 2]));
+        for j in 0..y.ncols() {
+            assert!(vector::sum(&y.col(j)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn responses_constant_within_class() {
+        // the property Theorem 1 needs: ȳ ∈ span of the indicators
+        let labels = [0, 1, 2, 1, 0, 2, 2, 0];
+        let ci = index(&labels);
+        let y = generate(&ci);
+        for j in 0..y.ncols() {
+            let col = y.col(j);
+            for k in 0..ci.n_classes() {
+                let mem = ci.members(k);
+                let first = col[mem[0]];
+                for &i in mem {
+                    assert!(
+                        (col[i] - first).abs() < 1e-12,
+                        "response {j} not constant on class {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_class_response_is_the_classic_contrast() {
+        // c = 2, balanced: the single response is ±const with sign by class
+        let y = generate(&index(&[0, 0, 1, 1]));
+        assert_eq!(y.shape(), (4, 1));
+        let col = y.col(0);
+        assert!((col[0] - col[1]).abs() < 1e-12);
+        assert!((col[2] - col[3]).abs() < 1e-12);
+        assert!((col[0] + col[2]).abs() < 1e-12); // balanced → symmetric
+        assert!((vector::norm2(&col) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unbalanced_classes_still_orthonormal() {
+        let y = generate(&index(&[0, 0, 0, 0, 0, 0, 0, 1, 2, 2]));
+        assert_eq!(y.shape(), (10, 2));
+        for i in 0..2 {
+            for j in 0..2 {
+                let d = vector::dot(&y.col(i), &y.col(j));
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((d - expect).abs() < 1e-12);
+            }
+        }
+        for j in 0..2 {
+            assert!(vector::sum(&y.col(j)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn responses_are_eigenvectors_of_w() {
+        // Verify the spectral claim directly: W ȳ = ȳ where W is the
+        // block-diagonal matrix with blocks (1/m_k)·1·1ᵀ (Eqn 6).
+        let labels = [0, 0, 1, 1, 1, 2];
+        let ci = index(&labels);
+        let m = labels.len();
+        let mut w = Mat::zeros(m, m);
+        for k in 0..ci.n_classes() {
+            let mem = ci.members(k);
+            let inv = 1.0 / mem.len() as f64;
+            for &i in mem {
+                for &j in mem {
+                    w[(i, j)] = inv;
+                }
+            }
+        }
+        let y = generate(&ci);
+        for j in 0..y.ncols() {
+            let col = y.col(j);
+            let wy = srda_linalg::ops::matvec(&w, &col).unwrap();
+            for i in 0..m {
+                assert!(
+                    (wy[i] - col[i]).abs() < 1e-12,
+                    "W·ȳ ≠ ȳ at ({i}, response {j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let ci = index(&[0, 1, 0, 2, 2, 1]);
+        let y1 = generate(&ci);
+        let y2 = generate(&ci);
+        assert!(y1.approx_eq(&y2, 0.0));
+    }
+}

@@ -1,0 +1,867 @@
+//! Spectral Regression Discriminant Analysis — the paper's §III.
+//!
+//! Training is the paper's two-step reduction:
+//!
+//! 1. **Responses** ([`crate::responses`]): the `c − 1` closed-form
+//!    eigenvectors `ȳ_k` of the class-affinity matrix `W` (Theorem 1 says
+//!    any `a` with `X̄ᵀa = ȳ` is an LDA projective direction).
+//! 2. **Regularized least squares** (Eqn 19): for each response, solve
+//!    `ã_k = argmin Σᵢ (ãᵀx̃ᵢ − ȳ_k,i)² + α‖ã‖²` where `x̃ = [x; 1]` is the
+//!    bias-augmented sample, so the data is never explicitly centered
+//!    (§III.B's trick — essential for sparse input).
+//!
+//! The solver is pluggable ([`SrdaSolver`]):
+//!
+//! * [`SrdaSolver::NormalEquations`] — one Cholesky of the smaller of
+//!   `X̃ᵀX̃ + αI` (Eqn 20) or `X̃X̃ᵀ + αI` (Eqn 21), reused for all `c − 1`
+//!   right-hand sides. Always faster than LDA (paper Table I, max ×9).
+//! * [`SrdaSolver::Lsqr`] — matrix-free damped LSQR; `O(k·c·ms)` time and
+//!   `O(ms)` memory on sparse data. This is the *linear time* of the title.
+
+use crate::labels::ClassIndex;
+use crate::model::Embedding;
+use crate::responses;
+use crate::{Result, SrdaError};
+use srda_linalg::Mat;
+use srda_solvers::lsqr::{lsqr, LsqrConfig};
+use srda_solvers::ridge::RidgeSolver;
+use srda_solvers::{AugmentedOp, LinearOperator};
+use srda_sparse::CsrMatrix;
+
+/// How SRDA's `c − 1` ridge problems are solved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SrdaSolver {
+    /// Direct solve via one Cholesky factorization of the smaller normal
+    /// equation form (primal Eqn 20 when `n ≤ m`, dual Eqn 21 when
+    /// `n > m`). On sparse input the dual Gram matrix is built directly
+    /// from the sparse rows (never densifying the data).
+    NormalEquations,
+    /// Iterative LSQR with damping `√α`. The paper's configuration for
+    /// 20Newsgroups is `max_iter = 15`; they report "20 iterations are
+    /// enough" in general. `tol = 0` runs exactly `max_iter` iterations.
+    Lsqr {
+        /// Iteration cap per response.
+        max_iter: usize,
+        /// Relative residual stopping tolerance (0 disables).
+        tol: f64,
+    },
+}
+
+/// Configuration for [`Srda`].
+#[derive(Debug, Clone)]
+pub struct SrdaConfig {
+    /// Ridge parameter `α > 0` controlling shrinkage (paper §IV uses 1).
+    pub alpha: f64,
+    /// Ridge-solve engine.
+    pub solver: SrdaSolver,
+    /// Optional cap (bytes) on any dense scratch this fit may allocate.
+    /// Exceeding it returns [`SrdaError::MemoryBudgetExceeded`] instead of
+    /// allocating — the guard that reproduces the paper's out-of-memory
+    /// dashes in Tables IX/X.
+    pub memory_budget_bytes: Option<usize>,
+    /// Solve the `c − 1` LSQR response problems on separate threads. The
+    /// problems are independent, so this is a pure wall-clock win on
+    /// multi-core machines; it is **off by default** because the paper's
+    /// timing comparisons (and ours in `repro_*`) are single-threaded.
+    /// Only affects the [`SrdaSolver::Lsqr`] paths.
+    pub parallel_responses: bool,
+}
+
+impl Default for SrdaConfig {
+    fn default() -> Self {
+        SrdaConfig {
+            alpha: 1.0,
+            solver: SrdaSolver::NormalEquations,
+            memory_budget_bytes: None,
+            parallel_responses: false,
+        }
+    }
+}
+
+impl SrdaConfig {
+    /// The paper's sparse-data configuration: LSQR with a fixed iteration
+    /// count (15 for their 20Newsgroups runs) and `α = 1`.
+    pub fn lsqr_default() -> Self {
+        SrdaConfig {
+            alpha: 1.0,
+            solver: SrdaSolver::Lsqr {
+                max_iter: 15,
+                tol: 0.0,
+            },
+            memory_budget_bytes: None,
+            parallel_responses: false,
+        }
+    }
+}
+
+/// The SRDA estimator. Construct with a config, then call
+/// [`Srda::fit_dense`] or [`Srda::fit_sparse`].
+#[derive(Debug, Clone)]
+pub struct Srda {
+    config: SrdaConfig,
+}
+
+/// A fitted SRDA model.
+#[derive(Debug, Clone)]
+pub struct SrdaModel {
+    embedding: Embedding,
+    n_classes: usize,
+    alpha: f64,
+    /// Total LSQR iterations across responses (0 for direct solves).
+    lsqr_iterations: usize,
+}
+
+impl Srda {
+    /// Create an estimator with the given configuration.
+    pub fn new(config: SrdaConfig) -> Self {
+        Srda { config }
+    }
+
+    /// Convenience: default configuration (`α = 1`, normal equations).
+    pub fn default_dense() -> Self {
+        Srda::new(SrdaConfig::default())
+    }
+
+    /// The configuration this estimator was built with.
+    pub fn config(&self) -> &SrdaConfig {
+        &self.config
+    }
+
+    /// Fit on dense data (`x`: samples as rows) with labels `y`.
+    pub fn fit_dense(&self, x: &Mat, y: &[usize]) -> Result<SrdaModel> {
+        if x.nrows() != y.len() {
+            return Err(SrdaError::ShapeMismatch {
+                op: "fit_dense",
+                expected: x.nrows(),
+                got: y.len(),
+            });
+        }
+        let index = ClassIndex::new(y)?;
+        let ybar = responses::generate(&index);
+        let n = x.ncols();
+
+        match self.config.solver {
+            SrdaSolver::NormalEquations => {
+                // materialize the augmented matrix once; budget-checked
+                let need = x.nrows() * (n + 1) * 8;
+                self.check_budget(need, "augmented data matrix")?;
+                let x_aug = x.append_constant_col(1.0);
+                let solver = RidgeSolver::auto(&x_aug, self.config.alpha)?;
+                let w_aug = solver.solve(&x_aug, &ybar)?;
+                Ok(self.finish(w_aug, n, index.n_classes(), 0))
+            }
+            SrdaSolver::Lsqr { max_iter, tol } => {
+                let op = AugmentedOp::new(x);
+                let (w_aug, iters) = solve_lsqr_responses(
+                    &op,
+                    &ybar,
+                    self.config.alpha,
+                    max_iter,
+                    tol,
+                    self.config.parallel_responses,
+                );
+                Ok(self.finish(w_aug, n, index.n_classes(), iters))
+            }
+        }
+    }
+
+    /// Fit on sparse data without ever densifying it.
+    pub fn fit_sparse(&self, x: &CsrMatrix, y: &[usize]) -> Result<SrdaModel> {
+        if x.nrows() != y.len() {
+            return Err(SrdaError::ShapeMismatch {
+                op: "fit_sparse",
+                expected: x.nrows(),
+                got: y.len(),
+            });
+        }
+        let index = ClassIndex::new(y)?;
+        let ybar = responses::generate(&index);
+        let n = x.ncols();
+
+        match self.config.solver {
+            SrdaSolver::NormalEquations => {
+                // Dual normal equations: K = X̃X̃ᵀ + αI is m × m and is
+                // built from sparse row intersections — X̃ = [X | 1] adds
+                // +1 to every Gram entry.
+                let m = x.nrows();
+                let budget = self.config.memory_budget_bytes.unwrap_or(usize::MAX);
+                let mut k = x.gram_t_dense_bounded(budget).ok_or(
+                    SrdaError::MemoryBudgetExceeded {
+                        needed_bytes: m * m * 8,
+                        budget_bytes: budget,
+                        context: "sparse dual Gram matrix",
+                    },
+                )?;
+                for i in 0..m {
+                    for j in 0..m {
+                        k[(i, j)] += 1.0; // the bias column's contribution
+                    }
+                }
+                k.add_to_diag(self.config.alpha);
+                let chol = srda_linalg::Cholesky::factor(&k)?;
+                let u = chol.solve_mat(&ybar)?;
+                // w̃ = X̃ᵀ u : feature part via sparse transpose-multiply,
+                // bias part via column sums of u
+                let c1 = ybar.ncols();
+                let mut w_aug = Mat::zeros(n + 1, c1);
+                for j in 0..c1 {
+                    let uj = u.col(j);
+                    let wj = x.matvec_t(&uj)?;
+                    for (i, &v) in wj.iter().enumerate() {
+                        w_aug[(i, j)] = v;
+                    }
+                    w_aug[(n, j)] = uj.iter().sum();
+                }
+                Ok(self.finish(w_aug, n, index.n_classes(), 0))
+            }
+            SrdaSolver::Lsqr { max_iter, tol } => {
+                let op = AugmentedOp::new(x);
+                let (w_aug, iters) = solve_lsqr_responses(
+                    &op,
+                    &ybar,
+                    self.config.alpha,
+                    max_iter,
+                    tol,
+                    self.config.parallel_responses,
+                );
+                Ok(self.finish(w_aug, n, index.n_classes(), iters))
+            }
+        }
+    }
+
+    /// Fit through any [`LinearOperator`] — including
+    /// [`srda_sparse::DiskCsr`], which realizes the paper's closing claim
+    /// that SRDA still applies "with some reasonable disk I/O" when the
+    /// data does not fit in memory: LSQR touches the operator only through
+    /// `X·u` / `Xᵀ·v`, each one sequential scan of the on-disk non-zeros.
+    ///
+    /// Only the LSQR solver works matrix-free, so this returns an error
+    /// for [`SrdaSolver::NormalEquations`]. The operator is wrapped with
+    /// the §III.B bias column automatically (pass the *raw* data operator).
+    pub fn fit_operator<A: LinearOperator + ?Sized + Sync>(
+        &self,
+        x: &A,
+        y: &[usize],
+    ) -> Result<SrdaModel> {
+        if x.nrows() != y.len() {
+            return Err(SrdaError::ShapeMismatch {
+                op: "fit_operator",
+                expected: x.nrows(),
+                got: y.len(),
+            });
+        }
+        let SrdaSolver::Lsqr { max_iter, tol } = self.config.solver else {
+            return Err(SrdaError::InvalidLabels {
+                context: "fit_operator requires the LSQR solver (matrix-free)".into(),
+            });
+        };
+        let index = ClassIndex::new(y)?;
+        let ybar = responses::generate(&index);
+        let n = x.ncols();
+        let op = AugmentedOp::new(x);
+        let (w_aug, iters) = solve_lsqr_responses(
+            &op,
+            &ybar,
+            self.config.alpha,
+            max_iter,
+            tol,
+            self.config.parallel_responses,
+        );
+        Ok(self.finish(w_aug, n, index.n_classes(), iters))
+    }
+
+    /// Incrementally refit on an **updated** sparse dataset (e.g. the old
+    /// corpus plus freshly labeled documents), warm-starting each response
+    /// solve from `previous`'s weights.
+    ///
+    /// LSQR converges geometrically from its start point, so when the data
+    /// change is small the correction is tiny and far fewer iterations are
+    /// needed than a cold [`Srda::fit_sparse`] — the spectral-regression
+    /// answer to IDR/QR's incremental-update selling point. The class
+    /// count and feature count must match `previous`; `tol` should be
+    /// non-zero so the solver can stop early (that is the whole point).
+    pub fn fit_sparse_incremental(
+        &self,
+        x: &CsrMatrix,
+        y: &[usize],
+        previous: &SrdaModel,
+        max_iter: usize,
+        tol: f64,
+    ) -> Result<SrdaModel> {
+        if x.nrows() != y.len() {
+            return Err(SrdaError::ShapeMismatch {
+                op: "fit_sparse_incremental",
+                expected: x.nrows(),
+                got: y.len(),
+            });
+        }
+        if previous.embedding().n_features() != x.ncols() {
+            return Err(SrdaError::ShapeMismatch {
+                op: "fit_sparse_incremental (features)",
+                expected: previous.embedding().n_features(),
+                got: x.ncols(),
+            });
+        }
+        let index = ClassIndex::new(y)?;
+        if index.n_classes() != previous.n_classes() {
+            return Err(SrdaError::InvalidLabels {
+                context: format!(
+                    "class count changed: {} -> {}",
+                    previous.n_classes(),
+                    index.n_classes()
+                ),
+            });
+        }
+        let ybar = responses::generate(&index);
+        let n = x.ncols();
+        let op = AugmentedOp::new(x);
+        let cfg = srda_solvers::lsqr::LsqrConfig {
+            damp: self.config.alpha.sqrt(),
+            max_iter,
+            tol,
+        };
+        let prev_w = previous.embedding().weights();
+        let prev_b = previous.embedding().bias();
+        let mut w_aug = Mat::zeros(n + 1, ybar.ncols());
+        let mut total_iters = 0;
+        let mut x0 = vec![0.0; n + 1];
+        for j in 0..ybar.ncols() {
+            for i in 0..n {
+                x0[i] = prev_w[(i, j)];
+            }
+            x0[n] = prev_b[j];
+            let r = srda_solvers::lsqr::lsqr_warm(&op, &ybar.col(j), &x0, &cfg);
+            total_iters += r.iterations;
+            w_aug.set_col(j, &r.x);
+        }
+        Ok(self.finish(w_aug, n, index.n_classes(), total_iters))
+    }
+
+    fn check_budget(&self, needed: usize, context: &'static str) -> Result<()> {
+        if let Some(budget) = self.config.memory_budget_bytes {
+            if needed > budget {
+                return Err(SrdaError::MemoryBudgetExceeded {
+                    needed_bytes: needed,
+                    budget_bytes: budget,
+                    context,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&self, w_aug: Mat, n: usize, n_classes: usize, lsqr_iterations: usize) -> SrdaModel {
+        // split [W; bᵀ] into the weight matrix and the intercept row
+        let weights = w_aug.block(0, n, 0, w_aug.ncols());
+        let bias = w_aug.row(n).to_vec();
+        SrdaModel {
+            embedding: Embedding::new(weights, bias).expect("split shapes always consistent"),
+            n_classes,
+            alpha: self.config.alpha,
+            lsqr_iterations,
+        }
+    }
+}
+
+/// Solve the `c − 1` damped least-squares problems with LSQR — one
+/// response at a time, or one thread per response when `parallel` is set
+/// (they are fully independent) — returning the stacked `(n+1) × (c−1)`
+/// solution and the total iteration count.
+fn solve_lsqr_responses<A: LinearOperator + ?Sized + Sync>(
+    op: &A,
+    ybar: &Mat,
+    alpha: f64,
+    max_iter: usize,
+    tol: f64,
+    parallel: bool,
+) -> (Mat, usize) {
+    let cfg = LsqrConfig {
+        damp: alpha.sqrt(),
+        max_iter,
+        tol,
+    };
+    let k = ybar.ncols();
+    let results: Vec<srda_solvers::lsqr::LsqrResult> = if parallel && k > 1 {
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..k)
+                .map(|j| {
+                    let cfg = &cfg;
+                    let col = ybar.col(j);
+                    s.spawn(move |_| lsqr(op, &col, cfg))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("lsqr thread")).collect()
+        })
+        .expect("response thread scope")
+    } else {
+        (0..k).map(|j| lsqr(op, &ybar.col(j), &cfg)).collect()
+    };
+    let mut w = Mat::zeros(op.ncols(), k);
+    let mut total_iters = 0;
+    for (j, result) in results.iter().enumerate() {
+        total_iters += result.iterations;
+        w.set_col(j, &result.x);
+    }
+    (w, total_iters)
+}
+
+impl SrdaModel {
+    /// The learned embedding (`n_features → c − 1` dimensions).
+    pub fn embedding(&self) -> &Embedding {
+        &self.embedding
+    }
+
+    /// Number of classes seen at fit time.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Ridge parameter used at fit time.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Total LSQR iterations spent (0 when the direct solver was used).
+    pub fn lsqr_iterations(&self) -> usize {
+        self.lsqr_iterations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated Gaussian-ish blobs in 3-D.
+    fn blobs() -> (Mat, Vec<usize>) {
+        let x = Mat::from_rows(&[
+            vec![0.0, 0.1, -0.1],
+            vec![0.1, -0.1, 0.0],
+            vec![-0.1, 0.0, 0.1],
+            vec![0.05, 0.05, 0.0],
+            vec![4.0, 4.1, 3.9],
+            vec![4.1, 3.9, 4.0],
+            vec![3.9, 4.0, 4.1],
+            vec![4.0, 4.0, 4.0],
+        ])
+        .unwrap();
+        let y = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        (x, y)
+    }
+
+    /// Three classes, 4-D, enough samples to be over-determined.
+    fn three_blobs() -> (Mat, Vec<usize>) {
+        let centers = [
+            [0.0, 0.0, 0.0, 0.0],
+            [5.0, 0.0, 5.0, 0.0],
+            [0.0, 5.0, 0.0, 5.0],
+        ];
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for (k, c) in centers.iter().enumerate() {
+            for s in 0..6 {
+                let noise = |d: usize| {
+                    let x = ((k * 31 + s * 7 + d * 13) as f64 * 12.9898).sin() * 43758.5453;
+                    (x - x.floor() - 0.5) * 0.3
+                };
+                rows.push((0..4).map(|d| c[d] + noise(d)).collect::<Vec<_>>());
+                y.push(k);
+            }
+        }
+        (Mat::from_rows(&rows).unwrap(), y)
+    }
+
+    fn class_compactness(z: &Mat, y: &[usize]) -> (f64, f64) {
+        // (avg within-class dist, avg between-class centroid dist)
+        let ci = ClassIndex::new(y).unwrap();
+        let (centroids, _) = srda_linalg::stats::class_means(z, y, ci.n_classes()).unwrap();
+        let mut within = 0.0;
+        for (i, &k) in y.iter().enumerate() {
+            within += srda_linalg::vector::dist2_sq(z.row(i), centroids.row(k)).sqrt();
+        }
+        within /= y.len() as f64;
+        let mut between = 0.0;
+        let mut pairs = 0;
+        for a in 0..ci.n_classes() {
+            for b in (a + 1)..ci.n_classes() {
+                between +=
+                    srda_linalg::vector::dist2_sq(centroids.row(a), centroids.row(b)).sqrt();
+                pairs += 1;
+            }
+        }
+        (within, between / pairs as f64)
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let (x, y) = blobs();
+        let model = Srda::new(SrdaConfig::default()).fit_dense(&x, &y).unwrap();
+        assert_eq!(model.embedding().n_components(), 1);
+        let z = model.embedding().transform_dense(&x).unwrap();
+        let (within, between) = class_compactness(&z, &y);
+        assert!(between > 10.0 * within, "within {within}, between {between}");
+    }
+
+    #[test]
+    fn three_classes_give_two_components() {
+        let (x, y) = three_blobs();
+        let model = Srda::new(SrdaConfig::default()).fit_dense(&x, &y).unwrap();
+        assert_eq!(model.embedding().n_components(), 2);
+        assert_eq!(model.n_classes(), 3);
+        let z = model.embedding().transform_dense(&x).unwrap();
+        let (within, between) = class_compactness(&z, &y);
+        assert!(between > 5.0 * within);
+    }
+
+    #[test]
+    fn lsqr_matches_normal_equations() {
+        let (x, y) = three_blobs();
+        let ne = Srda::new(SrdaConfig::default()).fit_dense(&x, &y).unwrap();
+        let it = Srda::new(SrdaConfig {
+            solver: SrdaSolver::Lsqr {
+                max_iter: 300,
+                tol: 0.0,
+            },
+            ..SrdaConfig::default()
+        })
+        .fit_dense(&x, &y)
+        .unwrap();
+        assert!(it.lsqr_iterations() > 0);
+        let w1 = ne.embedding().weights();
+        let w2 = it.embedding().weights();
+        assert!(
+            w1.approx_eq(w2, 1e-6 * w1.max_abs().max(1.0)),
+            "max diff {}",
+            w1.sub(w2).unwrap().max_abs()
+        );
+        for (b1, b2) in ne.embedding().bias().iter().zip(it.embedding().bias()) {
+            assert!((b1 - b2).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sparse_path_matches_dense_path() {
+        let (x, y) = three_blobs();
+        let xs = CsrMatrix::from_dense(&x, 0.0);
+        for solver in [
+            SrdaSolver::NormalEquations,
+            SrdaSolver::Lsqr {
+                max_iter: 300,
+                tol: 0.0,
+            },
+        ] {
+            let cfg = SrdaConfig {
+                solver,
+                ..SrdaConfig::default()
+            };
+            let md = Srda::new(cfg.clone()).fit_dense(&x, &y).unwrap();
+            let ms = Srda::new(cfg).fit_sparse(&xs, &y).unwrap();
+            let wd = md.embedding().weights();
+            let ws = ms.embedding().weights();
+            assert!(
+                wd.approx_eq(ws, 1e-6 * wd.max_abs().max(1.0)),
+                "{solver:?}: max diff {}",
+                wd.sub(ws).unwrap().max_abs()
+            );
+        }
+    }
+
+    #[test]
+    fn high_dimensional_small_sample() {
+        // n ≫ m: the singular regime that breaks plain LDA; SRDA must be
+        // fine (dual normal equations / ridge make it well-posed)
+        let m = 10;
+        let n = 200;
+        let x = Mat::from_fn(m, n, |i, j| {
+            let base = if i < 5 { 0.0 } else { 3.0 };
+            let h = ((i * 131 + j * 37) as f64 * 12.9898).sin() * 43758.5453;
+            base + (h - h.floor() - 0.5)
+        });
+        let y: Vec<usize> = (0..m).map(|i| usize::from(i >= 5)).collect();
+        let model = Srda::new(SrdaConfig::default()).fit_dense(&x, &y).unwrap();
+        let z = model.embedding().transform_dense(&x).unwrap();
+        let (within, between) = class_compactness(&z, &y);
+        assert!(between > 3.0 * within, "within {within} between {between}");
+    }
+
+    #[test]
+    fn alpha_zero_limit_interpolates_training_responses() {
+        // Corollary 3: with linearly independent samples and α → 0 the
+        // embedding collapses each training class to a single point.
+        let (x, y) = three_blobs(); // 18 samples in 4-D: NOT independent
+        // make them independent by embedding into high dimension
+        let hi = x.hcat(&Mat::from_fn(18, 30, |i, j| {
+            let h = ((i * 17 + j * 29) as f64 * 78.233).sin() * 43758.5453;
+            (h - h.floor() - 0.5) * 2.0
+        }))
+        .unwrap();
+        let model = Srda::new(SrdaConfig {
+            alpha: 1e-10,
+            ..SrdaConfig::default()
+        })
+        .fit_dense(&hi, &y)
+        .unwrap();
+        let z = model.embedding().transform_dense(&hi).unwrap();
+        let (within, between) = class_compactness(&z, &y);
+        assert!(
+            within < 1e-6 * between,
+            "classes did not collapse: within {within}, between {between}"
+        );
+    }
+
+    #[test]
+    fn label_length_mismatch_rejected() {
+        let (x, _) = blobs();
+        let err = Srda::default_dense().fit_dense(&x, &[0, 1]);
+        assert!(matches!(err, Err(SrdaError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn single_class_rejected() {
+        let (x, _) = blobs();
+        assert!(Srda::default_dense().fit_dense(&x, &[0; 8]).is_err());
+    }
+
+    #[test]
+    fn memory_budget_enforced_dense() {
+        let (x, y) = blobs();
+        let cfg = SrdaConfig {
+            memory_budget_bytes: Some(16),
+            ..SrdaConfig::default()
+        };
+        let err = Srda::new(cfg).fit_dense(&x, &y);
+        assert!(matches!(err, Err(SrdaError::MemoryBudgetExceeded { .. })));
+    }
+
+    #[test]
+    fn memory_budget_enforced_sparse_dual() {
+        let (x, y) = blobs();
+        let xs = CsrMatrix::from_dense(&x, 0.0);
+        let cfg = SrdaConfig {
+            memory_budget_bytes: Some(16),
+            ..SrdaConfig::default()
+        };
+        assert!(matches!(
+            Srda::new(cfg).fit_sparse(&xs, &y),
+            Err(SrdaError::MemoryBudgetExceeded { .. })
+        ));
+        // LSQR path needs no dense scratch, so the same budget is fine
+        let cfg2 = SrdaConfig {
+            memory_budget_bytes: Some(16),
+            ..SrdaConfig::lsqr_default()
+        };
+        assert!(Srda::new(cfg2).fit_sparse(&xs, &y).is_ok());
+    }
+
+    #[test]
+    fn transform_unseen_data() {
+        let (x, y) = blobs();
+        let model = Srda::default_dense().fit_dense(&x, &y).unwrap();
+        // points near each blob center map near the respective embeddings
+        let test =
+            Mat::from_rows(&[vec![0.02, 0.0, 0.02], vec![4.05, 4.0, 3.95]]).unwrap();
+        let zt = model.embedding().transform_dense(&test).unwrap();
+        let z = model.embedding().transform_dense(&x).unwrap();
+        let d0 = (zt[(0, 0)] - z[(0, 0)]).abs();
+        let d1 = (zt[(0, 0)] - z[(4, 0)]).abs();
+        assert!(d0 < d1);
+    }
+
+    #[test]
+    fn larger_alpha_shrinks_weights() {
+        let (x, y) = three_blobs();
+        let norm = |alpha: f64| {
+            let m = Srda::new(SrdaConfig {
+                alpha,
+                ..SrdaConfig::default()
+            })
+            .fit_dense(&x, &y)
+            .unwrap();
+            m.embedding().weights().frobenius_norm()
+        };
+        assert!(norm(0.01) > norm(1.0));
+        assert!(norm(1.0) > norm(100.0));
+    }
+
+    #[test]
+    fn incremental_refit_matches_cold_fit() {
+        let (x, y) = three_blobs();
+        let xs = CsrMatrix::from_dense(&x, 0.0);
+        // initial model on 4 of the 6 samples per class
+        let head: Vec<usize> = (0..y.len()).filter(|i| i % 6 < 4).collect();
+        let yh: Vec<usize> = head.iter().map(|&i| y[i]).collect();
+        let prev = Srda::new(SrdaConfig::lsqr_default())
+            .fit_sparse(&xs.select_rows(&head), &yh)
+            .unwrap();
+        // refit on everything, warm-started
+        let srda = Srda::new(SrdaConfig::default());
+        let warm = srda
+            .fit_sparse_incremental(&xs, &y, &prev, 500, 1e-10)
+            .unwrap();
+        let cold = Srda::new(SrdaConfig {
+            solver: SrdaSolver::Lsqr {
+                max_iter: 500,
+                tol: 1e-10,
+            },
+            ..SrdaConfig::default()
+        })
+        .fit_sparse(&xs, &y)
+        .unwrap();
+        let w1 = warm.embedding().weights();
+        let w2 = cold.embedding().weights();
+        assert!(
+            w1.approx_eq(w2, 1e-5 * w2.max_abs().max(1.0)),
+            "max diff {}",
+            w1.sub(w2).unwrap().max_abs()
+        );
+    }
+
+    #[test]
+    fn incremental_refit_saves_iterations_on_small_updates() {
+        let (x, y) = three_blobs();
+        let xs = CsrMatrix::from_dense(&x, 0.0);
+        // model on all but the last sample per class
+        let head: Vec<usize> = (0..y.len()).filter(|i| i % 6 != 5).collect();
+        let yh: Vec<usize> = head.iter().map(|&i| y[i]).collect();
+        let prev = Srda::new(SrdaConfig {
+            solver: SrdaSolver::Lsqr {
+                max_iter: 400,
+                tol: 1e-10,
+            },
+            ..SrdaConfig::default()
+        })
+        .fit_sparse(&xs.select_rows(&head), &yh)
+        .unwrap();
+        let srda = Srda::new(SrdaConfig::default());
+        let warm = srda
+            .fit_sparse_incremental(&xs, &y, &prev, 400, 1e-8)
+            .unwrap();
+        let cold = Srda::new(SrdaConfig {
+            solver: SrdaSolver::Lsqr {
+                max_iter: 400,
+                tol: 1e-8,
+            },
+            ..SrdaConfig::default()
+        })
+        .fit_sparse(&xs, &y)
+        .unwrap();
+        assert!(
+            warm.lsqr_iterations() <= cold.lsqr_iterations(),
+            "warm {} vs cold {}",
+            warm.lsqr_iterations(),
+            cold.lsqr_iterations()
+        );
+    }
+
+    #[test]
+    fn incremental_refit_validates_compatibility() {
+        let (x, y) = three_blobs();
+        let xs = CsrMatrix::from_dense(&x, 0.0);
+        let prev = Srda::new(SrdaConfig::lsqr_default())
+            .fit_sparse(&xs, &y)
+            .unwrap();
+        let srda = Srda::new(SrdaConfig::default());
+        // wrong feature count
+        let bad = CsrMatrix::zeros(6, 2);
+        assert!(srda
+            .fit_sparse_incremental(&bad, &[0, 0, 1, 1, 2, 2], &prev, 10, 0.0)
+            .is_err());
+        // changed class count
+        let y2: Vec<usize> = y.iter().map(|&k| k.min(1)).collect();
+        assert!(srda
+            .fit_sparse_incremental(&xs, &y2, &prev, 10, 0.0)
+            .is_err());
+    }
+
+    #[test]
+    fn fit_operator_matches_fit_sparse() {
+        let (x, y) = three_blobs();
+        let xs = CsrMatrix::from_dense(&x, 0.0);
+        let cfg = SrdaConfig {
+            solver: SrdaSolver::Lsqr {
+                max_iter: 80,
+                tol: 0.0,
+            },
+            ..SrdaConfig::default()
+        };
+        let direct = Srda::new(cfg.clone()).fit_sparse(&xs, &y).unwrap();
+        let via_op = Srda::new(cfg).fit_operator(&xs, &y).unwrap();
+        assert!(direct
+            .embedding()
+            .weights()
+            .approx_eq(via_op.embedding().weights(), 0.0));
+    }
+
+    #[test]
+    fn fit_operator_rejects_direct_solver() {
+        let (x, y) = three_blobs();
+        let xs = CsrMatrix::from_dense(&x, 0.0);
+        assert!(Srda::new(SrdaConfig::default())
+            .fit_operator(&xs, &y)
+            .is_err());
+    }
+
+    #[test]
+    fn out_of_core_fit_through_disk_operator() {
+        // the paper's "reasonable disk I/O" claim, end to end
+        let (x, y) = three_blobs();
+        let xs = CsrMatrix::from_dense(&x, 0.0);
+        let dir = std::env::temp_dir().join("srda_out_of_core_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("train.srdacsr");
+        srda_sparse::disk::write_csr(&path, &xs).unwrap();
+        let disk = srda_sparse::DiskCsr::open(&path).unwrap();
+
+        let cfg = SrdaConfig {
+            solver: SrdaSolver::Lsqr {
+                max_iter: 80,
+                tol: 0.0,
+            },
+            ..SrdaConfig::default()
+        };
+        let from_disk = Srda::new(cfg.clone()).fit_operator(&disk, &y).unwrap();
+        let in_memory = Srda::new(cfg).fit_sparse(&xs, &y).unwrap();
+        assert!(from_disk
+            .embedding()
+            .weights()
+            .approx_eq(in_memory.embedding().weights(), 1e-12));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parallel_responses_match_sequential() {
+        let (x, y) = three_blobs();
+        let seq = Srda::new(SrdaConfig {
+            solver: SrdaSolver::Lsqr {
+                max_iter: 50,
+                tol: 0.0,
+            },
+            parallel_responses: false,
+            ..SrdaConfig::default()
+        })
+        .fit_dense(&x, &y)
+        .unwrap();
+        let par = Srda::new(SrdaConfig {
+            solver: SrdaSolver::Lsqr {
+                max_iter: 50,
+                tol: 0.0,
+            },
+            parallel_responses: true,
+            ..SrdaConfig::default()
+        })
+        .fit_dense(&x, &y)
+        .unwrap();
+        // bitwise identical: same algorithm, same inputs, different threads
+        assert!(seq
+            .embedding()
+            .weights()
+            .approx_eq(par.embedding().weights(), 0.0));
+        assert_eq!(seq.lsqr_iterations(), par.lsqr_iterations());
+    }
+
+    #[test]
+    fn paper_config_constructors() {
+        let c = SrdaConfig::lsqr_default();
+        assert_eq!(c.alpha, 1.0);
+        assert!(matches!(c.solver, SrdaSolver::Lsqr { max_iter: 15, .. }));
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests of the paper's invariants on randomized inputs.
+
+use proptest::prelude::*;
+use srda::{ClassIndex, Srda, SrdaConfig, SrdaSolver};
+use srda_linalg::{vector, Mat};
+
+/// Strategy: a random labeled dataset with every class non-empty.
+fn dataset_strategy() -> impl Strategy<Value = (Mat, Vec<usize>)> {
+    (2usize..5, 6usize..14, 2usize..8).prop_flat_map(|(c, m_extra, n)| {
+        let m = c + m_extra; // at least one sample per class guaranteed below
+        let data = proptest::collection::vec(-4.0f64..4.0, m * n);
+        let labels = proptest::collection::vec(0..c, m);
+        (data, labels, Just((m, n, c))).prop_map(|(d, mut l, (m, n, c))| {
+            // force every class to appear
+            for k in 0..c {
+                l[k] = k;
+            }
+            (Mat::from_vec(m, n, d).unwrap(), l)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn responses_always_orthonormal_and_centered((_, y) in dataset_strategy()) {
+        let index = ClassIndex::new(&y).unwrap();
+        let r = srda::responses::generate(&index);
+        prop_assert_eq!(r.ncols(), index.n_classes() - 1);
+        for i in 0..r.ncols() {
+            // unit norm, zero mean
+            prop_assert!((vector::norm2(&r.col(i)) - 1.0).abs() < 1e-10);
+            prop_assert!(vector::sum(&r.col(i)).abs() < 1e-10);
+            for j in (i + 1)..r.ncols() {
+                prop_assert!(vector::dot(&r.col(i), &r.col(j)).abs() < 1e-10);
+            }
+        }
+        // constant within class
+        for j in 0..r.ncols() {
+            let col = r.col(j);
+            for k in 0..index.n_classes() {
+                let mem = index.members(k);
+                for &i in mem {
+                    prop_assert!((col[i] - col[mem[0]]).abs() < 1e-10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn srda_is_invariant_to_sample_order((x, y) in dataset_strategy()) {
+        let model1 = Srda::new(SrdaConfig::default()).fit_dense(&x, &y).unwrap();
+        // reverse the samples
+        let idx: Vec<usize> = (0..x.nrows()).rev().collect();
+        let xr = x.select_rows(&idx);
+        let yr: Vec<usize> = idx.iter().map(|&i| y[i]).collect();
+        let model2 = Srda::new(SrdaConfig::default()).fit_dense(&xr, &yr).unwrap();
+        // responses may flip sign/order under permutation, but the spanned
+        // discriminant subspace is permutation-invariant: compare spans
+        let w1 = model1.embedding().weights();
+        let w2 = model2.embedding().weights();
+        prop_assume!(w1.ncols() == w2.ncols());
+        let cols: Vec<Vec<f64>> = (0..w2.ncols()).map(|j| w2.col(j)).collect();
+        let basis = srda_linalg::gram_schmidt::orthonormalize(&cols, 1e-10);
+        prop_assume!(basis.len() == w2.ncols());
+        for j in 0..w1.ncols() {
+            let mut a = w1.col(j);
+            let norm = vector::normalize(&mut a);
+            prop_assume!(norm > 1e-10);
+            let proj: f64 = basis.iter().map(|b| vector::dot(b, &a).powi(2)).sum();
+            prop_assert!(proj > 1.0 - 1e-6, "direction {} leaves the span: {}", j, proj);
+        }
+    }
+
+    #[test]
+    fn lsqr_converges_to_normal_equations((x, y) in dataset_strategy()) {
+        let ne = Srda::new(SrdaConfig::default()).fit_dense(&x, &y).unwrap();
+        let it = Srda::new(SrdaConfig {
+            solver: SrdaSolver::Lsqr { max_iter: 600, tol: 0.0 },
+            ..SrdaConfig::default()
+        })
+        .fit_dense(&x, &y)
+        .unwrap();
+        let w1 = ne.embedding().weights();
+        let w2 = it.embedding().weights();
+        prop_assert!(
+            w1.approx_eq(w2, 1e-5 * w1.max_abs().max(1.0)),
+            "max diff {}", w1.sub(w2).unwrap().max_abs()
+        );
+    }
+
+    #[test]
+    fn sparse_and_dense_fits_agree((x, y) in dataset_strategy()) {
+        let xs = srda_sparse::CsrMatrix::from_dense(&x, 0.0);
+        let md = Srda::new(SrdaConfig::default()).fit_dense(&x, &y).unwrap();
+        let ms = Srda::new(SrdaConfig::default()).fit_sparse(&xs, &y).unwrap();
+        let wd = md.embedding().weights();
+        let ws = ms.embedding().weights();
+        prop_assert!(
+            wd.approx_eq(ws, 1e-6 * wd.max_abs().max(1.0)),
+            "max diff {}", wd.sub(ws).unwrap().max_abs()
+        );
+    }
+
+    #[test]
+    fn embedding_dimension_is_c_minus_1((x, y) in dataset_strategy()) {
+        let c = y.iter().max().unwrap() + 1;
+        let model = Srda::new(SrdaConfig::default()).fit_dense(&x, &y).unwrap();
+        prop_assert_eq!(model.embedding().n_components(), c - 1);
+        prop_assert_eq!(model.embedding().n_features(), x.ncols());
+        prop_assert!(model.embedding().weights().is_finite());
+    }
+
+    #[test]
+    fn transform_is_affine((x, y) in dataset_strategy(), s in 0.5f64..2.0) {
+        // f(a·u + (1−a)·v) = a·f(u) + (1−a)·f(v) for affine f
+        let model = Srda::new(SrdaConfig::default()).fit_dense(&x, &y).unwrap();
+        let emb = model.embedding();
+        let u = x.row(0);
+        let v = x.row(1);
+        let a = s / 2.0;
+        let mix: Vec<f64> = u.iter().zip(v).map(|(p, q)| a * p + (1.0 - a) * q).collect();
+        let fu = emb.transform_row(u).unwrap();
+        let fv = emb.transform_row(v).unwrap();
+        let fmix = emb.transform_row(&mix).unwrap();
+        for i in 0..fu.len() {
+            let expect = a * fu[i] + (1.0 - a) * fv[i];
+            prop_assert!((fmix[i] - expect).abs() < 1e-8 * expect.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn heavier_regularization_never_grows_weights((x, y) in dataset_strategy()) {
+        let norm = |alpha: f64| {
+            Srda::new(SrdaConfig { alpha, ..SrdaConfig::default() })
+                .fit_dense(&x, &y)
+                .unwrap()
+                .embedding()
+                .weights()
+                .frobenius_norm()
+        };
+        let n1 = norm(0.1);
+        let n2 = norm(10.0);
+        prop_assert!(n2 <= n1 + 1e-9, "{n2} > {n1}");
+    }
+
+    #[test]
+    fn kernel_linear_gram_equals_xxt((x, _) in dataset_strategy()) {
+        let k = srda::Kernel::Linear.gram(&x);
+        let xxt = srda_linalg::ops::gram_t(&x);
+        prop_assert!(k.approx_eq(&xxt, 1e-9));
+    }
+
+    #[test]
+    fn class_graph_rows_sum_to_one((_, y) in dataset_strategy()) {
+        let g = srda::AffinityGraph::supervised(&y);
+        for d in g.degrees() {
+            prop_assert!((d - 1.0).abs() < 1e-12);
+        }
+    }
+}

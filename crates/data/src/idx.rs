@@ -1,0 +1,238 @@
+//! Reader for the IDX binary format (the container MNIST ships in:
+//! `train-images-idx3-ubyte` etc.), so the real corpus can be dropped in
+//! for the synthetic one when it is available.
+//!
+//! Format (big-endian): magic `[0, 0, type, ndim]`, then `ndim` u32
+//! dimension sizes, then the payload in row-major order. We support the
+//! two type codes MNIST uses: `0x08` (unsigned byte) for both images and
+//! labels.
+
+use srda_linalg::Mat;
+
+/// Errors from IDX parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IdxError {
+    /// The buffer ended before the declared contents.
+    Truncated {
+        /// Bytes needed.
+        needed: usize,
+        /// Bytes present.
+        got: usize,
+    },
+    /// Bad magic prefix or unsupported type code.
+    BadMagic {
+        /// The four magic bytes found.
+        magic: [u8; 4],
+    },
+    /// Dimension count outside the supported 1–3 range.
+    UnsupportedRank {
+        /// The declared rank.
+        rank: u8,
+    },
+}
+
+impl std::fmt::Display for IdxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IdxError::Truncated { needed, got } => {
+                write!(f, "idx data truncated: need {needed} bytes, have {got}")
+            }
+            IdxError::BadMagic { magic } => write!(f, "bad idx magic {magic:?}"),
+            IdxError::UnsupportedRank { rank } => write!(f, "unsupported idx rank {rank}"),
+        }
+    }
+}
+
+impl std::error::Error for IdxError {}
+
+fn read_u32(bytes: &[u8], at: usize) -> Result<u32, IdxError> {
+    if at + 4 > bytes.len() {
+        return Err(IdxError::Truncated {
+            needed: at + 4,
+            got: bytes.len(),
+        });
+    }
+    Ok(u32::from_be_bytes([
+        bytes[at],
+        bytes[at + 1],
+        bytes[at + 2],
+        bytes[at + 3],
+    ]))
+}
+
+/// A decoded IDX tensor of unsigned bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdxTensor {
+    /// Dimension sizes (1–3 dims).
+    pub shape: Vec<usize>,
+    /// Row-major payload.
+    pub data: Vec<u8>,
+}
+
+/// Decode an IDX byte buffer.
+pub fn parse_idx(bytes: &[u8]) -> Result<IdxTensor, IdxError> {
+    if bytes.len() < 4 {
+        return Err(IdxError::Truncated {
+            needed: 4,
+            got: bytes.len(),
+        });
+    }
+    let magic = [bytes[0], bytes[1], bytes[2], bytes[3]];
+    if magic[0] != 0 || magic[1] != 0 || magic[2] != 0x08 {
+        return Err(IdxError::BadMagic { magic });
+    }
+    let rank = magic[3];
+    if !(1..=3).contains(&rank) {
+        return Err(IdxError::UnsupportedRank { rank });
+    }
+    let mut shape = Vec::with_capacity(rank as usize);
+    let mut off = 4;
+    for _ in 0..rank {
+        shape.push(read_u32(bytes, off)? as usize);
+        off += 4;
+    }
+    let total: usize = shape.iter().product();
+    if bytes.len() < off + total {
+        return Err(IdxError::Truncated {
+            needed: off + total,
+            got: bytes.len(),
+        });
+    }
+    Ok(IdxTensor {
+        shape,
+        data: bytes[off..off + total].to_vec(),
+    })
+}
+
+/// Interpret an IDX image tensor (`N × H × W` or `N × D`) as an `N × D`
+/// matrix of `[0, 1]` values (bytes divided by 255 — the paper's pixel
+/// scaling).
+pub fn images_to_mat(t: &IdxTensor) -> Mat {
+    let (n, d) = match t.shape.len() {
+        1 => (t.shape[0], 1),
+        2 => (t.shape[0], t.shape[1]),
+        _ => (t.shape[0], t.shape[1] * t.shape[2]),
+    };
+    Mat::from_fn(n, d, |i, j| t.data[i * d + j] as f64 / 255.0)
+}
+
+/// Interpret an IDX label vector as `usize` labels.
+pub fn labels_to_vec(t: &IdxTensor) -> Vec<usize> {
+    t.data.iter().map(|&b| b as usize).collect()
+}
+
+/// Encode a tensor back to IDX bytes (used by tests and by anyone
+/// exporting data for other MNIST-consuming tools).
+pub fn encode_idx(t: &IdxTensor) -> Vec<u8> {
+    let mut out = vec![0u8, 0, 0x08, t.shape.len() as u8];
+    for &d in &t.shape {
+        out.extend_from_slice(&(d as u32).to_be_bytes());
+    }
+    out.extend_from_slice(&t.data);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image_fixture() -> IdxTensor {
+        IdxTensor {
+            shape: vec![2, 2, 3],
+            data: vec![0, 51, 102, 153, 204, 255, 10, 20, 30, 40, 50, 60],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = image_fixture();
+        let bytes = encode_idx(&t);
+        let back = parse_idx(&bytes).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        let t = IdxTensor {
+            shape: vec![4],
+            data: vec![3, 1, 4, 1],
+        };
+        let back = parse_idx(&encode_idx(&t)).unwrap();
+        assert_eq!(labels_to_vec(&back), vec![3, 1, 4, 1]);
+    }
+
+    #[test]
+    fn images_scale_to_unit_interval() {
+        let m = images_to_mat(&image_fixture());
+        assert_eq!(m.shape(), (2, 6));
+        assert_eq!(m[(0, 0)], 0.0);
+        assert_eq!(m[(0, 5)], 1.0);
+        assert!((m[(0, 1)] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let t = image_fixture();
+        let mut bytes = encode_idx(&t);
+        bytes.truncate(bytes.len() - 1);
+        assert!(matches!(
+            parse_idx(&bytes),
+            Err(IdxError::Truncated { .. })
+        ));
+        assert!(matches!(
+            parse_idx(&[0, 0]),
+            Err(IdxError::Truncated { .. })
+        ));
+        // truncated mid-header
+        assert!(matches!(
+            parse_idx(&[0, 0, 0x08, 2, 0, 0]),
+            Err(IdxError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        assert!(matches!(
+            parse_idx(&[1, 0, 0x08, 1, 0, 0, 0, 0]),
+            Err(IdxError::BadMagic { .. })
+        ));
+        // wrong type code (0x0D = float)
+        assert!(matches!(
+            parse_idx(&[0, 0, 0x0D, 1, 0, 0, 0, 0]),
+            Err(IdxError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn unsupported_rank() {
+        assert!(matches!(
+            parse_idx(&[0, 0, 0x08, 4]),
+            Err(IdxError::UnsupportedRank { rank: 4 })
+        ));
+        assert!(matches!(
+            parse_idx(&[0, 0, 0x08, 0]),
+            Err(IdxError::UnsupportedRank { rank: 0 })
+        ));
+    }
+
+    #[test]
+    fn mnist_like_header_shape() {
+        // a tensor with MNIST's exact header layout (tiny payload)
+        let t = IdxTensor {
+            shape: vec![1, 28, 28],
+            data: vec![128; 784],
+        };
+        let bytes = encode_idx(&t);
+        assert_eq!(&bytes[..4], &[0, 0, 8, 3]);
+        let m = images_to_mat(&parse_idx(&bytes).unwrap());
+        assert_eq!(m.shape(), (1, 784));
+    }
+
+    #[test]
+    fn display_messages() {
+        let e = IdxError::Truncated { needed: 9, got: 3 };
+        assert!(e.to_string().contains("9"));
+        let b = IdxError::BadMagic { magic: [9, 9, 9, 9] };
+        assert!(b.to_string().contains("magic"));
+    }
+}

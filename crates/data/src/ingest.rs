@@ -1,0 +1,282 @@
+//! Ingestion of real data: tokenized text → sparse term-frequency
+//! matrices, with the vocabulary handling (document-frequency pruning,
+//! stable term ids) the paper's 20Newsgroups preprocessing implies
+//! ("26,214 distinct terms after stemming and stop word removal ... each
+//! document is then represented as a term-frequency vector and normalized
+//! to 1").
+//!
+//! This crate ships synthetic generators for the benchmarks, but a
+//! downstream user has real documents; this module turns them into
+//! exactly the input `srda::Srda::fit_sparse` wants.
+
+use srda_sparse::{CooBuilder, CsrMatrix};
+use std::collections::HashMap;
+
+/// A frozen term → column-index mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Vocabulary {
+    terms: Vec<String>,
+    index: HashMap<String, usize>,
+}
+
+impl Vocabulary {
+    /// Number of terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Column index of `term`, if in-vocabulary.
+    pub fn id(&self, term: &str) -> Option<usize> {
+        self.index.get(term).copied()
+    }
+
+    /// The term at column `id`.
+    pub fn term(&self, id: usize) -> &str {
+        &self.terms[id]
+    }
+}
+
+/// Options for vocabulary construction.
+#[derive(Debug, Clone)]
+pub struct VocabularyOptions {
+    /// Drop terms appearing in fewer than this many documents.
+    pub min_doc_freq: usize,
+    /// Drop terms appearing in more than this fraction of documents
+    /// (cheap stop-word removal).
+    pub max_doc_fraction: f64,
+}
+
+impl Default for VocabularyOptions {
+    fn default() -> Self {
+        VocabularyOptions {
+            min_doc_freq: 2,
+            max_doc_fraction: 0.5,
+        }
+    }
+}
+
+/// Lowercase alphanumeric tokenizer: splits on any non-alphanumeric byte,
+/// drops tokens shorter than 2 characters.
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|ch: char| !ch.is_alphanumeric())
+        .filter(|t| t.len() >= 2)
+        .map(|t| t.to_lowercase())
+        .collect()
+}
+
+/// Build a vocabulary from tokenized documents with document-frequency
+/// pruning. Term ids are assigned in lexicographic order (stable across
+/// runs and platforms).
+pub fn build_vocabulary(docs: &[Vec<String>], opts: &VocabularyOptions) -> Vocabulary {
+    let mut doc_freq: HashMap<&str, usize> = HashMap::new();
+    for doc in docs {
+        let mut seen: Vec<&str> = doc.iter().map(|s| s.as_str()).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        for t in seen {
+            *doc_freq.entry(t).or_insert(0) += 1;
+        }
+    }
+    let max_df = (docs.len() as f64 * opts.max_doc_fraction).ceil() as usize;
+    let mut terms: Vec<String> = doc_freq
+        .into_iter()
+        .filter(|&(_, df)| df >= opts.min_doc_freq && df <= max_df)
+        .map(|(t, _)| t.to_string())
+        .collect();
+    terms.sort_unstable();
+    let index = terms
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t.clone(), i))
+        .collect();
+    Vocabulary { terms, index }
+}
+
+/// Vectorize tokenized documents against a vocabulary: raw term counts,
+/// optionally L2-normalized (the paper's preprocessing). Out-of-vocabulary
+/// tokens are ignored.
+pub fn vectorize(docs: &[Vec<String>], vocab: &Vocabulary, l2_normalize: bool) -> CsrMatrix {
+    let mut b = CooBuilder::new(docs.len(), vocab.len().max(1));
+    for (row, doc) in docs.iter().enumerate() {
+        for tok in doc {
+            if let Some(id) = vocab.id(tok) {
+                b.push(row, id, 1.0).expect("id within vocabulary");
+            }
+        }
+    }
+    let mut x = b.build();
+    if l2_normalize {
+        x.normalize_rows_l2();
+    }
+    x
+}
+
+/// One-call pipeline: raw strings → `(matrix, vocabulary)`.
+pub fn ingest_corpus(
+    texts: &[&str],
+    opts: &VocabularyOptions,
+    l2_normalize: bool,
+) -> (CsrMatrix, Vocabulary) {
+    let docs: Vec<Vec<String>> = texts.iter().map(|t| tokenize(t)).collect();
+    let vocab = build_vocabulary(&docs, opts);
+    let x = vectorize(&docs, &vocab, l2_normalize);
+    (x, vocab)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizer_basics() {
+        assert_eq!(
+            tokenize("Hello, world! x R2-D2"),
+            vec!["hello", "world", "r2", "d2"]
+        );
+        assert!(tokenize("a . ! ").is_empty());
+    }
+
+    fn corpus() -> Vec<&'static str> {
+        vec![
+            "the cat sat on the mat",
+            "the dog sat on the log",
+            "cat and dog are friends",
+            "quantum chromodynamics", // rare terms → pruned at min_df 2
+        ]
+    }
+
+    #[test]
+    fn vocabulary_prunes_by_doc_frequency() {
+        let docs: Vec<Vec<String>> = corpus().iter().map(|t| tokenize(t)).collect();
+        let vocab = build_vocabulary(
+            &docs,
+            &VocabularyOptions {
+                min_doc_freq: 2,
+                max_doc_fraction: 1.0,
+            },
+        );
+        // "quantum"/"chromodynamics" appear once → dropped
+        assert!(vocab.id("quantum").is_none());
+        assert!(vocab.id("cat").is_some());
+        assert!(vocab.id("sat").is_some());
+    }
+
+    #[test]
+    fn vocabulary_drops_stopword_like_terms() {
+        // "the" in 3 of 4 docs; "cat" in 2; "quantum" in 1
+        let texts = [
+            "the cat sat on the mat",
+            "the dog sat on the log",
+            "the cat and dog are friends",
+            "quantum chromodynamics",
+        ];
+        let docs: Vec<Vec<String>> = texts.iter().map(|t| tokenize(t)).collect();
+        let tight = build_vocabulary(
+            &docs,
+            &VocabularyOptions {
+                min_doc_freq: 1,
+                max_doc_fraction: 0.5, // max_df = 2 → "the" (df 3) dropped
+            },
+        );
+        assert!(tight.id("the").is_none());
+        assert!(tight.id("cat").is_some());
+        assert!(tight.id("quantum").is_some());
+    }
+
+    #[test]
+    fn term_ids_are_lexicographic_and_stable() {
+        let docs: Vec<Vec<String>> = corpus().iter().map(|t| tokenize(t)).collect();
+        let opts = VocabularyOptions {
+            min_doc_freq: 1,
+            max_doc_fraction: 1.0,
+        };
+        let v1 = build_vocabulary(&docs, &opts);
+        let v2 = build_vocabulary(&docs, &opts);
+        assert_eq!(v1, v2);
+        for i in 1..v1.len() {
+            assert!(v1.term(i - 1) < v1.term(i));
+        }
+        assert_eq!(v1.id(v1.term(3)), Some(3));
+    }
+
+    #[test]
+    fn vectorize_counts_and_normalizes() {
+        let docs = vec![tokenize("cat cat dog"), tokenize("dog")];
+        let vocab = build_vocabulary(
+            &docs,
+            &VocabularyOptions {
+                min_doc_freq: 1,
+                max_doc_fraction: 1.0,
+            },
+        );
+        let raw = vectorize(&docs, &vocab, false);
+        let cat = vocab.id("cat").unwrap();
+        let dog = vocab.id("dog").unwrap();
+        assert_eq!(raw.get(0, cat), 2.0);
+        assert_eq!(raw.get(0, dog), 1.0);
+        assert_eq!(raw.get(1, dog), 1.0);
+
+        let norm = vectorize(&docs, &vocab, true);
+        let n0: f64 = norm.row_entries(0).map(|(_, v)| v * v).sum();
+        assert!((n0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_vocabulary_tokens_ignored() {
+        let train_docs = vec![tokenize("alpha beta"), tokenize("alpha gamma")];
+        let vocab = build_vocabulary(
+            &train_docs,
+            &VocabularyOptions {
+                min_doc_freq: 1,
+                max_doc_fraction: 1.0,
+            },
+        );
+        let test_docs = vec![tokenize("alpha delta epsilon")];
+        let x = vectorize(&test_docs, &vocab, false);
+        assert_eq!(x.row_nnz(0), 1); // only "alpha" is known
+    }
+
+    #[test]
+    fn end_to_end_ingest_trains_a_model() {
+        // two "topics" with distinct vocabulary, enough docs to survive
+        // pruning; SRDA should separate them
+        let texts: Vec<String> = (0..20)
+            .map(|i| {
+                if i % 2 == 0 {
+                    format!("rust compiler borrow checker lifetimes v{i}")
+                } else {
+                    format!("violin sonata orchestra concerto strings v{i}")
+                }
+            })
+            .collect();
+        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let (x, vocab) = ingest_corpus(&refs, &VocabularyOptions::default(), true);
+        assert!(vocab.len() >= 8);
+        let labels: Vec<usize> = (0..20).map(|i| i % 2).collect();
+        let model = srda::Srda::new(srda::SrdaConfig::lsqr_default())
+            .fit_sparse(&x, &labels)
+            .unwrap();
+        let z = model.embedding().transform_sparse(&x).unwrap();
+        // same-class docs embed on the same side
+        let side = |i: usize| z[(i, 0)] > 0.0;
+        for i in (2..20).step_by(2) {
+            assert_eq!(side(i), side(0));
+        }
+        for i in (3..20).step_by(2) {
+            assert_eq!(side(i), side(1));
+        }
+        assert_ne!(side(0), side(1));
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let (x, vocab) = ingest_corpus(&[], &VocabularyOptions::default(), true);
+        assert_eq!(x.nrows(), 0);
+        assert!(vocab.is_empty());
+    }
+}

@@ -1,0 +1,336 @@
+//! Latent-factor Gaussian class model for dense, image-like data.
+//!
+//! Each sample of class `k` is
+//!
+//! ```text
+//! x = signal·B·z_k  +  Σ_f w_f·factor_scale·e_f  +  noise_scale·ε
+//! ```
+//!
+//! where
+//!
+//! * `B` (`n × class_rank`, unit columns) spans a low-dimensional **class
+//!   subspace** and `z_k` places centroid `k` in it — real image classes
+//!   differ along few directions, not all `n` pixels;
+//! * the `e_f` are `n_factors` shared within-class variation directions
+//!   (illumination / pose / style). Crucially, a fraction
+//!   `factor_class_overlap` of each factor lies *inside* the class
+//!   subspace, so within-class variation interferes with the class signal
+//!   — this is what discriminant analysis must suppress, and what makes
+//!   its small-sample estimation genuinely hard;
+//! * `ε` is white noise.
+//!
+//! Finally all features are affinely mapped into `[0, 1]` like pixel
+//! values.
+//!
+//! Why this preserves the paper's phenomena: the Bayes error is nonzero
+//! (classes overlap along the contaminated subspace directions), accuracy
+//! improves with the per-class training budget (centroid and scatter
+//! estimates sharpen), and with few samples and large `n` the empirical
+//! within-class scatter is singular, so unregularized LDA overfits — the
+//! exact regime of the paper's Tables III–VIII.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use srda_linalg::Mat;
+
+/// Parameters of the latent-factor Gaussian generator.
+#[derive(Debug, Clone)]
+pub struct GaussianSpec {
+    /// Number of classes `c`.
+    pub n_classes: usize,
+    /// Feature dimension `n`.
+    pub n_features: usize,
+    /// Samples generated per class.
+    pub samples_per_class: usize,
+    /// Dimension of the class subspace (defaults near `c − 1`).
+    pub class_rank: usize,
+    /// Scale of the class signal (inter-centroid distance ≈ `√2·signal`).
+    pub signal: f64,
+    /// Number of shared within-class variation factors `q`.
+    pub n_factors: usize,
+    /// Scale of one factor's displacement.
+    pub factor_scale: f64,
+    /// Fraction (0..1) of each factor lying inside the class subspace.
+    pub factor_class_overlap: f64,
+    /// White-noise standard deviation per feature.
+    pub noise_scale: f64,
+    /// Standard deviation of isotropic noise *inside* the class subspace,
+    /// per subspace direction. This is the irreducible (Bayes) confusion:
+    /// it is white within the very subspace carrying the class signal, so
+    /// no linear method can project it away — it sets the error floor
+    /// every algorithm converges to as the training budget grows, like
+    /// the plateaus in the paper's Figures 1–3.
+    pub class_noise: f64,
+}
+
+/// Standard-normal sampler (Box-Muller; `rand`'s distributions crate is
+/// not on the approved dependency list, so we roll the classic transform).
+pub fn normal(rng: &mut SmallRng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+fn unit_vector(n: usize, rng: &mut SmallRng) -> Vec<f64> {
+    let mut v: Vec<f64> = (0..n).map(|_| normal(rng)).collect();
+    srda_linalg::vector::normalize(&mut v);
+    v
+}
+
+/// Generate `(x, labels)` from the spec, deterministically from `seed`.
+/// Rows are grouped by class (class 0 first); shuffling is the splitters'
+/// job, so a given seed always produces the same population.
+pub fn generate(spec: &GaussianSpec, seed: u64) -> (Mat, Vec<usize>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let (c, n, per) = (spec.n_classes, spec.n_features, spec.samples_per_class);
+    let (q, d) = (spec.n_factors, spec.class_rank.max(1));
+
+    // class subspace basis B: d unit columns (near-orthogonal for d ≪ n)
+    let b: Vec<Vec<f64>> = (0..d).map(|_| unit_vector(n, &mut rng)).collect();
+
+    // centroids μ_k = signal · B z_k with ‖z_k‖ ≈ 1
+    let mut centroids = Mat::zeros(c, n);
+    for k in 0..c {
+        let z: Vec<f64> = (0..d)
+            .map(|_| normal(&mut rng) / (d as f64).sqrt())
+            .collect();
+        for (j, bj) in b.iter().enumerate() {
+            srda_linalg::vector::axpy(spec.signal * z[j], bj, centroids.row_mut(k));
+        }
+    }
+
+    // factor directions e_f = ov·B u_f + √(1−ov²)·g_f
+    let ov = spec.factor_class_overlap.clamp(0.0, 1.0);
+    let ortho = (1.0 - ov * ov).sqrt();
+    let mut factors = Mat::zeros(q, n);
+    for f in 0..q {
+        let u: Vec<f64> = {
+            let mut v: Vec<f64> = (0..d).map(|_| normal(&mut rng)).collect();
+            srda_linalg::vector::normalize(&mut v);
+            v
+        };
+        for (j, bj) in b.iter().enumerate() {
+            srda_linalg::vector::axpy(ov * u[j], bj, factors.row_mut(f));
+        }
+        let g = unit_vector(n, &mut rng);
+        srda_linalg::vector::axpy(ortho, &g, factors.row_mut(f));
+    }
+
+    let m = c * per;
+    let mut x = Mat::zeros(m, n);
+    let mut labels = Vec::with_capacity(m);
+    let mut row_idx = 0;
+    for k in 0..c {
+        for _ in 0..per {
+            labels.push(k);
+            x.row_mut(row_idx).copy_from_slice(centroids.row(k));
+            for f in 0..q {
+                let w = spec.factor_scale * normal(&mut rng);
+                srda_linalg::vector::axpy(w, factors.row(f), x.row_mut(row_idx));
+            }
+            if spec.class_noise > 0.0 {
+                for bj in &b {
+                    let xi = spec.class_noise * normal(&mut rng);
+                    srda_linalg::vector::axpy(xi, bj, x.row_mut(row_idx));
+                }
+            }
+            if spec.noise_scale > 0.0 {
+                for v in x.row_mut(row_idx) {
+                    *v += spec.noise_scale * normal(&mut rng);
+                }
+            }
+            row_idx += 1;
+        }
+    }
+
+    // affine map to [0, 1] like pixel values
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in x.as_slice() {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if hi > lo {
+        let inv = 1.0 / (hi - lo);
+        for v in x.as_mut_slice() {
+            *v = (*v - lo) * inv;
+        }
+    }
+
+    (x, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> GaussianSpec {
+        GaussianSpec {
+            n_classes: 4,
+            n_features: 20,
+            samples_per_class: 15,
+            class_rank: 3,
+            signal: 1.0,
+            n_factors: 3,
+            factor_scale: 0.2,
+            factor_class_overlap: 0.5,
+            noise_scale: 0.05,
+            class_noise: 0.0,
+        }
+    }
+
+    #[test]
+    fn shapes_and_labels() {
+        let (x, labels) = generate(&small_spec(), 7);
+        assert_eq!(x.shape(), (60, 20));
+        assert_eq!(labels.len(), 60);
+        for k in 0..4 {
+            assert_eq!(labels.iter().filter(|&&l| l == k).count(), 15);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (x1, l1) = generate(&small_spec(), 42);
+        let (x2, l2) = generate(&small_spec(), 42);
+        assert!(x1.approx_eq(&x2, 0.0));
+        assert_eq!(l1, l2);
+        let (x3, _) = generate(&small_spec(), 43);
+        assert!(!x1.approx_eq(&x3, 1e-6));
+    }
+
+    #[test]
+    fn values_in_unit_interval() {
+        let (x, _) = generate(&small_spec(), 1);
+        for &v in x.as_slice() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn classes_are_separated() {
+        let (x, labels) = generate(&small_spec(), 3);
+        let (cent, _) = srda_linalg::stats::class_means(&x, &labels, 4).unwrap();
+        let mut within = 0.0;
+        for (i, &k) in labels.iter().enumerate() {
+            within += srda_linalg::vector::dist2_sq(x.row(i), cent.row(k)).sqrt();
+        }
+        within /= labels.len() as f64;
+        let mut between = 0.0;
+        let mut cnt = 0;
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                between += srda_linalg::vector::dist2_sq(cent.row(a), cent.row(b)).sqrt();
+                cnt += 1;
+            }
+        }
+        between /= cnt as f64;
+        assert!(
+            between > 0.5 * within,
+            "classes degenerate: between {between}, within {within}"
+        );
+    }
+
+    #[test]
+    fn normal_sampler_moments() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn within_class_variation_is_shared_low_rank() {
+        // with noise ≈ 0, centered class data lives in a q-dim subspace
+        let spec = GaussianSpec {
+            noise_scale: 0.0,
+            ..small_spec()
+        };
+        let (x, labels) = generate(&spec, 5);
+        let idx: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == 0)
+            .map(|(i, _)| i)
+            .collect();
+        let sub = x.select_rows(&idx);
+        let (centered, _) = srda_linalg::stats::centered(&sub);
+        // tolerance above the cross-product method's √ε noise floor
+        let svd = srda_linalg::Svd::cross_product(&centered, 1e-6).unwrap();
+        assert!(
+            svd.rank() <= spec.n_factors,
+            "rank {} exceeds factor count {}",
+            svd.rank(),
+            spec.n_factors
+        );
+    }
+
+    #[test]
+    fn factor_overlap_contaminates_class_subspace() {
+        // with full overlap, factors lie inside span(B): centered data of
+        // one class projected on the orthogonal complement of B is ~noise
+        let spec = GaussianSpec {
+            factor_class_overlap: 1.0,
+            noise_scale: 0.0,
+            samples_per_class: 30,
+            ..small_spec()
+        };
+        let (x, labels) = generate(&spec, 8);
+        // class-0 deviations
+        let idx: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == 0)
+            .map(|(i, _)| i)
+            .collect();
+        let sub = x.select_rows(&idx);
+        let (centered, _) = srda_linalg::stats::centered(&sub);
+        // centered rows must have rank ≤ class_rank (factors ⊂ span(B))
+        let svd = srda_linalg::Svd::cross_product(&centered, 1e-6).unwrap();
+        assert!(svd.rank() <= spec.class_rank);
+    }
+
+    #[test]
+    fn zero_overlap_keeps_factors_out_of_class_subspace() {
+        // with zero overlap and zero noise, factor directions are (nearly)
+        // orthogonal to the class subspace
+        let spec = GaussianSpec {
+            factor_class_overlap: 0.0,
+            noise_scale: 0.0,
+            n_features: 400, // random unit vectors are near-orthogonal
+            ..small_spec()
+        };
+        let (x, labels) = generate(&spec, 4);
+        let (cent, _) = srda_linalg::stats::class_means(&x, &labels, 4).unwrap();
+        // inter-centroid direction
+        let mut diff: Vec<f64> = cent
+            .row(0)
+            .iter()
+            .zip(cent.row(1))
+            .map(|(a, b)| a - b)
+            .collect();
+        srda_linalg::vector::normalize(&mut diff);
+        // within-class deviations projected on it are small
+        let idx: Vec<usize> = (0..labels.len()).filter(|&i| labels[i] == 0).collect();
+        let sub = x.select_rows(&idx);
+        let (centered, _) = srda_linalg::stats::centered(&sub);
+        let mut max_proj = 0.0f64;
+        let mut max_norm = 0.0f64;
+        for i in 0..centered.nrows() {
+            max_proj = max_proj.max(
+                srda_linalg::vector::dot(centered.row(i), &diff).abs(),
+            );
+            max_norm = max_norm.max(srda_linalg::vector::norm2(centered.row(i)));
+        }
+        assert!(
+            max_proj < 0.35 * max_norm,
+            "projection {max_proj} vs norm {max_norm}"
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Seeded stratified train/test splitting — the paper's protocol.
+//!
+//! Every experiment in the paper is "averaged over 20 random splits" where
+//! a split selects `l` training samples per class (dense corpora) or a
+//! percentage per class (20Newsgroups) and tests on the rest. These
+//! helpers produce exactly that, deterministically per seed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A train/test partition by row index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    /// Training row indices (class-grouped, shuffled within class).
+    pub train: Vec<usize>,
+    /// Test row indices (the complement).
+    pub test: Vec<usize>,
+}
+
+/// Fisher-Yates shuffle with our own RNG plumbing.
+fn shuffle(v: &mut [usize], rng: &mut SmallRng) {
+    for i in (1..v.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        v.swap(i, j);
+    }
+}
+
+fn class_buckets(labels: &[usize]) -> Vec<Vec<usize>> {
+    let c = labels.iter().max().map_or(0, |&m| m + 1);
+    let mut buckets = vec![Vec::new(); c];
+    for (i, &k) in labels.iter().enumerate() {
+        buckets[k].push(i);
+    }
+    buckets
+}
+
+/// Select `l` training samples from every class (all remaining samples go
+/// to the test set). Classes with fewer than `l` samples contribute all of
+/// them to training (and none to test).
+///
+/// ```
+/// use srda_data::per_class_split;
+///
+/// let labels = [0, 0, 0, 1, 1, 1];
+/// let split = per_class_split(&labels, 2, 42);
+/// assert_eq!(split.train.len(), 4); // 2 per class
+/// assert_eq!(split.test.len(), 2);
+/// ```
+pub fn per_class_split(labels: &[usize], l: usize, seed: u64) -> Split {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for mut bucket in class_buckets(labels) {
+        shuffle(&mut bucket, &mut rng);
+        let take = l.min(bucket.len());
+        train.extend_from_slice(&bucket[..take]);
+        test.extend_from_slice(&bucket[take..]);
+    }
+    Split { train, test }
+}
+
+/// Select a fraction `frac ∈ (0, 1)` of every class for training (at least
+/// one sample per class).
+pub fn ratio_split(labels: &[usize], frac: f64, seed: u64) -> Split {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for mut bucket in class_buckets(labels) {
+        shuffle(&mut bucket, &mut rng);
+        let take = ((bucket.len() as f64 * frac).round() as usize)
+            .clamp(1, bucket.len());
+        train.extend_from_slice(&bucket[..take]);
+        test.extend_from_slice(&bucket[take..]);
+    }
+    Split { train, test }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels() -> Vec<usize> {
+        // 3 classes with 10, 8, 12 samples
+        let mut l = vec![0; 10];
+        l.extend(vec![1; 8]);
+        l.extend(vec![2; 12]);
+        l
+    }
+
+    #[test]
+    fn per_class_counts() {
+        let s = per_class_split(&labels(), 5, 1);
+        assert_eq!(s.train.len(), 15);
+        assert_eq!(s.test.len(), 30 - 15);
+        // 5 of each class in train
+        let lab = labels();
+        for k in 0..3 {
+            assert_eq!(s.train.iter().filter(|&&i| lab[i] == k).count(), 5);
+        }
+    }
+
+    #[test]
+    fn partition_is_disjoint_and_complete() {
+        let s = per_class_split(&labels(), 4, 7);
+        let mut all: Vec<usize> = s.train.iter().chain(&s.test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..30).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_varies_across_seeds() {
+        let a = per_class_split(&labels(), 5, 3);
+        let b = per_class_split(&labels(), 5, 3);
+        assert_eq!(a, b);
+        let c = per_class_split(&labels(), 5, 4);
+        assert_ne!(a.train, c.train);
+    }
+
+    #[test]
+    fn oversized_l_takes_everything() {
+        let s = per_class_split(&labels(), 100, 1);
+        assert_eq!(s.train.len(), 30);
+        assert!(s.test.is_empty());
+    }
+
+    #[test]
+    fn ratio_split_proportions() {
+        let s = ratio_split(&labels(), 0.5, 2);
+        let lab = labels();
+        assert_eq!(s.train.iter().filter(|&&i| lab[i] == 0).count(), 5);
+        assert_eq!(s.train.iter().filter(|&&i| lab[i] == 1).count(), 4);
+        assert_eq!(s.train.iter().filter(|&&i| lab[i] == 2).count(), 6);
+    }
+
+    #[test]
+    fn ratio_split_keeps_at_least_one_per_class() {
+        let s = ratio_split(&labels(), 0.01, 2);
+        let lab = labels();
+        for k in 0..3 {
+            assert!(s.train.iter().any(|&i| lab[i] == k));
+        }
+    }
+
+    #[test]
+    fn different_l_nested_behaviour() {
+        // same seed: the first l indices per class are a prefix, so train
+        // sets grow monotonically with l
+        let small = per_class_split(&labels(), 2, 9);
+        let large = per_class_split(&labels(), 4, 9);
+        for i in &small.train {
+            assert!(large.train.contains(i));
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Classifiers applied in the embedded (discriminant) space.
+//!
+//! The paper evaluates every dimensionality-reduction method by the error
+//! rate of a simple classifier on the embedded data. We provide the two
+//! standard choices: nearest class centroid (what discriminant analysis
+//! optimizes for — same-class training points collapse toward their
+//! centroid) and k-nearest-neighbours as a cross-check.
+
+use srda_linalg::{vector, Mat};
+
+/// A nearest-class-centroid classifier in embedded space.
+#[derive(Debug, Clone)]
+pub struct NearestCentroid {
+    centroids: Mat,
+}
+
+impl NearestCentroid {
+    /// Fit from embedded training data (`z`: samples as rows) and labels.
+    pub fn fit(z: &Mat, labels: &[usize], n_classes: usize) -> Self {
+        let (centroids, _) =
+            srda_linalg::stats::class_means(z, labels, n_classes).expect("valid labels");
+        NearestCentroid { centroids }
+    }
+
+    /// Predict the class of one embedded sample.
+    pub fn predict_row(&self, z: &[f64]) -> usize {
+        let mut best = (f64::INFINITY, 0usize);
+        for k in 0..self.centroids.nrows() {
+            let d = vector::dist2_sq(z, self.centroids.row(k));
+            if d < best.0 {
+                best = (d, k);
+            }
+        }
+        best.1
+    }
+
+    /// Predict a batch (rows of `z`).
+    pub fn predict(&self, z: &Mat) -> Vec<usize> {
+        (0..z.nrows()).map(|i| self.predict_row(z.row(i))).collect()
+    }
+
+    /// The per-class centroids (`n_classes × dims`).
+    pub fn centroids(&self) -> &Mat {
+        &self.centroids
+    }
+}
+
+/// Fraction of misclassified test samples under nearest-centroid.
+pub fn nearest_centroid_error_rate(
+    z_train: &Mat,
+    y_train: &[usize],
+    z_test: &Mat,
+    y_test: &[usize],
+    n_classes: usize,
+) -> f64 {
+    let clf = NearestCentroid::fit(z_train, y_train, n_classes);
+    let pred = clf.predict(z_test);
+    error_rate(&pred, y_test)
+}
+
+/// Fraction of misclassified test samples under k-NN (Euclidean, majority
+/// vote, ties broken toward the nearest member).
+pub fn knn_error_rate(
+    z_train: &Mat,
+    y_train: &[usize],
+    z_test: &Mat,
+    y_test: &[usize],
+    n_classes: usize,
+    k: usize,
+) -> f64 {
+    let k = k.max(1).min(z_train.nrows());
+    let mut wrong = 0usize;
+    for t in 0..z_test.nrows() {
+        // collect the k smallest distances (simple selection; k is tiny)
+        let mut dists: Vec<(f64, usize)> = (0..z_train.nrows())
+            .map(|i| (vector::dist2_sq(z_test.row(t), z_train.row(i)), y_train[i]))
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut votes = vec![0usize; n_classes];
+        for &(_, lbl) in dists.iter().take(k) {
+            votes[lbl] += 1;
+        }
+        // majority, ties toward the single nearest neighbour's class
+        let max_votes = *votes.iter().max().unwrap();
+        let nearest = dists[0].1;
+        let pred = if votes[nearest] == max_votes {
+            nearest
+        } else {
+            votes.iter().position(|&v| v == max_votes).unwrap()
+        };
+        if pred != y_test[t] {
+            wrong += 1;
+        }
+    }
+    wrong as f64 / z_test.nrows().max(1) as f64
+}
+
+/// Fraction of mismatches between predictions and ground truth.
+pub fn error_rate(pred: &[usize], truth: &[usize]) -> f64 {
+    debug_assert_eq!(pred.len(), truth.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let wrong = pred.iter().zip(truth).filter(|(p, t)| p != t).count();
+    wrong as f64 / pred.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn embedded() -> (Mat, Vec<usize>) {
+        // two tight clusters on a line
+        let z = Mat::from_rows(&[
+            vec![0.0],
+            vec![0.1],
+            vec![-0.1],
+            vec![5.0],
+            vec![5.1],
+            vec![4.9],
+        ])
+        .unwrap();
+        (z, vec![0, 0, 0, 1, 1, 1])
+    }
+
+    #[test]
+    fn centroid_classifier_perfect_on_separated_data() {
+        let (z, y) = embedded();
+        let clf = NearestCentroid::fit(&z, &y, 2);
+        assert_eq!(clf.predict(&z), y);
+        assert_eq!(clf.predict_row(&[0.4]), 0);
+        assert_eq!(clf.predict_row(&[4.0]), 1);
+    }
+
+    #[test]
+    fn centroids_are_class_means() {
+        let (z, y) = embedded();
+        let clf = NearestCentroid::fit(&z, &y, 2);
+        assert!((clf.centroids()[(0, 0)] - 0.0).abs() < 1e-12);
+        assert!((clf.centroids()[(1, 0)] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_rate_counts_mismatches() {
+        assert_eq!(error_rate(&[0, 1, 1, 0], &[0, 1, 0, 0]), 0.25);
+        assert_eq!(error_rate(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn nearest_centroid_error_end_to_end() {
+        let (z, y) = embedded();
+        let z_test = Mat::from_rows(&[vec![0.2], vec![4.8], vec![2.4]]).unwrap();
+        let y_test = vec![0, 1, 0]; // midpoint 2.4 is nearer to centroid 0
+        let e = nearest_centroid_error_rate(&z, &y, &z_test, &y_test, 2);
+        assert_eq!(e, 0.0);
+        let y_bad = vec![1, 0, 1];
+        let e_bad = nearest_centroid_error_rate(&z, &y, &z_test, &y_bad, 2);
+        assert_eq!(e_bad, 1.0);
+    }
+
+    #[test]
+    fn knn_matches_intuition() {
+        let (z, y) = embedded();
+        let z_test = Mat::from_rows(&[vec![0.05], vec![5.05]]).unwrap();
+        let e = knn_error_rate(&z, &y, &z_test, &[0, 1], 2, 3);
+        assert_eq!(e, 0.0);
+    }
+
+    #[test]
+    fn knn_k1_is_nearest_neighbour() {
+        let z_train = Mat::from_rows(&[vec![0.0], vec![10.0]]).unwrap();
+        let y_train = vec![0, 1];
+        let z_test = Mat::from_rows(&[vec![4.0], vec![6.0]]).unwrap();
+        let e = knn_error_rate(&z_train, &y_train, &z_test, &[0, 1], 2, 1);
+        assert_eq!(e, 0.0);
+    }
+
+    #[test]
+    fn knn_k_larger_than_train_is_clamped() {
+        let (z, y) = embedded();
+        let e = knn_error_rate(&z, &y, &z, &y, 2, 100);
+        // with k = all samples and balanced classes, ties go to nearest
+        assert!(e <= 0.5);
+    }
+}

@@ -1,0 +1,215 @@
+//! Stratified k-fold cross-validation — the standard way a downstream
+//! user would pick SRDA's `α` (the paper's Fig 5 sweeps the parameter
+//! against the *test* set; a real deployment cross-validates instead).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Stratified k-fold assignment: returns `folds[i] ∈ 0..k` per sample,
+/// with each class spread as evenly as possible across folds.
+pub fn stratified_folds(labels: &[usize], k: usize, seed: u64) -> Vec<usize> {
+    assert!(k >= 2, "need at least 2 folds");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let c = labels.iter().max().map_or(0, |&m| m + 1);
+    let mut buckets = vec![Vec::new(); c];
+    for (i, &l) in labels.iter().enumerate() {
+        buckets[l].push(i);
+    }
+    let mut folds = vec![0usize; labels.len()];
+    for bucket in &mut buckets {
+        // shuffle within the class, then deal round-robin
+        for i in (1..bucket.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            bucket.swap(i, j);
+        }
+        for (pos, &i) in bucket.iter().enumerate() {
+            folds[i] = pos % k;
+        }
+    }
+    folds
+}
+
+/// The train/validation index pair of one fold.
+pub fn fold_split(folds: &[usize], fold: usize) -> (Vec<usize>, Vec<usize>) {
+    let mut train = Vec::new();
+    let mut val = Vec::new();
+    for (i, &f) in folds.iter().enumerate() {
+        if f == fold {
+            val.push(i);
+        } else {
+            train.push(i);
+        }
+    }
+    (train, val)
+}
+
+/// Cross-validate a scoring closure over k folds: `score(train_idx,
+/// val_idx)` returns a per-fold score (e.g. validation error); the mean is
+/// returned.
+pub fn cross_validate(
+    labels: &[usize],
+    k: usize,
+    seed: u64,
+    mut score: impl FnMut(&[usize], &[usize]) -> f64,
+) -> f64 {
+    let folds = stratified_folds(labels, k, seed);
+    let mut total = 0.0;
+    for fold in 0..k {
+        let (train, val) = fold_split(&folds, fold);
+        total += score(&train, &val);
+    }
+    total / k as f64
+}
+
+/// Grid-search SRDA's `α` by k-fold cross-validated error; returns the
+/// winning `(alpha, cv_error)`.
+pub fn select_alpha_dense(
+    x: &srda_linalg::Mat,
+    labels: &[usize],
+    alphas: &[f64],
+    k: usize,
+    seed: u64,
+) -> (f64, f64) {
+    use srda::{Srda, SrdaConfig};
+    let n_classes = labels.iter().max().unwrap() + 1;
+    let mut best = (alphas[0], f64::INFINITY);
+    for &alpha in alphas {
+        let err = cross_validate(labels, k, seed, |train_idx, val_idx| {
+            let xt = x.select_rows(train_idx);
+            let yt: Vec<usize> = train_idx.iter().map(|&i| labels[i]).collect();
+            let xv = x.select_rows(val_idx);
+            let yv: Vec<usize> = val_idx.iter().map(|&i| labels[i]).collect();
+            let model = Srda::new(SrdaConfig {
+                alpha,
+                ..SrdaConfig::default()
+            })
+            .fit_dense(&xt, &yt)
+            .expect("cv fit");
+            let zt = model.embedding().transform_dense(&xt).unwrap();
+            let zv = model.embedding().transform_dense(&xv).unwrap();
+            crate::classify::nearest_centroid_error_rate(&zt, &yt, &zv, &yv, n_classes)
+        });
+        if err < best.1 {
+            best = (alpha, err);
+        }
+    }
+    best
+}
+
+/// Grid-search SRDA's `α` on sparse data (LSQR solver) by k-fold
+/// cross-validated error; returns the winning `(alpha, cv_error)`.
+pub fn select_alpha_sparse(
+    x: &srda_sparse::CsrMatrix,
+    labels: &[usize],
+    alphas: &[f64],
+    lsqr_iterations: usize,
+    k: usize,
+    seed: u64,
+) -> (f64, f64) {
+    use srda::{Srda, SrdaConfig, SrdaSolver};
+    let n_classes = labels.iter().max().unwrap() + 1;
+    let mut best = (alphas[0], f64::INFINITY);
+    for &alpha in alphas {
+        let err = cross_validate(labels, k, seed, |train_idx, val_idx| {
+            let xt = x.select_rows(train_idx);
+            let yt: Vec<usize> = train_idx.iter().map(|&i| labels[i]).collect();
+            let xv = x.select_rows(val_idx);
+            let yv: Vec<usize> = val_idx.iter().map(|&i| labels[i]).collect();
+            let model = Srda::new(SrdaConfig {
+                alpha,
+                solver: SrdaSolver::Lsqr {
+                    max_iter: lsqr_iterations,
+                    tol: 0.0,
+                },
+                ..SrdaConfig::default()
+            })
+            .fit_sparse(&xt, &yt)
+            .expect("cv fit");
+            let zt = model.embedding().transform_sparse(&xt).unwrap();
+            let zv = model.embedding().transform_sparse(&xv).unwrap();
+            crate::classify::nearest_centroid_error_rate(&zt, &yt, &zv, &yv, n_classes)
+        });
+        if err < best.1 {
+            best = (alpha, err);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels() -> Vec<usize> {
+        let mut l = vec![0; 12];
+        l.extend(vec![1; 12]);
+        l.extend(vec![2; 12]);
+        l
+    }
+
+    #[test]
+    fn folds_are_stratified() {
+        let l = labels();
+        let folds = stratified_folds(&l, 4, 1);
+        for fold in 0..4 {
+            for class in 0..3 {
+                let count = l
+                    .iter()
+                    .zip(&folds)
+                    .filter(|&(&lab, &f)| lab == class && f == fold)
+                    .count();
+                assert_eq!(count, 3, "class {class} fold {fold}");
+            }
+        }
+    }
+
+    #[test]
+    fn fold_split_partitions() {
+        let folds = stratified_folds(&labels(), 3, 2);
+        let (train, val) = fold_split(&folds, 0);
+        assert_eq!(train.len() + val.len(), 36);
+        let mut all: Vec<usize> = train.iter().chain(&val).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..36).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let l = labels();
+        assert_eq!(stratified_folds(&l, 3, 9), stratified_folds(&l, 3, 9));
+        assert_ne!(stratified_folds(&l, 3, 9), stratified_folds(&l, 3, 10));
+    }
+
+    #[test]
+    fn cross_validate_averages() {
+        let l = labels();
+        // scoring function returns the fold's validation fraction
+        let avg = cross_validate(&l, 4, 1, |_, val| val.len() as f64);
+        assert!((avg - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_selection_runs_and_picks_from_grid() {
+        let data = srda_data::mnist_like(0.04, 2);
+        let grid = [0.1, 1.0, 10.0];
+        let (alpha, err) = select_alpha_dense(&data.x, &data.labels, &grid, 3, 5);
+        assert!(grid.contains(&alpha));
+        assert!((0.0..=1.0).contains(&err));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 folds")]
+    fn rejects_single_fold() {
+        stratified_folds(&labels(), 1, 0);
+    }
+
+    #[test]
+    fn sparse_alpha_selection_runs_and_picks_from_grid() {
+        let data = srda_data::newsgroups_like(0.02, 6);
+        let grid = [0.1, 1.0];
+        let (alpha, err) =
+            select_alpha_sparse(&data.x, &data.labels, &grid, 10, 3, 4);
+        assert!(grid.contains(&alpha));
+        assert!((0.0..=1.0).contains(&err));
+    }
+}

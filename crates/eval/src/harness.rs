@@ -1,0 +1,338 @@
+//! The per-split experiment runner: fit one algorithm, time it, count its
+//! flam, and score it with the nearest-centroid classifier.
+//!
+//! The runner also owns the **memory-budget policy** that reproduces the
+//! paper's Tables IX/X: algorithms that must densify or center a large
+//! sparse matrix are *skipped* (with a reason) instead of run, exactly as
+//! the paper's 2 GB machine could not run LDA/RLDA/IDR-QR on the larger
+//! 20Newsgroups training sets.
+
+use crate::classify::nearest_centroid_error_rate;
+use srda::{IdrQr, IdrQrConfig, Lda, LdaConfig, Rlda, RldaConfig, Srda, SrdaConfig, SrdaError};
+use srda_linalg::{flam, Mat};
+use srda_sparse::CsrMatrix;
+use std::time::Instant;
+
+/// Which algorithm to run (mirrors the paper's §IV.B list).
+#[derive(Debug, Clone)]
+pub enum Algo {
+    /// Classical LDA with SVD stabilization (§II-A).
+    Lda,
+    /// Regularized LDA with Tikhonov parameter `alpha`.
+    Rlda {
+        /// The regularization parameter.
+        alpha: f64,
+    },
+    /// SRDA with the given configuration.
+    Srda(SrdaConfig),
+    /// IDR/QR with regularizer `lambda`.
+    IdrQr {
+        /// The regularization parameter.
+        lambda: f64,
+    },
+}
+
+impl Algo {
+    /// Display name matching the paper's table headers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algo::Lda => "LDA",
+            Algo::Rlda { .. } => "RLDA",
+            Algo::Srda(_) => "SRDA",
+            Algo::IdrQr { .. } => "IDR/QR",
+        }
+    }
+}
+
+/// Outcome of one (algorithm, split) run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Test error rate in `[0, 1]`; `None` when skipped.
+    pub error_rate: Option<f64>,
+    /// Training wall-time in seconds; `None` when skipped.
+    pub train_secs: Option<f64>,
+    /// flam consumed during training; `None` when skipped.
+    pub train_flam: Option<u64>,
+    /// Why the run was skipped (memory budget), if it was.
+    pub skipped: Option<String>,
+}
+
+impl RunOutcome {
+    fn skipped(reason: String) -> Self {
+        RunOutcome {
+            error_rate: None,
+            train_secs: None,
+            train_flam: None,
+            skipped: Some(reason),
+        }
+    }
+}
+
+/// Run one algorithm on a dense train/test split.
+pub fn run_dense(
+    algo: &Algo,
+    x_train: &Mat,
+    y_train: &[usize],
+    x_test: &Mat,
+    y_test: &[usize],
+    n_classes: usize,
+    memory_budget_bytes: Option<usize>,
+) -> RunOutcome {
+    flam::reset();
+    let start = Instant::now();
+    let fitted = match algo {
+        Algo::Lda => Lda::new(LdaConfig {
+            memory_budget_bytes,
+            ..LdaConfig::default()
+        })
+        .fit_dense(x_train, y_train),
+        Algo::Rlda { alpha } => Rlda::new(RldaConfig {
+            alpha: *alpha,
+            memory_budget_bytes,
+            ..RldaConfig::default()
+        })
+        .fit_dense(x_train, y_train),
+        Algo::Srda(cfg) => {
+            let mut cfg = cfg.clone();
+            cfg.memory_budget_bytes = memory_budget_bytes;
+            Srda::new(cfg)
+                .fit_dense(x_train, y_train)
+                .map(|m| m.embedding().clone())
+        }
+        Algo::IdrQr { lambda } => IdrQr::new(IdrQrConfig {
+            lambda: *lambda,
+            memory_budget_bytes,
+            ..IdrQrConfig::default()
+        })
+        .fit_dense(x_train, y_train),
+    };
+    let secs = start.elapsed().as_secs_f64();
+    let used_flam = flam::total();
+
+    let emb = match fitted {
+        Ok(e) => e,
+        Err(SrdaError::MemoryBudgetExceeded { .. }) => {
+            return RunOutcome::skipped("memory budget".into())
+        }
+        Err(e) => return RunOutcome::skipped(format!("failed: {e}")),
+    };
+
+    let z_train = emb.transform_dense(x_train).expect("train transform");
+    let z_test = emb.transform_dense(x_test).expect("test transform");
+    let err = nearest_centroid_error_rate(&z_train, y_train, &z_test, y_test, n_classes);
+    RunOutcome {
+        error_rate: Some(err),
+        train_secs: Some(secs),
+        train_flam: Some(used_flam),
+        skipped: None,
+    }
+}
+
+/// Run one algorithm on a sparse train/test split.
+///
+/// SRDA consumes the CSR matrices directly. LDA, RLDA, and IDR/QR need a
+/// dense matrix, so the training data is densified **through the memory
+/// budget**; if it doesn't fit, the run is skipped — the Tables IX/X
+/// behaviour.
+pub fn run_sparse(
+    algo: &Algo,
+    x_train: &CsrMatrix,
+    y_train: &[usize],
+    x_test: &CsrMatrix,
+    y_test: &[usize],
+    n_classes: usize,
+    memory_budget_bytes: Option<usize>,
+) -> RunOutcome {
+    if let Algo::Srda(cfg) = algo {
+        flam::reset();
+        let start = Instant::now();
+        let mut cfg = cfg.clone();
+        cfg.memory_budget_bytes = memory_budget_bytes;
+        let fitted = Srda::new(cfg).fit_sparse(x_train, y_train);
+        let secs = start.elapsed().as_secs_f64();
+        let used_flam = flam::total();
+        let model = match fitted {
+            Ok(m) => m,
+            Err(SrdaError::MemoryBudgetExceeded { .. }) => {
+                return RunOutcome::skipped("memory budget".into())
+            }
+            Err(e) => return RunOutcome::skipped(format!("failed: {e}")),
+        };
+        let z_train = model
+            .embedding()
+            .transform_sparse(x_train)
+            .expect("train transform");
+        let z_test = model
+            .embedding()
+            .transform_sparse(x_test)
+            .expect("test transform");
+        let err = nearest_centroid_error_rate(&z_train, y_train, &z_test, y_test, n_classes);
+        return RunOutcome {
+            error_rate: Some(err),
+            train_secs: Some(secs),
+            train_flam: Some(used_flam),
+            skipped: None,
+        };
+    }
+
+    // eigen-based baselines must densify the training data first
+    let budget = memory_budget_bytes.unwrap_or(usize::MAX);
+    let Some(dense_train) = x_train.to_dense_bounded(budget) else {
+        return RunOutcome::skipped("memory budget (densification)".into());
+    };
+    // the classifier also needs the embedded test set; transform_sparse
+    // avoids densifying the (larger) test matrix
+    flam::reset();
+    let start = Instant::now();
+    let fitted = match algo {
+        Algo::Lda => Lda::new(LdaConfig {
+            memory_budget_bytes,
+            ..LdaConfig::default()
+        })
+        .fit_dense(&dense_train, y_train),
+        Algo::Rlda { alpha } => Rlda::new(RldaConfig {
+            alpha: *alpha,
+            memory_budget_bytes,
+            ..RldaConfig::default()
+        })
+        .fit_dense(&dense_train, y_train),
+        Algo::IdrQr { lambda } => IdrQr::new(IdrQrConfig {
+            lambda: *lambda,
+            memory_budget_bytes,
+            ..IdrQrConfig::default()
+        })
+        .fit_dense(&dense_train, y_train),
+        Algo::Srda(_) => unreachable!("handled above"),
+    };
+    let secs = start.elapsed().as_secs_f64();
+    let used_flam = flam::total();
+    let emb = match fitted {
+        Ok(e) => e,
+        Err(SrdaError::MemoryBudgetExceeded { .. }) => {
+            return RunOutcome::skipped("memory budget".into())
+        }
+        Err(e) => return RunOutcome::skipped(format!("failed: {e}")),
+    };
+    let z_train = emb.transform_dense(&dense_train).expect("train transform");
+    let z_test = emb.transform_sparse(x_test).expect("test transform");
+    let err = nearest_centroid_error_rate(&z_train, y_train, &z_test, y_test, n_classes);
+    RunOutcome {
+        error_rate: Some(err),
+        train_secs: Some(secs),
+        train_flam: Some(used_flam),
+        skipped: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srda_data::{mnist_like, per_class_split};
+
+    fn dense_setup() -> (Mat, Vec<usize>, Mat, Vec<usize>, usize) {
+        let d = mnist_like(0.05, 3);
+        let split = per_class_split(&d.labels, 10, 1);
+        let tr = d.select(&split.train);
+        let te = d.select(&split.test);
+        (tr.x, tr.labels, te.x, te.labels, d.n_classes)
+    }
+
+    #[test]
+    fn all_algorithms_run_on_dense_data() {
+        let (xtr, ytr, xte, yte, c) = dense_setup();
+        for algo in [
+            Algo::Lda,
+            Algo::Rlda { alpha: 1.0 },
+            Algo::Srda(SrdaConfig::default()),
+            Algo::IdrQr { lambda: 1.0 },
+        ] {
+            let out = run_dense(&algo, &xtr, &ytr, &xte, &yte, c, None);
+            assert!(
+                out.skipped.is_none(),
+                "{} skipped: {:?}",
+                algo.name(),
+                out.skipped
+            );
+            let err = out.error_rate.unwrap();
+            assert!((0.0..=1.0).contains(&err));
+            assert!(out.train_secs.unwrap() >= 0.0);
+            assert!(out.train_flam.unwrap() > 0);
+        }
+    }
+
+    #[test]
+    fn regularized_methods_beat_chance_comfortably() {
+        let (xtr, ytr, xte, yte, c) = dense_setup();
+        let chance = 1.0 - 1.0 / c as f64;
+        for algo in [
+            Algo::Rlda { alpha: 1.0 },
+            Algo::Srda(SrdaConfig::default()),
+        ] {
+            let out = run_dense(&algo, &xtr, &ytr, &xte, &yte, c, None);
+            let err = out.error_rate.unwrap();
+            assert!(
+                err < 0.5 * chance,
+                "{} error {err} vs chance {chance}",
+                algo.name()
+            );
+        }
+    }
+
+    #[test]
+    fn memory_budget_skips_eigen_methods() {
+        let (xtr, ytr, xte, yte, c) = dense_setup();
+        let out = run_dense(&Algo::Lda, &xtr, &ytr, &xte, &yte, c, Some(1024));
+        assert!(out.skipped.is_some());
+        assert!(out.error_rate.is_none());
+    }
+
+    #[test]
+    fn sparse_runner_srda_vs_densifying_baseline() {
+        let d = srda_data::newsgroups_like(0.02, 5);
+        let split = per_class_split(&d.labels, 8, 2);
+        let tr = d.select(&split.train);
+        let te = d.select(&split.test);
+        let srda_out = run_sparse(
+            &Algo::Srda(SrdaConfig::lsqr_default()),
+            &tr.x,
+            &tr.labels,
+            &te.x,
+            &te.labels,
+            d.n_classes,
+            None,
+        );
+        assert!(srda_out.skipped.is_none(), "{:?}", srda_out.skipped);
+        assert!(srda_out.error_rate.unwrap() < 0.9);
+
+        // a tight budget skips the densifying baseline but not SRDA+LSQR
+        let tight = Some(tr.x.memory_bytes()); // CSR fits; dense won't
+        let lda_out = run_sparse(
+            &Algo::Lda,
+            &tr.x,
+            &tr.labels,
+            &te.x,
+            &te.labels,
+            d.n_classes,
+            tight,
+        );
+        assert!(lda_out.skipped.is_some());
+        let srda_tight = run_sparse(
+            &Algo::Srda(SrdaConfig::lsqr_default()),
+            &tr.x,
+            &tr.labels,
+            &te.x,
+            &te.labels,
+            d.n_classes,
+            tight,
+        );
+        assert!(srda_tight.skipped.is_none());
+    }
+
+    #[test]
+    fn algo_names() {
+        assert_eq!(Algo::Lda.name(), "LDA");
+        assert_eq!(Algo::Rlda { alpha: 1.0 }.name(), "RLDA");
+        assert_eq!(Algo::Srda(SrdaConfig::default()).name(), "SRDA");
+        assert_eq!(Algo::IdrQr { lambda: 1.0 }.name(), "IDR/QR");
+    }
+}

@@ -1,0 +1,22 @@
+//! # srda-eval
+//!
+//! Evaluation harness for the SRDA reproduction: classification on learned
+//! embeddings, error-rate aggregation over random splits, and a runner that
+//! measures training wall-time and flam per algorithm — everything the
+//! reproduction binaries need to print the paper's tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)]
+
+pub mod classify;
+pub mod cv;
+pub mod harness;
+pub mod metrics;
+pub mod stats;
+
+pub use classify::{knn_error_rate, nearest_centroid_error_rate, NearestCentroid};
+pub use cv::{cross_validate, select_alpha_dense, select_alpha_sparse, stratified_folds};
+pub use harness::{run_dense, run_sparse, Algo, RunOutcome};
+pub use metrics::ConfusionMatrix;
+pub use stats::Aggregate;

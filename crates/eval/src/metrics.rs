@@ -1,0 +1,186 @@
+//! Classification metrics beyond the error rate: confusion matrix and
+//! per-class precision/recall/F1 with macro averages.
+
+/// A `c × c` confusion matrix: `counts[t][p]` is the number of samples of
+/// true class `t` predicted as class `p`.
+///
+/// ```
+/// use srda_eval::ConfusionMatrix;
+///
+/// let cm = ConfusionMatrix::from_predictions(&[0, 1, 1], &[0, 1, 0], 2);
+/// assert_eq!(cm.count(0, 1), 1);          // one class-0 sample predicted 1
+/// assert!((cm.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Build from parallel prediction/truth slices.
+    pub fn from_predictions(pred: &[usize], truth: &[usize], n_classes: usize) -> Self {
+        assert_eq!(pred.len(), truth.len());
+        let mut counts = vec![vec![0usize; n_classes]; n_classes];
+        for (&p, &t) in pred.iter().zip(truth) {
+            counts[t][p] += 1;
+        }
+        ConfusionMatrix { counts }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Raw count of true class `t` predicted as `p`.
+    pub fn count(&self, t: usize, p: usize) -> usize {
+        self.counts[t][p]
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> usize {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let correct: usize = (0..self.n_classes()).map(|k| self.counts[k][k]).sum();
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+
+    /// Overall error rate (`1 − accuracy`).
+    pub fn error_rate(&self) -> f64 {
+        1.0 - self.accuracy()
+    }
+
+    /// Precision of class `k`: TP / (TP + FP). 0 when the class is never
+    /// predicted.
+    pub fn precision(&self, k: usize) -> f64 {
+        let tp = self.counts[k][k];
+        let predicted: usize = (0..self.n_classes()).map(|t| self.counts[t][k]).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            tp as f64 / predicted as f64
+        }
+    }
+
+    /// Recall of class `k`: TP / (TP + FN). 0 when the class has no
+    /// samples.
+    pub fn recall(&self, k: usize) -> f64 {
+        let tp = self.counts[k][k];
+        let actual: usize = self.counts[k].iter().sum();
+        if actual == 0 {
+            0.0
+        } else {
+            tp as f64 / actual as f64
+        }
+    }
+
+    /// F1 of class `k` (harmonic mean of precision and recall).
+    pub fn f1(&self, k: usize) -> f64 {
+        let p = self.precision(k);
+        let r = self.recall(k);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Unweighted mean F1 over classes.
+    pub fn macro_f1(&self) -> f64 {
+        let c = self.n_classes();
+        (0..c).map(|k| self.f1(k)).sum::<f64>() / c as f64
+    }
+
+    /// The most-confused ordered pair `(true, predicted)` among off-
+    /// diagonal entries, or `None` if there are no mistakes.
+    pub fn worst_confusion(&self) -> Option<(usize, usize, usize)> {
+        let mut best: Option<(usize, usize, usize)> = None;
+        for t in 0..self.n_classes() {
+            for p in 0..self.n_classes() {
+                if t != p && self.counts[t][p] > 0
+                    && best.is_none_or(|(_, _, n)| self.counts[t][p] > n) {
+                        best = Some((t, p, self.counts[t][p]));
+                    }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cm() -> ConfusionMatrix {
+        // truth:      0 0 0 1 1 2
+        // predicted:  0 0 1 1 1 0
+        ConfusionMatrix::from_predictions(&[0, 0, 1, 1, 1, 0], &[0, 0, 0, 1, 1, 2], 3)
+    }
+
+    #[test]
+    fn counts_and_totals() {
+        let m = cm();
+        assert_eq!(m.count(0, 0), 2);
+        assert_eq!(m.count(0, 1), 1);
+        assert_eq!(m.count(2, 0), 1);
+        assert_eq!(m.total(), 6);
+    }
+
+    #[test]
+    fn accuracy_and_error() {
+        let m = cm();
+        assert!((m.accuracy() - 4.0 / 6.0).abs() < 1e-15);
+        assert!((m.error_rate() - 2.0 / 6.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn precision_recall_f1() {
+        let m = cm();
+        // class 0: TP=2, predicted-as-0 = 3, actual = 3
+        assert!((m.precision(0) - 2.0 / 3.0).abs() < 1e-15);
+        assert!((m.recall(0) - 2.0 / 3.0).abs() < 1e-15);
+        assert!((m.f1(0) - 2.0 / 3.0).abs() < 1e-15);
+        // class 2: never predicted
+        assert_eq!(m.precision(2), 0.0);
+        assert_eq!(m.recall(2), 0.0);
+        assert_eq!(m.f1(2), 0.0);
+    }
+
+    #[test]
+    fn macro_f1_averages() {
+        let m = cm();
+        let expect = (m.f1(0) + m.f1(1) + m.f1(2)) / 3.0;
+        assert!((m.macro_f1() - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn worst_confusion_found() {
+        let m = cm();
+        let (t, p, n) = m.worst_confusion().unwrap();
+        assert!(n == 1);
+        assert!(t != p);
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let m = ConfusionMatrix::from_predictions(&[0, 1, 2], &[0, 1, 2], 3);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.worst_confusion(), None);
+        assert_eq!(m.macro_f1(), 1.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let m = ConfusionMatrix::from_predictions(&[], &[], 2);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.total(), 0);
+    }
+}

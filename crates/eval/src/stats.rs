@@ -1,0 +1,81 @@
+//! Aggregation of per-split results into `mean ± std`, the form every
+//! table in the paper reports.
+
+/// Mean and (sample) standard deviation of a set of observations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aggregate {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (divisor `n − 1`; 0 for fewer than two
+    /// observations).
+    pub std: f64,
+    /// Number of observations aggregated.
+    pub count: usize,
+}
+
+impl Aggregate {
+    /// Aggregate a slice of observations.
+    pub fn from_values(values: &[f64]) -> Aggregate {
+        let n = values.len();
+        if n == 0 {
+            return Aggregate {
+                mean: 0.0,
+                std: 0.0,
+                count: 0,
+            };
+        }
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let std = if n < 2 {
+            0.0
+        } else {
+            let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+                / (n - 1) as f64;
+            var.sqrt()
+        };
+        Aggregate {
+            mean,
+            std,
+            count: n,
+        }
+    }
+
+    /// Render as the paper's `mean±std` percentage (inputs are fractions).
+    pub fn as_percent(&self) -> String {
+        format!("{:.1}±{:.1}", self.mean * 100.0, self.std * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let a = Aggregate::from_values(&[1.0, 2.0, 3.0]);
+        assert!((a.mean - 2.0).abs() < 1e-15);
+        assert!((a.std - 1.0).abs() < 1e-12);
+        assert_eq!(a.count, 3);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let empty = Aggregate::from_values(&[]);
+        assert_eq!(empty.mean, 0.0);
+        assert_eq!(empty.count, 0);
+        let single = Aggregate::from_values(&[5.0]);
+        assert_eq!(single.mean, 5.0);
+        assert_eq!(single.std, 0.0);
+    }
+
+    #[test]
+    fn percent_rendering() {
+        let a = Aggregate::from_values(&[0.19, 0.21]);
+        assert_eq!(a.as_percent(), "20.0±1.4");
+    }
+
+    #[test]
+    fn constant_values_have_zero_std() {
+        let a = Aggregate::from_values(&[0.5; 10]);
+        assert_eq!(a.std, 0.0);
+    }
+}

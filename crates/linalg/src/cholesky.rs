@@ -1,0 +1,219 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+//!
+//! This is the factorization behind SRDA's normal-equations solver: the
+//! paper (§III.C.1) factors `XXᵀ + αI = RᵀR` once (`n³/6` flam) and then
+//! back-solves for every response vector (`cn²` flam). We store the lower
+//! factor `L` with `A = L·Lᵀ`, which is the same object transposed.
+
+use crate::error::LinalgError;
+use crate::matrix::Mat;
+use crate::triangular;
+use crate::{flam, Result};
+
+/// A computed Cholesky factorization `A = L·Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Mat,
+}
+
+impl Cholesky {
+    /// Factor a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; the strict upper triangle is
+    /// ignored (callers may pass a matrix whose upper triangle is stale).
+    /// Fails with [`LinalgError::NotPositiveDefinite`] if a pivot is
+    /// non-positive — for SRDA this never happens when `α > 0` because the
+    /// ridge shift makes the Gram matrix strictly positive definite.
+    pub fn factor(a: &Mat) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.nrows(),
+                cols: a.ncols(),
+            });
+        }
+        let n = a.nrows();
+        flam::add((n * n * n / 6) as u64);
+        let mut l = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                // dot of the already-computed prefixes of rows i and j
+                let mut acc = a[(i, j)];
+                let (ri, rj) = (l.row(i), l.row(j));
+                for k in 0..j {
+                    acc -= ri[k] * rj[k];
+                }
+                if i == j {
+                    if acc <= 0.0 || !acc.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite {
+                            pivot: i,
+                            value: acc,
+                        });
+                    }
+                    l[(i, i)] = acc.sqrt();
+                } else {
+                    l[(i, j)] = acc / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Mat {
+        &self.l
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.nrows()
+    }
+
+    /// Solve `A·x = b`, overwriting `b` with `x`.
+    pub fn solve_inplace(&self, b: &mut [f64]) -> Result<()> {
+        triangular::solve_lower_inplace(&self.l, b)?;
+        triangular::solve_lower_transpose_inplace(&self.l, b)
+    }
+
+    /// Solve `A·x = b`, returning a fresh solution vector.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let mut x = b.to_vec();
+        self.solve_inplace(&mut x)?;
+        Ok(x)
+    }
+
+    /// Solve `A·X = B` for a matrix of right-hand sides (columns of `B`).
+    /// This is SRDA's multi-response solve: one factorization amortized
+    /// across `c − 1` systems.
+    pub fn solve_mat(&self, b: &Mat) -> Result<Mat> {
+        if b.nrows() != self.dim() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky solve_mat",
+                lhs: (self.dim(), self.dim()),
+                rhs: b.shape(),
+            });
+        }
+        let mut x = Mat::zeros(b.nrows(), b.ncols());
+        let mut col = vec![0.0; b.nrows()];
+        for j in 0..b.ncols() {
+            for i in 0..b.nrows() {
+                col[i] = b[(i, j)];
+            }
+            self.solve_inplace(&mut col)?;
+            x.set_col(j, &col);
+        }
+        Ok(x)
+    }
+
+    /// log-determinant of `A` (`2·Σ log Lᵢᵢ`), handy for model-selection
+    /// criteria.
+    pub fn log_det(&self) -> f64 {
+        self.l.diag().iter().map(|d| d.ln()).sum::<f64>() * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{gram, matmul, matmul_transb, matvec};
+
+    fn spd(n: usize) -> Mat {
+        // AᵀA + I is SPD for any A
+        let a = Mat::from_fn(n + 2, n, |i, j| ((i * 13 + j * 7) % 11) as f64 / 11.0 - 0.4);
+        let mut g = gram(&a);
+        g.add_to_diag(1.0);
+        g
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd(8);
+        let ch = Cholesky::factor(&a).unwrap();
+        let recon = matmul_transb(ch.l(), ch.l()).unwrap();
+        assert!(recon.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn l_is_lower_triangular() {
+        let ch = Cholesky::factor(&spd(6)).unwrap();
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                assert_eq!(ch.l()[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_roundtrip() {
+        let a = spd(10);
+        let ch = Cholesky::factor(&a).unwrap();
+        let x_true: Vec<f64> = (0..10).map(|i| (i as f64) - 4.5).collect();
+        let b = matvec(&a, &x_true).unwrap();
+        let x = ch.solve(&b).unwrap();
+        for (u, v) in x.iter().zip(&x_true) {
+            assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn solve_mat_matches_columnwise() {
+        let a = spd(7);
+        let ch = Cholesky::factor(&a).unwrap();
+        let b = Mat::from_fn(7, 3, |i, j| (i as f64 + 1.0) * (j as f64 - 1.0));
+        let x = ch.solve_mat(&b).unwrap();
+        let recon = matmul(&a, &x).unwrap();
+        assert!(recon.approx_eq(&b, 1e-9));
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Mat::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap(); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(Cholesky::factor(&Mat::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn ignores_upper_triangle() {
+        let mut a = spd(5);
+        let ch1 = Cholesky::factor(&a).unwrap();
+        // poison the strict upper triangle
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                a[(i, j)] = f64::NAN;
+            }
+        }
+        let ch2 = Cholesky::factor(&a).unwrap();
+        assert!(ch1.l().approx_eq(ch2.l(), 0.0));
+    }
+
+    #[test]
+    fn log_det_of_identity_is_zero() {
+        let ch = Cholesky::factor(&Mat::identity(4)).unwrap();
+        assert!(ch.log_det().abs() < 1e-14);
+    }
+
+    #[test]
+    fn log_det_of_diag() {
+        let ch = Cholesky::factor(&Mat::from_diag(&[2.0, 3.0])).unwrap();
+        assert!((ch.log_det() - 6.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_by_one() {
+        let ch = Cholesky::factor(&Mat::from_diag(&[9.0])).unwrap();
+        assert_eq!(ch.l()[(0, 0)], 3.0);
+        assert_eq!(ch.solve(&[18.0]).unwrap(), vec![2.0]);
+    }
+
+    #[test]
+    fn solve_mat_shape_check() {
+        let ch = Cholesky::factor(&Mat::identity(3)).unwrap();
+        assert!(ch.solve_mat(&Mat::zeros(4, 2)).is_err());
+    }
+}

@@ -1,0 +1,87 @@
+//! Global *flam* operation counters.
+//!
+//! The paper states every complexity result in *flam* — "a compound
+//! operation consisting of one addition and one multiplication" (Stewart,
+//! *Matrix Algorithms I*, 1998). To verify Table I empirically rather than
+//! rhetorically, the hot kernels in this crate report their flam count to a
+//! process-global atomic counter at kernel granularity (one atomic add per
+//! kernel call, not per scalar operation, so the overhead is negligible).
+//!
+//! Typical use by the benchmark harness:
+//!
+//! ```
+//! use srda_linalg::flam;
+//!
+//! flam::reset();
+//! // ... run LDA or SRDA ...
+//! let cost = flam::total();
+//! assert_eq!(cost, 0); // nothing ran in this doctest
+//! ```
+//!
+//! Counts are *approximate by design*: a kernel reports its leading-order
+//! term (e.g. an `m×k · k×n` product reports `m·k·n`), matching how the
+//! paper's formulas drop lower-order terms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static FLAM_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Add `n` flam to the global counter.
+#[inline]
+pub fn add(n: u64) {
+    FLAM_COUNT.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Read the current global flam count.
+#[inline]
+pub fn total() -> u64 {
+    FLAM_COUNT.load(Ordering::Relaxed)
+}
+
+/// Reset the global flam count to zero.
+#[inline]
+pub fn reset() {
+    FLAM_COUNT.store(0, Ordering::Relaxed);
+}
+
+/// Run `f` and return `(result, flam consumed by f)`.
+///
+/// This resets the global counter, so it is intended for single-threaded
+/// measurement harnesses, not for concurrent use.
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    reset();
+    let out = f();
+    (out, total())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Note: these tests share a global counter with the rest of the test
+    // binary, so they only assert *relative* behaviour within `measure`,
+    // which snapshots deterministically.
+
+    #[test]
+    fn measure_captures_adds() {
+        let ((), used) = measure(|| {
+            add(10);
+            add(32);
+        });
+        assert_eq!(used, 42);
+    }
+
+    #[test]
+    fn measure_returns_closure_output() {
+        let (v, _) = measure(|| 7usize);
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        add(5);
+        reset();
+        let ((), used) = measure(|| {});
+        assert_eq!(used, 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Modified Gram-Schmidt orthogonalization with reorthogonalization.
+//!
+//! SRDA's response-generation step (§III.B step 1) is, verbatim: "Take the
+//! ones vector as the first vector and use the Gram-Schmidt process to
+//! orthogonalize" the class-indicator vectors. The paper charges this step
+//! `mc²` flam. We implement *modified* Gram-Schmidt with one optional
+//! reorthogonalization pass (the classic "twice is enough" rule), which
+//! keeps the produced basis orthonormal to machine precision even for
+//! nearly dependent inputs.
+
+use crate::{flam, vector};
+
+/// Outcome of orthogonalizing one vector against an existing orthonormal
+/// basis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GsOutcome {
+    /// The vector had a significant independent component and was added.
+    Added,
+    /// The vector was (numerically) inside the span and was rejected.
+    Dependent,
+}
+
+/// Orthogonalize `v` in place against the orthonormal rows in `basis`,
+/// then normalize. Returns [`GsOutcome::Dependent`] (leaving `v`
+/// unspecified) if the residual norm falls below `tol` times the original
+/// norm.
+pub fn orthogonalize_against(
+    basis: &[Vec<f64>],
+    v: &mut [f64],
+    tol: f64,
+) -> GsOutcome {
+    let orig = vector::norm2(v);
+    if orig == 0.0 {
+        return GsOutcome::Dependent;
+    }
+    flam::add((2 * basis.len() * v.len()) as u64);
+    for _pass in 0..2 {
+        for b in basis {
+            let proj = vector::dot(b, v);
+            vector::axpy(-proj, b, v);
+        }
+    }
+    let after = vector::norm2(v);
+    if after <= tol * orig {
+        return GsOutcome::Dependent;
+    }
+    vector::scale(1.0 / after, v);
+    GsOutcome::Added
+}
+
+/// Orthonormalize a set of vectors with modified Gram-Schmidt, dropping
+/// numerically dependent ones. Returns the orthonormal basis (each of the
+/// original length).
+pub fn orthonormalize(vectors: &[Vec<f64>], tol: f64) -> Vec<Vec<f64>> {
+    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(vectors.len());
+    for v in vectors {
+        let mut w = v.clone();
+        if orthogonalize_against(&basis, &mut w, tol) == GsOutcome::Added {
+            basis.push(w);
+        }
+    }
+    basis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_orthonormal(basis: &[Vec<f64>], tol: f64) -> bool {
+        for (i, a) in basis.iter().enumerate() {
+            for (j, b) in basis.iter().enumerate() {
+                let d = vector::dot(a, b);
+                let expect = if i == j { 1.0 } else { 0.0 };
+                if (d - expect).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn orthonormalizes_independent_set() {
+        let vs = vec![
+            vec![1.0, 1.0, 0.0],
+            vec![1.0, 0.0, 1.0],
+            vec![0.0, 1.0, 1.0],
+        ];
+        let basis = orthonormalize(&vs, 1e-12);
+        assert_eq!(basis.len(), 3);
+        assert!(is_orthonormal(&basis, 1e-12));
+    }
+
+    #[test]
+    fn preserves_span_order() {
+        // first basis vector must be parallel to the first input
+        let vs = vec![vec![3.0, 0.0], vec![1.0, 1.0]];
+        let basis = orthonormalize(&vs, 1e-12);
+        assert!((basis[0][0].abs() - 1.0).abs() < 1e-14);
+        assert!(basis[0][1].abs() < 1e-14);
+    }
+
+    #[test]
+    fn drops_dependent_vectors() {
+        let vs = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 4.0, 6.0], // parallel to the first
+            vec![1.0, 0.0, 0.0],
+        ];
+        let basis = orthonormalize(&vs, 1e-10);
+        assert_eq!(basis.len(), 2);
+        assert!(is_orthonormal(&basis, 1e-12));
+    }
+
+    #[test]
+    fn drops_zero_vector() {
+        let vs = vec![vec![0.0, 0.0], vec![1.0, 0.0]];
+        let basis = orthonormalize(&vs, 1e-10);
+        assert_eq!(basis.len(), 1);
+    }
+
+    #[test]
+    fn reorthogonalization_handles_near_dependence() {
+        // nearly parallel vectors: naive single-pass MGS loses orthogonality
+        let eps = 1e-10;
+        let vs = vec![
+            vec![1.0, eps, 0.0],
+            vec![1.0, 0.0, eps],
+            vec![0.0, 0.0, 1.0],
+        ];
+        let basis = orthonormalize(&vs, 1e-14);
+        assert_eq!(basis.len(), 3);
+        assert!(is_orthonormal(&basis, 1e-10));
+    }
+
+    #[test]
+    fn orthogonalize_against_empty_basis_just_normalizes() {
+        let mut v = vec![0.0, 3.0, 4.0];
+        assert_eq!(orthogonalize_against(&[], &mut v, 1e-12), GsOutcome::Added);
+        assert!((vector::norm2(&v) - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn class_indicator_scenario_from_paper() {
+        // The exact SRDA use-case: ones vector first, then class indicators.
+        // m = 6 samples, c = 3 classes of 2 samples each.
+        let ones = vec![1.0; 6];
+        let ind1 = vec![1.0, 1.0, 0.0, 0.0, 0.0, 0.0];
+        let ind2 = vec![0.0, 0.0, 1.0, 1.0, 0.0, 0.0];
+        let ind3 = vec![0.0, 0.0, 0.0, 0.0, 1.0, 1.0];
+        let basis = orthonormalize(&[ones, ind1, ind2, ind3], 1e-10);
+        // indicators sum to the ones vector → exactly one is dependent
+        assert_eq!(basis.len(), 3);
+        assert!(is_orthonormal(&basis, 1e-12));
+        // all non-first vectors are orthogonal to ones ⇒ entries sum to 0
+        for b in &basis[1..] {
+            assert!(vector::sum(b).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Plain-text CSV interchange for dense matrices — the lingua franca for
+//! getting embeddings into plotting tools and labeled dense datasets out
+//! of spreadsheets.
+
+use crate::error::LinalgError;
+use crate::matrix::Mat;
+use crate::Result;
+
+/// Serialize a matrix as CSV (one row per line, `sep`-separated, full
+/// float precision).
+pub fn write_csv(m: &Mat, sep: char) -> String {
+    let mut out = String::new();
+    for i in 0..m.nrows() {
+        let mut first = true;
+        for v in m.row(i) {
+            if !first {
+                out.push(sep);
+            }
+            first = false;
+            out.push_str(&format!("{v}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse CSV into a matrix. Empty lines and lines starting with `#` are
+/// skipped; all data rows must have the same number of fields.
+pub fn read_csv(text: &str, sep: char) -> Result<Mat> {
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut row = Vec::new();
+        for field in line.split(sep) {
+            let v: f64 = field.trim().parse().map_err(|_| LinalgError::NonFinite {
+                context: "read_csv: unparsable field",
+            })?;
+            row.push(v);
+        }
+        if let Some(first) = rows.first() {
+            if row.len() != first.len() {
+                let _ = lineno;
+                return Err(LinalgError::InvalidDimension {
+                    context: "read_csv: ragged rows",
+                });
+            }
+        }
+        rows.push(row);
+    }
+    Mat::from_rows(&rows)
+}
+
+/// Parse a labeled CSV where the **first column is an integer class label**
+/// and the rest are features; returns `(features, labels)`.
+pub fn read_labeled_csv(text: &str, sep: char) -> Result<(Mat, Vec<usize>)> {
+    let full = read_csv(text, sep)?;
+    if full.ncols() < 2 {
+        return Err(LinalgError::InvalidDimension {
+            context: "read_labeled_csv: need a label column plus features",
+        });
+    }
+    let mut labels = Vec::with_capacity(full.nrows());
+    for i in 0..full.nrows() {
+        let l = full[(i, 0)];
+        if l < 0.0 || l.fract() != 0.0 {
+            return Err(LinalgError::NonFinite {
+                context: "read_labeled_csv: label column must be non-negative integers",
+            });
+        }
+        labels.push(l as usize);
+    }
+    let idx: Vec<usize> = (1..full.ncols()).collect();
+    Ok((full.select_cols(&idx), labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let m = Mat::from_rows(&[vec![1.5, -2.0], vec![0.25, 1e-9]]).unwrap();
+        let text = write_csv(&m, ',');
+        let back = read_csv(&text, ',').unwrap();
+        assert!(m.approx_eq(&back, 0.0));
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let m = read_csv("# header\n1,2\n\n3,4\n", ',').unwrap();
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m[(1, 0)], 3.0);
+    }
+
+    #[test]
+    fn custom_separator() {
+        let m = read_csv("1\t2\n3\t4\n", '\t').unwrap();
+        assert_eq!(m[(0, 1)], 2.0);
+    }
+
+    #[test]
+    fn rejects_ragged_and_garbage() {
+        assert!(read_csv("1,2\n3\n", ',').is_err());
+        assert!(read_csv("1,x\n", ',').is_err());
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let m = read_csv(" 1 , 2 \n", ',').unwrap();
+        assert_eq!(m[(0, 1)], 2.0);
+    }
+
+    #[test]
+    fn labeled_csv() {
+        let (x, y) = read_labeled_csv("0,1.5,2.5\n1,3.0,4.0\n", ',').unwrap();
+        assert_eq!(y, vec![0, 1]);
+        assert_eq!(x.shape(), (2, 2));
+        assert_eq!(x[(1, 1)], 4.0);
+    }
+
+    #[test]
+    fn labeled_csv_rejects_bad_labels() {
+        assert!(read_labeled_csv("0.5,1.0\n", ',').is_err());
+        assert!(read_labeled_csv("-1,1.0\n", ',').is_err());
+        assert!(read_labeled_csv("3\n", ',').is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        let m = read_csv("", ',').unwrap();
+        assert!(m.is_empty());
+    }
+}

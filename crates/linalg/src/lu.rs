@@ -1,0 +1,232 @@
+//! LU factorization with partial pivoting.
+//!
+//! Not on SRDA's critical path (the paper's systems are all symmetric
+//! positive definite or least-squares), but the workspace needs a general
+//! square solver as a test oracle and for the occasional non-symmetric
+//! system in the evaluation harness.
+
+use crate::error::LinalgError;
+use crate::matrix::Mat;
+use crate::{flam, Result};
+
+/// An LU factorization `P·A = L·U` with partial (row) pivoting.
+///
+/// `L` and `U` are packed into a single matrix: the unit diagonal of `L` is
+/// implicit.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    lu: Mat,
+    /// Row permutation: `perm[i]` is the original index of pivoted row `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1/-1), for determinants.
+    sign: f64,
+}
+
+impl Lu {
+    /// Factor a square matrix. Fails on exact singularity.
+    pub fn factor(a: &Mat) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.nrows(),
+                cols: a.ncols(),
+            });
+        }
+        let n = a.nrows();
+        flam::add((n * n * n / 3) as u64);
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        for k in 0..n {
+            // pivot: largest |entry| in column k at or below the diagonal
+            let mut p = k;
+            let mut pmax = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if pmax == 0.0 {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if p != k {
+                perm.swap(p, k);
+                sign = -sign;
+                // swap rows p and k
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                if factor != 0.0 {
+                    for j in (k + 1)..n {
+                        let delta = factor * lu[(k, j)];
+                        lu[(i, j)] -= delta;
+                    }
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.nrows()
+    }
+
+    /// Solve `A·x = b`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        flam::add((n * n) as u64);
+        // apply permutation
+        let mut x: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
+        // forward substitution with unit lower triangle
+        for i in 0..n {
+            let row = self.lu.row(i);
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= row[j] * x[j];
+            }
+            x[i] = acc;
+        }
+        // back substitution with upper triangle
+        for i in (0..n).rev() {
+            let row = self.lu.row(i);
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= row[j] * x[j];
+            }
+            x[i] = acc / row[i];
+        }
+        Ok(x)
+    }
+
+    /// Solve for a matrix of right-hand sides (columns of `b`).
+    pub fn solve_mat(&self, b: &Mat) -> Result<Mat> {
+        if b.nrows() != self.dim() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu solve_mat",
+                lhs: (self.dim(), self.dim()),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Mat::zeros(b.nrows(), b.ncols());
+        for j in 0..b.ncols() {
+            let x = self.solve(&b.col(j))?;
+            out.set_col(j, &x);
+        }
+        Ok(out)
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        self.sign * self.lu.diag().iter().product::<f64>()
+    }
+
+    /// Explicit inverse (prefer `solve` in production code; this exists for
+    /// tests and small reduced systems).
+    pub fn inverse(&self) -> Result<Mat> {
+        self.solve_mat(&Mat::identity(self.dim()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{matmul, matvec};
+
+    fn test_mat() -> Mat {
+        Mat::from_rows(&[
+            vec![2.0, 1.0, 1.0],
+            vec![4.0, -6.0, 0.0],
+            vec![-2.0, 7.0, 2.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn solve_roundtrip() {
+        let a = test_mat();
+        let lu = Lu::factor(&a).unwrap();
+        let x_true = [1.0, -2.0, 3.0];
+        let b = matvec(&a, &x_true).unwrap();
+        let x = lu.solve(&b).unwrap();
+        for (u, v) in x.iter().zip(&x_true) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Mat::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-14);
+        assert!((x[1] - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn det_known_values() {
+        let a = test_mat(); // det = 2*(-12-0) -1*(8-0) +1*(28-12) = -24-8+16 = -16
+        let lu = Lu::factor(&a).unwrap();
+        assert!((lu.det() - (-16.0)).abs() < 1e-10);
+        let id = Lu::factor(&Mat::identity(5)).unwrap();
+        assert!((id.det() - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn det_sign_tracks_permutation() {
+        let a = Mat::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let lu = Lu::factor(&a).unwrap();
+        assert!((lu.det() + 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn inverse_times_a_is_identity() {
+        let a = test_mat();
+        let inv = Lu::factor(&a).unwrap().inverse().unwrap();
+        let prod = matmul(&a, &inv).unwrap();
+        assert!(prod.approx_eq(&Mat::identity(3), 1e-11));
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Mat::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert!(matches!(Lu::factor(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(Lu::factor(&Mat::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn solve_mat_multiple_rhs() {
+        let a = test_mat();
+        let lu = Lu::factor(&a).unwrap();
+        let b = Mat::from_fn(3, 2, |i, j| (i + j) as f64 + 1.0);
+        let x = lu.solve_mat(&b).unwrap();
+        let recon = matmul(&a, &x).unwrap();
+        assert!(recon.approx_eq(&b, 1e-11));
+    }
+
+    #[test]
+    fn rhs_length_checked() {
+        let lu = Lu::factor(&Mat::identity(3)).unwrap();
+        assert!(lu.solve(&[1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,116 @@
+//! Standard arithmetic operator impls for [`Mat`] references.
+//!
+//! These are ergonomic sugar over the checked methods in
+//! [`crate::matrix`]/[`crate::ops`]; because Rust operators cannot return
+//! `Result`, shape mismatches **panic** here (with the underlying error's
+//! message). Library code on fallible paths should keep calling the
+//! checked APIs; quick scripts and tests get `&a * &b`.
+
+use crate::matrix::Mat;
+use crate::ops;
+use std::ops::{Add, Mul, Neg, Sub};
+
+impl Add for &Mat {
+    type Output = Mat;
+    fn add(self, rhs: &Mat) -> Mat {
+        Mat::add(self, rhs).expect("matrix addition shape mismatch")
+    }
+}
+
+impl Sub for &Mat {
+    type Output = Mat;
+    fn sub(self, rhs: &Mat) -> Mat {
+        Mat::sub(self, rhs).expect("matrix subtraction shape mismatch")
+    }
+}
+
+impl Mul for &Mat {
+    type Output = Mat;
+    fn mul(self, rhs: &Mat) -> Mat {
+        ops::matmul(self, rhs).expect("matrix product shape mismatch")
+    }
+}
+
+impl Mul<f64> for &Mat {
+    type Output = Mat;
+    fn mul(self, rhs: f64) -> Mat {
+        self.scaled(rhs)
+    }
+}
+
+impl Mul<&Mat> for f64 {
+    type Output = Mat;
+    fn mul(self, rhs: &Mat) -> Mat {
+        rhs.scaled(self)
+    }
+}
+
+impl Neg for &Mat {
+    type Output = Mat;
+    fn neg(self) -> Mat {
+        self.scaled(-1.0)
+    }
+}
+
+/// Matrix–vector product sugar: `&a * &x[..]`.
+impl Mul<&[f64]> for &Mat {
+    type Output = Vec<f64>;
+    fn mul(self, rhs: &[f64]) -> Vec<f64> {
+        ops::matvec(self, rhs).expect("matrix-vector shape mismatch")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a() -> Mat {
+        Mat::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap()
+    }
+
+    #[test]
+    fn add_sub_neg() {
+        let m = a();
+        let s = &m + &m;
+        assert_eq!(s[(1, 1)], 8.0);
+        let d = &s - &m;
+        assert!(d.approx_eq(&m, 0.0));
+        let n = -&m;
+        assert_eq!(n[(0, 0)], -1.0);
+    }
+
+    #[test]
+    fn matmul_operator() {
+        let m = a();
+        let p = &m * &Mat::identity(2);
+        assert!(p.approx_eq(&m, 0.0));
+        let sq = &m * &m;
+        assert_eq!(sq[(0, 0)], 7.0); // 1·1 + 2·3
+    }
+
+    #[test]
+    fn scalar_multiplication_both_sides() {
+        let m = a();
+        assert!((&m * 2.0).approx_eq(&(2.0 * &m), 0.0));
+        assert_eq!((&m * 2.0)[(1, 0)], 6.0);
+    }
+
+    #[test]
+    fn matvec_operator() {
+        let m = a();
+        let y = &m * &[1.0, -1.0][..];
+        assert_eq!(y, vec![-1.0, -1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mismatched_add_panics() {
+        let _ = &a() + &Mat::zeros(3, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mismatched_mul_panics() {
+        let _ = &a() * &Mat::zeros(3, 3);
+    }
+}

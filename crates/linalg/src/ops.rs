@@ -1,0 +1,339 @@
+//! Matrix products and matrix-vector kernels.
+//!
+//! All kernels are single-threaded on purpose: the paper's timing
+//! comparisons (Tables IV/VI/VIII/X) are between *algorithms*, and keeping
+//! every algorithm on the same single-threaded substrate keeps those
+//! comparisons fair. The loops are ordered for row-major storage (`ikj` for
+//! general products, row-dot for `ABᵀ`) so the inner loop is always a
+//! contiguous, autovectorizable sweep.
+
+use crate::error::LinalgError;
+use crate::matrix::Mat;
+use crate::{flam, Result};
+
+/// General product `C = A·B`.
+pub fn matmul(a: &Mat, b: &Mat) -> Result<Mat> {
+    if a.ncols() != b.nrows() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let (m, k, n) = (a.nrows(), a.ncols(), b.ncols());
+    flam::add((m * k * n) as u64);
+    let mut c = Mat::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        let crow = c.row_mut(i);
+        for (p, &aip) in arow.iter().enumerate() {
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = b.row(p);
+            for (cij, &bpj) in crow.iter_mut().zip(brow) {
+                *cij += aip * bpj;
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// Product with the left operand transposed: `C = Aᵀ·B` without forming `Aᵀ`.
+pub fn matmul_transa(a: &Mat, b: &Mat) -> Result<Mat> {
+    if a.nrows() != b.nrows() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "matmul_transa",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let (m, k, n) = (a.nrows(), a.ncols(), b.ncols());
+    flam::add((m * k * n) as u64);
+    let mut c = Mat::zeros(k, n);
+    // C += a_rowᵀ ⊗ b_row, accumulated row by row: outer-product update
+    // keeps both reads contiguous.
+    for r in 0..m {
+        let arow = a.row(r);
+        let brow = b.row(r);
+        for (i, &ari) in arow.iter().enumerate() {
+            if ari == 0.0 {
+                continue;
+            }
+            let crow = c.row_mut(i);
+            for (cij, &brj) in crow.iter_mut().zip(brow) {
+                *cij += ari * brj;
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// Product with the right operand transposed: `C = A·Bᵀ` without forming `Bᵀ`.
+pub fn matmul_transb(a: &Mat, b: &Mat) -> Result<Mat> {
+    if a.ncols() != b.ncols() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "matmul_transb",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let (m, k, n) = (a.nrows(), a.ncols(), b.nrows());
+    flam::add((m * k * n) as u64);
+    let mut c = Mat::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        let crow = c.row_mut(i);
+        for (j, cij) in crow.iter_mut().enumerate() {
+            let brow = b.row(j);
+            let mut acc = 0.0;
+            for (x, y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            *cij = acc;
+        }
+    }
+    Ok(c)
+}
+
+/// Gram matrix `AᵀA` (`ncols × ncols`), exploiting symmetry: only the upper
+/// triangle is computed, then mirrored.
+pub fn gram(a: &Mat) -> Mat {
+    let (m, n) = a.shape();
+    flam::add((m * n * (n + 1) / 2) as u64);
+    let mut g = Mat::zeros(n, n);
+    for r in 0..m {
+        let row = a.row(r);
+        for i in 0..n {
+            let ari = row[i];
+            if ari == 0.0 {
+                continue;
+            }
+            let grow = g.row_mut(i);
+            for j in i..n {
+                grow[j] += ari * row[j];
+            }
+        }
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            g[(j, i)] = g[(i, j)];
+        }
+    }
+    g
+}
+
+/// Outer Gram matrix `AAᵀ` (`nrows × nrows`), exploiting symmetry.
+pub fn gram_t(a: &Mat) -> Mat {
+    let (m, n) = a.shape();
+    flam::add((n * m * (m + 1) / 2) as u64);
+    let mut g = Mat::zeros(m, m);
+    for i in 0..m {
+        let ri = a.row(i);
+        for j in i..m {
+            let rj = a.row(j);
+            let mut acc = 0.0;
+            for (x, y) in ri.iter().zip(rj) {
+                acc += x * y;
+            }
+            g[(i, j)] = acc;
+        }
+    }
+    for i in 0..m {
+        for j in (i + 1)..m {
+            g[(j, i)] = g[(i, j)];
+        }
+    }
+    g
+}
+
+/// Matrix-vector product `y = A·x`.
+pub fn matvec(a: &Mat, x: &[f64]) -> Result<Vec<f64>> {
+    if a.ncols() != x.len() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "matvec",
+            lhs: a.shape(),
+            rhs: (x.len(), 1),
+        });
+    }
+    flam::add((a.nrows() * a.ncols()) as u64);
+    let mut y = Vec::with_capacity(a.nrows());
+    for i in 0..a.nrows() {
+        let mut acc = 0.0;
+        for (aij, xj) in a.row(i).iter().zip(x) {
+            acc += aij * xj;
+        }
+        y.push(acc);
+    }
+    Ok(y)
+}
+
+/// Transposed matrix-vector product `y = Aᵀ·x`, computed without forming
+/// `Aᵀ` (accumulates `y += xᵢ · rowᵢ(A)`).
+pub fn matvec_t(a: &Mat, x: &[f64]) -> Result<Vec<f64>> {
+    if a.nrows() != x.len() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "matvec_t",
+            lhs: a.shape(),
+            rhs: (x.len(), 1),
+        });
+    }
+    flam::add((a.nrows() * a.ncols()) as u64);
+    let mut y = vec![0.0; a.ncols()];
+    for (i, &xi) in x.iter().enumerate() {
+        if xi == 0.0 {
+            continue;
+        }
+        for (yj, aij) in y.iter_mut().zip(a.row(i)) {
+            *yj += xi * aij;
+        }
+    }
+    Ok(y)
+}
+
+/// Scale the columns of `a` in place by `d`: `A ← A·diag(d)`.
+pub fn scale_cols(a: &mut Mat, d: &[f64]) {
+    debug_assert_eq!(a.ncols(), d.len());
+    flam::add((a.nrows() * a.ncols()) as u64);
+    for i in 0..a.nrows() {
+        for (aij, &dj) in a.row_mut(i).iter_mut().zip(d) {
+            *aij *= dj;
+        }
+    }
+}
+
+/// Scale the rows of `a` in place by `d`: `A ← diag(d)·A`.
+pub fn scale_rows(a: &mut Mat, d: &[f64]) {
+    debug_assert_eq!(a.nrows(), d.len());
+    flam::add((a.nrows() * a.ncols()) as u64);
+    for (i, &di) in d.iter().enumerate() {
+        for aij in a.row_mut(i) {
+            *aij *= di;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_a() -> Mat {
+        Mat::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap()
+    }
+
+    #[test]
+    fn matmul_hand_checked() {
+        let a = small_a(); // 3x2
+        let b = Mat::from_rows(&[vec![7.0, 8.0, 9.0], vec![10.0, 11.0, 12.0]]).unwrap(); // 2x3
+        let c = matmul(&a, &b).unwrap();
+        let expect = Mat::from_rows(&[
+            vec![27.0, 30.0, 33.0],
+            vec![61.0, 68.0, 75.0],
+            vec![95.0, 106.0, 117.0],
+        ])
+        .unwrap();
+        assert!(c.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = small_a();
+        let c = matmul(&a, &Mat::identity(2)).unwrap();
+        assert!(c.approx_eq(&a, 0.0));
+        let c2 = matmul(&Mat::identity(3), &a).unwrap();
+        assert!(c2.approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn matmul_shape_errors() {
+        let a = small_a();
+        assert!(matmul(&a, &a).is_err());
+    }
+
+    #[test]
+    fn transa_matches_explicit_transpose() {
+        let a = small_a();
+        let b = Mat::from_fn(3, 4, |i, j| (i + 2 * j) as f64);
+        let c1 = matmul_transa(&a, &b).unwrap();
+        let c2 = matmul(&a.transpose(), &b).unwrap();
+        assert!(c1.approx_eq(&c2, 1e-12));
+    }
+
+    #[test]
+    fn transb_matches_explicit_transpose() {
+        let a = small_a();
+        let b = Mat::from_fn(5, 2, |i, j| (3 * i + j) as f64);
+        let c1 = matmul_transb(&a, &b).unwrap();
+        let c2 = matmul(&a, &b.transpose()).unwrap();
+        assert!(c1.approx_eq(&c2, 1e-12));
+    }
+
+    #[test]
+    fn gram_matches_ata() {
+        let a = Mat::from_fn(6, 4, |i, j| ((i * 7 + j * 3) % 5) as f64 - 2.0);
+        let g = gram(&a);
+        let explicit = matmul_transa(&a, &a).unwrap();
+        assert!(g.approx_eq(&explicit, 1e-12));
+        // symmetry
+        assert!(g.approx_eq(&g.transpose(), 0.0));
+    }
+
+    #[test]
+    fn gram_t_matches_aat() {
+        let a = Mat::from_fn(4, 6, |i, j| ((i * 5 + j) % 7) as f64 - 3.0);
+        let g = gram_t(&a);
+        let explicit = matmul_transb(&a, &a).unwrap();
+        assert!(g.approx_eq(&explicit, 1e-12));
+    }
+
+    #[test]
+    fn matvec_hand_checked() {
+        let a = small_a();
+        let y = matvec(&a, &[1.0, -1.0]).unwrap();
+        assert_eq!(y, vec![-1.0, -1.0, -1.0]);
+        assert!(matvec(&a, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn matvec_t_matches_transpose() {
+        let a = small_a();
+        let x = [1.0, 2.0, 3.0];
+        let y1 = matvec_t(&a, &x).unwrap();
+        let y2 = matvec(&a.transpose(), &x).unwrap();
+        for (u, v) in y1.iter().zip(&y2) {
+            assert!((u - v).abs() < 1e-12);
+        }
+        assert!(matvec_t(&a, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn scaling_rows_and_cols() {
+        let mut a = Mat::filled(2, 3, 1.0);
+        scale_cols(&mut a, &[1.0, 2.0, 3.0]);
+        assert_eq!(a.row(0), &[1.0, 2.0, 3.0]);
+        let mut b = Mat::filled(2, 3, 1.0);
+        scale_rows(&mut b, &[2.0, 5.0]);
+        assert_eq!(b.row(0), &[2.0, 2.0, 2.0]);
+        assert_eq!(b.row(1), &[5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn matmul_associativity_numerically() {
+        let a = Mat::from_fn(3, 4, |i, j| (i as f64 + 1.0) * (j as f64 - 1.5));
+        let b = Mat::from_fn(4, 2, |i, j| (i as f64 - 2.0) * (j as f64 + 0.5));
+        let c = Mat::from_fn(2, 3, |i, j| 0.25 * (i + j) as f64);
+        let left = matmul(&matmul(&a, &b).unwrap(), &c).unwrap();
+        let right = matmul(&a, &matmul(&b, &c).unwrap()).unwrap();
+        assert!(left.approx_eq(&right, 1e-10));
+    }
+
+    #[test]
+    fn flam_counts_products() {
+        let a = Mat::zeros(10, 20);
+        let b = Mat::zeros(20, 30);
+        let ((), used) = crate::flam::measure(|| {
+            let _ = matmul(&a, &b).unwrap();
+        });
+        assert_eq!(used, 10 * 20 * 30);
+    }
+}

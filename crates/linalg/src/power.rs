@@ -1,0 +1,212 @@
+//! Matrix-free top-k symmetric eigensolver (deflated power iteration).
+//!
+//! The dense eigensolver ([`crate::eigen`]) costs `O(m³)` — fine for the
+//! `c × c` problems SRDA needs, but the *generalized* spectral-regression
+//! step (an `m × m` graph affinity) only needs a handful of leading
+//! eigenpairs. Power iteration with Gram-Schmidt deflation extracts them
+//! touching the operator only through `v ↦ W·v`, i.e. `O(edges)` per
+//! iteration — the same matrix-free philosophy as LSQR.
+//!
+//! Limitations (documented, standard for the method): convergence is
+//! geometric in the eigenvalue gap, and eigenvalues must be non-negative
+//! (true for the normalized affinities used here, whose spectrum lies in
+//! `[−1, 1]` — callers shift by `+1` when negative eigenvalues are
+//! possible).
+
+use crate::{flam, vector};
+
+/// Result of a top-k extraction.
+#[derive(Debug, Clone)]
+pub struct TopEigen {
+    /// Eigenvalue estimates, descending.
+    pub values: Vec<f64>,
+    /// Corresponding orthonormal eigenvectors.
+    pub vectors: Vec<Vec<f64>>,
+    /// Iterations spent per eigenpair.
+    pub iterations: Vec<usize>,
+}
+
+/// Configuration for [`top_k_symmetric`].
+#[derive(Debug, Clone)]
+pub struct PowerConfig {
+    /// Relative convergence tolerance on the eigenpair residual
+    /// (`‖Av − λv‖ ≤ tol·|λ|`).
+    pub tol: f64,
+    /// Iteration cap per eigenpair.
+    pub max_iter: usize,
+    /// Deterministic seed for the start vectors.
+    pub seed: u64,
+}
+
+impl Default for PowerConfig {
+    fn default() -> Self {
+        PowerConfig {
+            tol: 1e-9,
+            max_iter: 2000,
+            seed: 7,
+        }
+    }
+}
+
+/// Extract the `k` leading eigenpairs of a symmetric PSD operator given by
+/// `apply: v ↦ A·v` on dimension `dim`.
+pub fn top_k_symmetric(
+    dim: usize,
+    k: usize,
+    apply: impl Fn(&[f64]) -> Vec<f64>,
+    cfg: &PowerConfig,
+) -> TopEigen {
+    let k = k.min(dim);
+    let mut values = Vec::with_capacity(k);
+    let mut vectors: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let mut iterations = Vec::with_capacity(k);
+
+    for pair in 0..k {
+        // deterministic pseudo-random start, orthogonal to found vectors
+        let mut v: Vec<f64> = (0..dim)
+            .map(|i| {
+                let x = ((i as f64 + 1.0) * 12.9898 + (pair as f64 + cfg.seed as f64) * 78.233)
+                    .sin()
+                    * 43758.5453;
+                x - x.floor() - 0.5
+            })
+            .collect();
+        deflate(&vectors, &mut v);
+        if vector::normalize(&mut v) == 0.0 {
+            break; // exhausted the space
+        }
+
+        let mut lambda = 0.0;
+        let mut iters = cfg.max_iter;
+        for it in 0..cfg.max_iter {
+            let mut w = apply(&v);
+            flam::add(dim as u64);
+            deflate(&vectors, &mut w);
+            let norm = vector::normalize(&mut w);
+            if norm == 0.0 {
+                // v is (numerically) in the kernel after deflation
+                lambda = 0.0;
+                iters = it + 1;
+                break;
+            }
+            // eigenvalue estimate via the Rayleigh quotient of the new v
+            let mut av = apply(&w);
+            deflate(&vectors, &mut av);
+            lambda = vector::dot(&w, &av);
+            // residual-based stop: ‖Av − λv‖ ≤ tol·|λ| measures the actual
+            // eigenpair error (a step-size criterion would plateau early)
+            vector::axpy(-lambda, &w, &mut av);
+            let residual = vector::norm2(&av);
+            v = w;
+            if residual <= cfg.tol * lambda.abs().max(f64::MIN_POSITIVE) {
+                iters = it + 1;
+                break;
+            }
+        }
+        values.push(lambda);
+        vectors.push(v);
+        iterations.push(iters);
+    }
+
+    TopEigen {
+        values,
+        vectors,
+        iterations,
+    }
+}
+
+fn deflate(basis: &[Vec<f64>], v: &mut [f64]) {
+    for b in basis {
+        let proj = vector::dot(b, v);
+        vector::axpy(-proj, b, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Mat;
+    use crate::ops::matvec;
+
+    fn sym_psd_from_spectrum(eigs: &[f64]) -> Mat {
+        let n = eigs.len();
+        let raw = Mat::from_fn(n, n, |i, j| {
+            ((i * 13 + j * 29) as f64 * 0.59).sin() + if i == j { 2.0 } else { 0.0 }
+        });
+        let q = crate::qr::Qr::factor(&raw).unwrap().q_thin();
+        let qd = crate::ops::matmul(&q, &Mat::from_diag(eigs)).unwrap();
+        let mut a = crate::ops::matmul_transb(&qd, &q).unwrap();
+        a.symmetrize();
+        a
+    }
+
+    #[test]
+    fn finds_leading_eigenpairs() {
+        let a = sym_psd_from_spectrum(&[10.0, 6.0, 3.0, 1.0, 0.5]);
+        let top = top_k_symmetric(5, 3, |v| matvec(&a, v).unwrap(), &PowerConfig::default());
+        assert_eq!(top.values.len(), 3);
+        for (got, want) in top.values.iter().zip([10.0, 6.0, 3.0]) {
+            assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+        }
+        // residual check ‖Av − λv‖
+        for (lam, v) in top.values.iter().zip(&top.vectors) {
+            let av = matvec(&a, v).unwrap();
+            for i in 0..5 {
+                assert!((av[i] - lam * v[i]).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn vectors_are_orthonormal() {
+        let a = sym_psd_from_spectrum(&[8.0, 4.0, 2.0, 1.0]);
+        let top = top_k_symmetric(4, 4, |v| matvec(&a, v).unwrap(), &PowerConfig::default());
+        for i in 0..4 {
+            for j in 0..4 {
+                let d = vector::dot(&top.vectors[i], &top.vectors[j]);
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((d - expect).abs() < 1e-7, "({i},{j}) -> {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn k_larger_than_dim_clamps() {
+        let a = sym_psd_from_spectrum(&[3.0, 1.0]);
+        let top = top_k_symmetric(2, 10, |v| matvec(&a, v).unwrap(), &PowerConfig::default());
+        assert!(top.values.len() <= 2);
+    }
+
+    #[test]
+    fn repeated_eigenvalues_are_handled() {
+        // eigenvalue 5 with multiplicity 2: both pairs must be found and
+        // stay orthonormal
+        let a = sym_psd_from_spectrum(&[5.0, 5.0, 1.0]);
+        let top = top_k_symmetric(3, 2, |v| matvec(&a, v).unwrap(), &PowerConfig::default());
+        assert!((top.values[0] - 5.0).abs() < 1e-6);
+        assert!((top.values[1] - 5.0).abs() < 1e-5);
+        let d = vector::dot(&top.vectors[0], &top.vectors[1]);
+        assert!(d.abs() < 1e-7);
+    }
+
+    #[test]
+    fn matches_dense_eigensolver() {
+        let a = sym_psd_from_spectrum(&[7.0, 5.0, 2.0, 1.5, 0.2, 0.1]);
+        let dense = crate::SymmetricEigen::factor(&a).unwrap();
+        let top = top_k_symmetric(6, 2, |v| matvec(&a, v).unwrap(), &PowerConfig::default());
+        for j in 0..2 {
+            assert!((top.values[j] - dense.values[j]).abs() < 1e-6);
+            // same direction up to sign
+            let dot = vector::dot(&top.vectors[j], &dense.vectors.col(j));
+            assert!(dot.abs() > 1.0 - 1e-6, "direction {j}: |dot| = {}", dot.abs());
+        }
+    }
+
+    #[test]
+    fn zero_operator() {
+        let top = top_k_symmetric(4, 2, |v| vec![0.0; v.len()], &PowerConfig::default());
+        for v in &top.values {
+            assert_eq!(*v, 0.0);
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Householder reduction of a symmetric matrix to tridiagonal form.
+//!
+//! This is the first phase of the symmetric eigensolver (`A = Q·T·Qᵀ` with
+//! `T` tridiagonal), following the classic `tred2` scheme (Householder
+//! reflections applied two-sided, with the orthogonal transform accumulated
+//! in place).
+
+use crate::error::LinalgError;
+use crate::matrix::Mat;
+use crate::{flam, Result};
+
+/// Result of a Householder tridiagonalization: `A = Q·T·Qᵀ` where `T` has
+/// main diagonal `d` and sub/super-diagonal `e[1..]` (`e[0]` is unused and
+/// set to zero).
+#[derive(Debug, Clone)]
+pub struct Tridiagonal {
+    /// Main diagonal of `T` (length `n`).
+    pub d: Vec<f64>,
+    /// Off-diagonal of `T` (length `n`, `e[0] = 0`, `e[i] = T[i, i-1]`).
+    pub e: Vec<f64>,
+    /// Accumulated orthogonal transform (`n × n`).
+    pub q: Mat,
+}
+
+/// Tridiagonalize a symmetric matrix. Only the lower triangle is read.
+pub fn tridiagonalize(a: &Mat) -> Result<Tridiagonal> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            rows: a.nrows(),
+            cols: a.ncols(),
+        });
+    }
+    let n = a.nrows();
+    flam::add((4 * n * n * n / 3) as u64);
+    let mut z = a.clone();
+    // mirror lower triangle to upper so the algorithm can read either
+    for i in 0..n {
+        for j in (i + 1)..n {
+            z[(i, j)] = z[(j, i)];
+        }
+    }
+    let mut d = vec![0.0; n];
+    let mut e = vec![0.0; n];
+    if n == 0 {
+        return Ok(Tridiagonal { d, e, q: z });
+    }
+
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = 0.0;
+        if l > 0 {
+            let mut scale = 0.0;
+            for k in 0..=l {
+                scale += z[(i, k)].abs();
+            }
+            if scale == 0.0 {
+                e[i] = z[(i, l)];
+            } else {
+                for k in 0..=l {
+                    z[(i, k)] /= scale;
+                    h += z[(i, k)] * z[(i, k)];
+                }
+                let f = z[(i, l)];
+                let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
+                e[i] = scale * g;
+                h -= f * g;
+                z[(i, l)] = f - g;
+                let mut fsum = 0.0;
+                for j in 0..=l {
+                    z[(j, i)] = z[(i, j)] / h;
+                    let mut g2 = 0.0;
+                    for k in 0..=j {
+                        g2 += z[(j, k)] * z[(i, k)];
+                    }
+                    for k in (j + 1)..=l {
+                        g2 += z[(k, j)] * z[(i, k)];
+                    }
+                    e[j] = g2 / h;
+                    fsum += e[j] * z[(i, j)];
+                }
+                let hh = fsum / (h + h);
+                for j in 0..=l {
+                    let f2 = z[(i, j)];
+                    let g2 = e[j] - hh * f2;
+                    e[j] = g2;
+                    for k in 0..=j {
+                        let delta = f2 * e[k] + g2 * z[(i, k)];
+                        z[(j, k)] -= delta;
+                    }
+                }
+            }
+        } else {
+            e[i] = z[(i, l)];
+        }
+        d[i] = h;
+    }
+    d[0] = 0.0;
+    e[0] = 0.0;
+
+    // accumulate the orthogonal transform
+    for i in 0..n {
+        if i > 0 && d[i] != 0.0 {
+            let l = i - 1;
+            for j in 0..=l {
+                let mut g = 0.0;
+                for k in 0..=l {
+                    g += z[(i, k)] * z[(k, j)];
+                }
+                for k in 0..=l {
+                    let zki = z[(k, i)];
+                    z[(k, j)] -= g * zki;
+                }
+            }
+        }
+        d[i] = z[(i, i)];
+        z[(i, i)] = 1.0;
+        if i > 0 {
+            let l = i - 1;
+            for j in 0..=l {
+                z[(j, i)] = 0.0;
+                z[(i, j)] = 0.0;
+            }
+        }
+    }
+
+    Ok(Tridiagonal { d, e, q: z })
+}
+
+impl Tridiagonal {
+    /// Rebuild the explicit tridiagonal matrix `T` (for tests).
+    pub fn t_matrix(&self) -> Mat {
+        let n = self.d.len();
+        let mut t = Mat::zeros(n, n);
+        for i in 0..n {
+            t[(i, i)] = self.d[i];
+            if i > 0 {
+                t[(i, i - 1)] = self.e[i];
+                t[(i - 1, i)] = self.e[i];
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{matmul, matmul_transa, matmul_transb};
+
+    fn sym(n: usize) -> Mat {
+        let a = Mat::from_fn(n, n, |i, j| ((i * 3 + j * 5) % 7) as f64 - 3.0);
+        let mut s = a.add(&a.transpose()).unwrap();
+        s.scale_inplace(0.5);
+        s
+    }
+
+    #[test]
+    fn q_is_orthogonal() {
+        let tri = tridiagonalize(&sym(8)).unwrap();
+        let qtq = matmul_transa(&tri.q, &tri.q).unwrap();
+        assert!(qtq.approx_eq(&Mat::identity(8), 1e-12));
+    }
+
+    #[test]
+    fn reconstruction_q_t_qt() {
+        let a = sym(8);
+        let tri = tridiagonalize(&a).unwrap();
+        let qt = matmul(&tri.q, &tri.t_matrix()).unwrap();
+        let recon = matmul_transb(&qt, &tri.q).unwrap();
+        assert!(recon.approx_eq(&a, 1e-10), "reconstruction failed");
+    }
+
+    #[test]
+    fn already_tridiagonal_input() {
+        let mut a = Mat::zeros(5, 5);
+        for i in 0..5 {
+            a[(i, i)] = (i + 1) as f64;
+            if i > 0 {
+                a[(i, i - 1)] = 0.5;
+                a[(i - 1, i)] = 0.5;
+            }
+        }
+        let tri = tridiagonalize(&a).unwrap();
+        let qt = matmul(&tri.q, &tri.t_matrix()).unwrap();
+        let recon = matmul_transb(&qt, &tri.q).unwrap();
+        assert!(recon.approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn diagonal_input_is_fixed_point() {
+        let a = Mat::from_diag(&[3.0, 1.0, 4.0, 1.0, 5.0]);
+        let tri = tridiagonalize(&a).unwrap();
+        for i in 1..5 {
+            assert!(tri.e[i].abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn tiny_sizes() {
+        let t0 = tridiagonalize(&Mat::zeros(0, 0)).unwrap();
+        assert!(t0.d.is_empty());
+        let t1 = tridiagonalize(&Mat::from_diag(&[7.0])).unwrap();
+        assert_eq!(t1.d, vec![7.0]);
+        let a2 = Mat::from_rows(&[vec![1.0, 2.0], vec![2.0, 3.0]]).unwrap();
+        let t2 = tridiagonalize(&a2).unwrap();
+        let qt = matmul(&t2.q, &t2.t_matrix()).unwrap();
+        let recon = matmul_transb(&qt, &t2.q).unwrap();
+        assert!(recon.approx_eq(&a2, 1e-13));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(tridiagonalize(&Mat::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn reads_lower_triangle_only() {
+        let mut a = sym(6);
+        let t1 = tridiagonalize(&a).unwrap();
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                a[(i, j)] = f64::NAN;
+            }
+        }
+        let t2 = tridiagonalize(&a).unwrap();
+        assert_eq!(t1.d, t2.d);
+        assert_eq!(t1.e, t2.e);
+    }
+}

@@ -1,0 +1,195 @@
+//! Vector kernels: dot products, norms, axpy-style updates.
+//!
+//! These are the innermost loops of every solver in the workspace (LSQR in
+//! particular is built almost entirely from them), so they are written as
+//! plain contiguous-slice loops that LLVM reliably autovectorizes. Each
+//! kernel reports its leading-order cost to the [`crate::flam`] counter.
+
+use crate::flam;
+
+/// Dot product `xᵀy`. Panics in debug builds on length mismatch.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    flam::add(x.len() as u64);
+    let mut acc = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        acc += a * b;
+    }
+    acc
+}
+
+/// Euclidean norm `‖x‖₂`, computed with scaling to avoid overflow/underflow
+/// for extreme magnitudes (the same guard LSQR's reference implementation
+/// uses).
+pub fn norm2(x: &[f64]) -> f64 {
+    flam::add(x.len() as u64);
+    let max = x.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    if max == 0.0 || !max.is_finite() {
+        return if max == 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    let mut acc = 0.0;
+    for &v in x {
+        let s = v / max;
+        acc += s * s;
+    }
+    max * acc.sqrt()
+}
+
+/// Sum of entries.
+pub fn sum(x: &[f64]) -> f64 {
+    flam::add(x.len() as u64);
+    x.iter().sum()
+}
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        0.0
+    } else {
+        sum(x) / x.len() as f64
+    }
+}
+
+/// `y ← y + a·x`.
+#[inline]
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    flam::add(x.len() as u64);
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// `x ← s·x`.
+#[inline]
+pub fn scale(s: f64, x: &mut [f64]) {
+    flam::add(x.len() as u64);
+    for xi in x {
+        *xi *= s;
+    }
+}
+
+/// Normalize `x` to unit Euclidean norm in place; returns the original norm.
+/// Leaves a zero vector untouched and returns 0.
+pub fn normalize(x: &mut [f64]) -> f64 {
+    let n = norm2(x);
+    if n > 0.0 {
+        scale(1.0 / n, x);
+    }
+    n
+}
+
+/// Squared Euclidean distance `‖x − y‖₂²`.
+pub fn dist2_sq(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    flam::add(x.len() as u64);
+    let mut acc = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        let d = a - b;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Index of the minimum entry (first on ties); `None` for an empty slice.
+pub fn argmin(x: &[f64]) -> Option<usize> {
+    if x.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, &v) in x.iter().enumerate().skip(1) {
+        if v < x[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Index of the maximum entry (first on ties); `None` for an empty slice.
+pub fn argmax(x: &[f64]) -> Option<usize> {
+    if x.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, &v) in x.iter().enumerate().skip(1) {
+        if v > x[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn norm2_matches_pythagoras() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        assert_eq!(norm2(&[]), 0.0);
+        assert_eq!(norm2(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn norm2_no_overflow_for_huge_entries() {
+        let big = 1e200;
+        let n = norm2(&[big, big]);
+        assert!((n - big * std::f64::consts::SQRT_2).abs() / n < 1e-14);
+    }
+
+    #[test]
+    fn norm2_no_underflow_for_tiny_entries() {
+        let tiny = 1e-200;
+        let n = norm2(&[tiny, tiny]);
+        assert!(n > 0.0);
+        assert!((n - tiny * std::f64::consts::SQRT_2).abs() / n < 1e-14);
+    }
+
+    #[test]
+    fn axpy_updates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn scale_and_normalize() {
+        let mut x = vec![3.0, 4.0];
+        let n = normalize(&mut x);
+        assert!((n - 5.0).abs() < 1e-15);
+        assert!((norm2(&x) - 1.0).abs() < 1e-15);
+
+        let mut z = vec![0.0, 0.0];
+        assert_eq!(normalize(&mut z), 0.0);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn distances() {
+        assert_eq!(dist2_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn arg_extrema() {
+        assert_eq!(argmin(&[3.0, 1.0, 2.0]), Some(1));
+        assert_eq!(argmax(&[3.0, 1.0, 3.5]), Some(2));
+        assert_eq!(argmin(&[]), None);
+        assert_eq!(argmax(&[]), None);
+        // first wins on ties
+        assert_eq!(argmin(&[1.0, 1.0]), Some(0));
+    }
+
+    #[test]
+    fn mean_and_sum() {
+        assert_eq!(sum(&[1.0, 2.0, 3.0]), 6.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Property-based tests for the dense linear-algebra substrate.
+//!
+//! These check algebraic identities on randomized inputs rather than
+//! hand-picked cases: transpose involution, product/transpose interplay,
+//! factorization reconstruction, solver correctness against residuals.
+
+use proptest::prelude::*;
+use srda_linalg::ops::{gram, matmul, matmul_transa, matmul_transb, matvec, matvec_t};
+use srda_linalg::{Cholesky, Lu, Mat, Qr, SymmetricEigen};
+
+/// Strategy: a matrix with dimensions in `[1, max_dim]` and entries in
+/// `[-10, 10]`.
+fn mat_strategy(max_dim: usize) -> impl Strategy<Value = Mat> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(-10.0f64..10.0, m * n)
+            .prop_map(move |data| Mat::from_vec(m, n, data).unwrap())
+    })
+}
+
+/// Strategy: a square matrix of the given side.
+fn square_strategy(max_dim: usize) -> impl Strategy<Value = Mat> {
+    (1..=max_dim).prop_flat_map(|n| {
+        proptest::collection::vec(-10.0f64..10.0, n * n)
+            .prop_map(move |data| Mat::from_vec(n, n, data).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_is_involution(a in mat_strategy(12)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn transpose_swaps_entries(a in mat_strategy(10)) {
+        let t = a.transpose();
+        for i in 0..a.nrows() {
+            for j in 0..a.ncols() {
+                prop_assert_eq!(t[(j, i)], a[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_identity(a in mat_strategy(8), b in mat_strategy(8)) {
+        // (A·B)ᵀ = Bᵀ·Aᵀ whenever shapes are compatible
+        prop_assume!(a.ncols() == b.nrows());
+        let ab_t = matmul(&a, &b).unwrap().transpose();
+        let bt_at = matmul(&b.transpose(), &a.transpose()).unwrap();
+        prop_assert!(ab_t.approx_eq(&bt_at, 1e-9));
+    }
+
+    #[test]
+    fn trans_variants_consistent(a in mat_strategy(8)) {
+        // AᵀA via three routes agree
+        let g = gram(&a);
+        let via_transa = matmul_transa(&a, &a).unwrap();
+        let explicit = matmul(&a.transpose(), &a).unwrap();
+        prop_assert!(g.approx_eq(&via_transa, 1e-9));
+        prop_assert!(g.approx_eq(&explicit, 1e-9));
+        // AAᵀ
+        let via_transb = matmul_transb(&a, &a).unwrap();
+        let explicit2 = matmul(&a, &a.transpose()).unwrap();
+        prop_assert!(via_transb.approx_eq(&explicit2, 1e-9));
+    }
+
+    #[test]
+    fn matvec_is_matmul_with_column(a in mat_strategy(10), seed in 0u64..1000) {
+        let x: Vec<f64> = (0..a.ncols())
+            .map(|i| ((seed + i as u64) as f64 * 0.7).sin())
+            .collect();
+        let y = matvec(&a, &x).unwrap();
+        let xm = Mat::from_vec(x.len(), 1, x.clone()).unwrap();
+        let ym = matmul(&a, &xm).unwrap();
+        for i in 0..a.nrows() {
+            prop_assert!((y[i] - ym[(i, 0)]).abs() < 1e-9);
+        }
+        // transpose route
+        let yt = matvec_t(&a, &y).unwrap();
+        let yt2 = matvec(&a.transpose(), &y).unwrap();
+        for (u, v) in yt.iter().zip(&yt2) {
+            prop_assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cholesky_solves_spd_systems(a in mat_strategy(8), shift in 0.5f64..5.0) {
+        // G = AᵀA + shift·I is SPD
+        let mut g = gram(&a);
+        g.add_to_diag(shift);
+        let ch = Cholesky::factor(&g).unwrap();
+        let x_true: Vec<f64> = (0..g.nrows()).map(|i| (i as f64 * 0.3).cos()).collect();
+        let b = matvec(&g, &x_true).unwrap();
+        let x = ch.solve(&b).unwrap();
+        for (u, v) in x.iter().zip(&x_true) {
+            prop_assert!((u - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn lu_solve_has_small_residual(a in square_strategy(8)) {
+        // skip (near-)singular draws
+        let lu = match Lu::factor(&a) {
+            Ok(l) => l,
+            Err(_) => return Ok(()),
+        };
+        prop_assume!(lu.det().abs() > 1e-6);
+        let b: Vec<f64> = (0..a.nrows()).map(|i| 1.0 + i as f64).collect();
+        let x = lu.solve(&b).unwrap();
+        let ax = matvec(&a, &x).unwrap();
+        let scale = a.max_abs().max(1.0);
+        for (u, v) in ax.iter().zip(&b) {
+            prop_assert!((u - v).abs() < 1e-5 * scale * a.nrows() as f64);
+        }
+    }
+
+    #[test]
+    fn qr_reconstructs_and_q_orthonormal(a in mat_strategy(10)) {
+        prop_assume!(a.nrows() >= a.ncols());
+        let qr = Qr::factor(&a).unwrap();
+        let q = qr.q_thin();
+        let recon = matmul(&q, &qr.r()).unwrap();
+        prop_assert!(recon.approx_eq(&a, 1e-8));
+        let qtq = matmul_transa(&q, &q).unwrap();
+        prop_assert!(qtq.approx_eq(&Mat::identity(a.ncols()), 1e-9));
+    }
+
+    #[test]
+    fn symmetric_eigen_reconstructs(a in square_strategy(8)) {
+        let mut s = a.add(&a.transpose()).unwrap();
+        s.scale_inplace(0.5);
+        let eg = SymmetricEigen::factor(&s).unwrap();
+        let vd = matmul(&eg.vectors, &Mat::from_diag(&eg.values)).unwrap();
+        let recon = matmul_transb(&vd, &eg.vectors).unwrap();
+        prop_assert!(
+            recon.approx_eq(&s, 1e-7 * s.max_abs().max(1.0)),
+            "max err {}", recon.sub(&s).unwrap().max_abs()
+        );
+        // trace is preserved by similarity transforms
+        let trace: f64 = s.diag().iter().sum();
+        let eig_sum: f64 = eg.values.iter().sum();
+        prop_assert!((trace - eig_sum).abs() < 1e-7 * trace.abs().max(1.0));
+    }
+
+    #[test]
+    fn svd_reconstructs(a in mat_strategy(9)) {
+        let svd = srda_linalg::Svd::jacobi(&a, 1e-12).unwrap();
+        let recon = svd.reconstruct().unwrap();
+        prop_assert!(recon.approx_eq(&a, 1e-8 * a.max_abs().max(1.0)));
+        // Frobenius norm equals the l2 norm of the singular values
+        let fro = a.frobenius_norm();
+        let s_norm = svd.s.iter().map(|x| x * x).sum::<f64>().sqrt();
+        prop_assert!((fro - s_norm).abs() < 1e-8 * fro.max(1.0));
+    }
+
+    #[test]
+    fn gram_schmidt_output_is_orthonormal(a in mat_strategy(8)) {
+        let rows: Vec<Vec<f64>> = (0..a.nrows()).map(|i| a.row(i).to_vec()).collect();
+        let basis = srda_linalg::gram_schmidt::orthonormalize(&rows, 1e-10);
+        for (i, u) in basis.iter().enumerate() {
+            for (j, v) in basis.iter().enumerate() {
+                let d = srda_linalg::vector::dot(u, v);
+                let expect = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((d - expect).abs() < 1e-8);
+            }
+        }
+        prop_assert!(basis.len() <= a.nrows().min(a.ncols()));
+    }
+
+    #[test]
+    fn power_iteration_matches_dense_leading_pair(a in square_strategy(8)) {
+        // build an SPD matrix so the power method's assumptions hold
+        let mut g = gram(&a);
+        g.add_to_diag(0.5);
+        let dense = SymmetricEigen::factor(&g).unwrap();
+        let top = srda_linalg::power::top_k_symmetric(
+            g.nrows(),
+            1,
+            |v| matvec(&g, v).unwrap(),
+            &srda_linalg::power::PowerConfig::default(),
+        );
+        prop_assume!(!top.values.is_empty());
+        // leading eigenvalue agrees; direction agrees up to sign when the
+        // gap is non-degenerate
+        prop_assert!(
+            (top.values[0] - dense.values[0]).abs() < 1e-6 * dense.values[0].max(1.0),
+            "{} vs {}", top.values[0], dense.values[0]
+        );
+        if dense.values.len() > 1
+            && dense.values[0] - dense.values[1] > 1e-3 * dense.values[0]
+        {
+            let dot = srda_linalg::vector::dot(&top.vectors[0], &dense.vectors.col(0));
+            prop_assert!(dot.abs() > 1.0 - 1e-5, "|dot| = {}", dot.abs());
+        }
+    }
+
+    #[test]
+    fn three_svd_methods_agree(a in mat_strategy(9)) {
+        let j = srda_linalg::Svd::jacobi(&a, 1e-11).unwrap();
+        let g = srda_linalg::Svd::golub_reinsch(&a, 1e-11).unwrap();
+        let c = srda_linalg::Svd::cross_product(&a, 1e-6).unwrap();
+        // jacobi and golub-reinsch agree on every retained singular value
+        prop_assert_eq!(j.rank(), g.rank());
+        let smax = j.s.first().copied().unwrap_or(0.0).max(1e-300);
+        for (x, y) in j.s.iter().zip(&g.s) {
+            prop_assert!((x - y).abs() < 1e-8 * smax, "{} vs {}", x, y);
+        }
+        // cross-product agrees on the values above its √ε noise floor
+        for (x, y) in c.s.iter().zip(&j.s) {
+            if *y > 1e-5 * smax {
+                prop_assert!((x - y).abs() < 1e-5 * smax, "{} vs {}", x, y);
+            }
+        }
+        // all reconstruct
+        for svd in [&j, &g] {
+            let recon = svd.reconstruct().unwrap();
+            prop_assert!(recon.approx_eq(&a, 1e-8 * a.max_abs().max(1.0)));
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_matrix(a in mat_strategy(10)) {
+        let text = srda_linalg::io::write_csv(&a, ',');
+        let back = srda_linalg::io::read_csv(&text, ',').unwrap();
+        prop_assert!(a.approx_eq(&back, 0.0));
+    }
+
+    #[test]
+    fn hcat_block_roundtrip(a in mat_strategy(8), b in mat_strategy(8)) {
+        prop_assume!(a.nrows() == b.nrows());
+        let h = a.hcat(&b).unwrap();
+        let left = h.block(0, h.nrows(), 0, a.ncols());
+        let right = h.block(0, h.nrows(), a.ncols(), h.ncols());
+        prop_assert_eq!(left, a);
+        prop_assert_eq!(right, b);
+    }
+}

@@ -1,0 +1,218 @@
+//! CGLS: conjugate gradient applied to the regularized normal equations.
+//!
+//! Solves the same problem as [`crate::lsqr`] — `min ‖Ax − b‖² + α‖x‖²` —
+//! by running CG on `(AᵀA + αI)x = Aᵀb` without ever forming `AᵀA`. In
+//! exact arithmetic CGLS and LSQR generate identical iterates; in floating
+//! point LSQR is the more stable of the two, which is why the paper (and
+//! our default) uses LSQR. CGLS is kept as an independent cross-check and
+//! for the solver-ablation benchmark.
+
+use crate::operator::LinearOperator;
+use srda_linalg::vector;
+
+/// Configuration for a CGLS run.
+#[derive(Debug, Clone)]
+pub struct CglsConfig {
+    /// Ridge parameter `α` (note: *not* squared, unlike LSQR's `damp`).
+    pub alpha: f64,
+    /// Iteration cap.
+    pub max_iter: usize,
+    /// Stop when `‖Aᵀr − αx‖` falls below `tol` times its initial value.
+    pub tol: f64,
+}
+
+impl Default for CglsConfig {
+    fn default() -> Self {
+        CglsConfig {
+            alpha: 0.0,
+            max_iter: 50,
+            tol: 1e-12,
+        }
+    }
+}
+
+/// Outcome of a CGLS run.
+#[derive(Debug, Clone)]
+pub struct CglsResult {
+    /// The computed solution.
+    pub x: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final normal-equation residual norm `‖Aᵀ(b − Ax) − αx‖`.
+    pub gradient_norm: f64,
+}
+
+/// Run CGLS on `min ‖A·x − b‖² + α‖x‖²`.
+pub fn cgls<A: LinearOperator + ?Sized>(a: &A, b: &[f64], cfg: &CglsConfig) -> CglsResult {
+    assert_eq!(b.len(), a.nrows(), "rhs length must equal operator rows");
+    let n = a.ncols();
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec(); // residual b − A·x (x = 0 initially)
+    let mut s = a.apply_t(&r); // gradient direction Aᵀr − αx (x = 0)
+    let mut p = s.clone();
+    let mut gamma = vector::dot(&s, &s);
+    let gamma0 = gamma;
+    if gamma0 == 0.0 {
+        return CglsResult {
+            x,
+            iterations: 0,
+            gradient_norm: 0.0,
+        };
+    }
+
+    let mut iterations = 0;
+    for iter in 0..cfg.max_iter {
+        iterations = iter + 1;
+        let q = a.apply(&p);
+        let delta = vector::dot(&q, &q) + cfg.alpha * vector::dot(&p, &p);
+        if delta <= 0.0 {
+            break; // p in the (numerical) null space; cannot progress
+        }
+        let step = gamma / delta;
+        vector::axpy(step, &p, &mut x);
+        vector::axpy(-step, &q, &mut r);
+
+        // s = Aᵀr − αx
+        s = a.apply_t(&r);
+        vector::axpy(-cfg.alpha, &x, &mut s);
+
+        let gamma_new = vector::dot(&s, &s);
+        if gamma_new.sqrt() <= cfg.tol * gamma0.sqrt() {
+            gamma = gamma_new;
+            break;
+        }
+        let beta = gamma_new / gamma;
+        for (pi, si) in p.iter_mut().zip(&s) {
+            *pi = si + beta * *pi;
+        }
+        gamma = gamma_new;
+    }
+
+    CglsResult {
+        x,
+        iterations,
+        gradient_norm: gamma.sqrt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lsqr::{lsqr, LsqrConfig};
+    use srda_linalg::ops::{gram, matvec_t};
+    use srda_linalg::{Cholesky, Mat};
+
+    fn noise_mat(m: usize, n: usize) -> Mat {
+        Mat::from_fn(m, n, |i, j| {
+            let x = (i as f64 * 45.164 + j as f64 * 94.673).sin() * 43758.5453;
+            x - x.floor() - 0.5
+        })
+    }
+
+    fn ridge_oracle(a: &Mat, b: &[f64], alpha: f64) -> Vec<f64> {
+        let mut g = gram(a);
+        g.add_to_diag(alpha);
+        let atb = matvec_t(a, b).unwrap();
+        Cholesky::factor(&g).unwrap().solve(&atb).unwrap()
+    }
+
+    #[test]
+    fn matches_direct_ridge() {
+        let a = noise_mat(18, 7);
+        let b: Vec<f64> = (0..18).map(|i| (i as f64 * 0.4).sin()).collect();
+        let alpha = 0.9;
+        let r = cgls(
+            &a,
+            &b,
+            &CglsConfig {
+                alpha,
+                max_iter: 300,
+                tol: 1e-14,
+            },
+        );
+        let oracle = ridge_oracle(&a, &b, alpha);
+        for (u, v) in r.x.iter().zip(&oracle) {
+            assert!((u - v).abs() < 1e-8, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_lsqr() {
+        let a = noise_mat(25, 12);
+        let b: Vec<f64> = (0..25).map(|i| (i as f64 * 0.23).cos()).collect();
+        let alpha = 0.3;
+        let r1 = cgls(
+            &a,
+            &b,
+            &CglsConfig {
+                alpha,
+                max_iter: 400,
+                tol: 1e-14,
+            },
+        );
+        let r2 = lsqr(
+            &a,
+            &b,
+            &LsqrConfig {
+                damp: alpha.sqrt(),
+                max_iter: 400,
+                tol: 1e-14,
+            },
+        );
+        for (u, v) in r1.x.iter().zip(&r2.x) {
+            assert!((u - v).abs() < 1e-7, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn zero_rhs() {
+        let a = noise_mat(5, 4);
+        let r = cgls(&a, &[0.0; 5], &CglsConfig::default());
+        assert_eq!(r.iterations, 0);
+        assert_eq!(r.x, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn unregularized_underdetermined_finds_a_solution() {
+        let a = noise_mat(4, 10);
+        let b = vec![1.0, -1.0, 2.0, 0.5];
+        let r = cgls(
+            &a,
+            &b,
+            &CglsConfig {
+                alpha: 0.0,
+                max_iter: 200,
+                tol: 1e-13,
+            },
+        );
+        // residual should be ~0 for a full-row-rank underdetermined system
+        let ax = LinearOperator::apply(&a, &r.x);
+        for (u, v) in ax.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn exact_arithmetic_terminates_in_n_iterations() {
+        // CG theory: at most n iterations for an n-dim problem
+        let a = noise_mat(12, 4);
+        let b = vec![1.0; 12];
+        let r = cgls(
+            &a,
+            &b,
+            &CglsConfig {
+                alpha: 0.1,
+                max_iter: 100,
+                tol: 1e-12,
+            },
+        );
+        assert!(r.iterations <= 8, "took {} iterations", r.iterations);
+    }
+
+    #[test]
+    #[should_panic(expected = "rhs length")]
+    fn rhs_checked() {
+        let a = noise_mat(4, 3);
+        let _ = cgls(&a, &[1.0; 5], &CglsConfig::default());
+    }
+}

@@ -1,0 +1,34 @@
+//! # srda-solvers
+//!
+//! Regularized least-squares machinery for the SRDA reproduction.
+//!
+//! SRDA reduces LDA to `c − 1` ridge-regression problems
+//! `min ‖Xᵀa − ȳ‖² + α‖a‖²` (paper Eqn 14/19). This crate provides every
+//! way the paper solves them:
+//!
+//! * [`operator::LinearOperator`] — the minimal matrix-free interface
+//!   (`A·v` and `Aᵀ·v`) that iterative solvers need. Implemented for dense
+//!   [`srda_linalg::Mat`], sparse [`srda_sparse::CsrMatrix`], and two
+//!   wrappers: [`operator::AugmentedOp`] (appends the implicit bias column
+//!   of the paper's §III.B trick without copying the data) and
+//!   [`operator::CenteredOp`] (applies `X − 1μᵀ` implicitly, never
+//!   densifying a sparse matrix).
+//! * [`lsqr`] — the LSQR algorithm of Paige & Saunders (ACM TOMS 1982)
+//!   with damping `√α`, the paper's linear-time engine (§III.C.2).
+//! * [`cgls`] — conjugate-gradient on the regularized normal equations,
+//!   a second iterative engine used for cross-checks and ablations.
+//! * [`ridge`] — direct solvers: primal normal equations
+//!   `(XᵀX + αI)a = Xᵀȳ` via Cholesky, and the dual form
+//!   `(XXᵀ + αI)u = ȳ, a = Xᵀu` (paper Eqn 21) that is cheaper when
+//!   `n > m`. An `auto` entry point picks the smaller system.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cgls;
+pub mod lsqr;
+pub mod operator;
+pub mod ridge;
+
+pub use lsqr::{lsqr, LsqrConfig, LsqrResult, StopReason};
+pub use operator::{AugmentedOp, CenteredOp, LinearOperator};

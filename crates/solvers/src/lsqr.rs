@@ -1,0 +1,558 @@
+//! LSQR: iterative damped least squares (Paige & Saunders, ACM TOMS 1982).
+//!
+//! Solves `min ‖A·x − b‖² + damp²·‖x‖²` using only the products `A·v` and
+//! `Aᵀ·u` — one of each per iteration, which on sparse data costs `O(nnz)`.
+//! With `k` iterations and `c − 1` response vectors this is exactly the
+//! paper's `O(kc·ms)` training cost, the headline "linear time" result.
+//! The paper runs a fixed 15–20 iterations; [`LsqrConfig`] supports both a
+//! hard iteration cap and standard residual-based stopping rules.
+
+use crate::operator::LinearOperator;
+use srda_linalg::vector;
+
+/// Configuration for an LSQR run.
+#[derive(Debug, Clone)]
+pub struct LsqrConfig {
+    /// Regularization: the solver minimizes `‖Ax − b‖² + damp²‖x‖²`.
+    /// For SRDA's ridge parameter `α`, pass `damp = √α`.
+    pub damp: f64,
+    /// Hard iteration cap. The paper: "In our experiments, 20 iterations
+    /// are enough"; their 20Newsgroups runs use 15.
+    pub max_iter: usize,
+    /// Relative residual tolerance (`atol`/`btol` of the reference
+    /// implementation, collapsed to one knob). Set to 0 to always run
+    /// `max_iter` iterations.
+    pub tol: f64,
+}
+
+impl Default for LsqrConfig {
+    fn default() -> Self {
+        LsqrConfig {
+            damp: 0.0,
+            max_iter: 20,
+            tol: 1e-10,
+        }
+    }
+}
+
+/// Why LSQR stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// `x = 0` was already the exact solution (`b = 0` or `Aᵀb = 0`).
+    TrivialSolution,
+    /// The residual tolerance was met.
+    Converged,
+    /// The iteration cap was hit.
+    MaxIterations,
+}
+
+/// The outcome of an LSQR run.
+#[derive(Debug, Clone)]
+pub struct LsqrResult {
+    /// The computed solution.
+    pub x: Vec<f64>,
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Final estimate of `‖[r; damp·x]‖` (the damped residual norm).
+    pub residual_norm: f64,
+    /// Stopping cause.
+    pub stop: StopReason,
+    /// Damped-residual-norm trace, one entry per iteration (used by the
+    /// `repro_lsqr_convergence` experiment to verify the "~20 iterations"
+    /// claim).
+    pub residual_trace: Vec<f64>,
+}
+
+/// Run LSQR on `min ‖A·x − b‖² + damp²‖x‖²`.
+///
+/// ```
+/// use srda_linalg::Mat;
+/// use srda_solvers::lsqr::{lsqr, LsqrConfig};
+///
+/// // consistent 2×2 system: x = [1, 2]
+/// let a = Mat::from_rows(&[vec![2.0, 0.0], vec![0.0, 3.0]]).unwrap();
+/// let r = lsqr(&a, &[2.0, 6.0], &LsqrConfig::default());
+/// assert!((r.x[0] - 1.0).abs() < 1e-8);
+/// assert!((r.x[1] - 2.0).abs() < 1e-8);
+/// ```
+pub fn lsqr<A: LinearOperator + ?Sized>(a: &A, b: &[f64], cfg: &LsqrConfig) -> LsqrResult {
+    assert_eq!(b.len(), a.nrows(), "rhs length must equal operator rows");
+    let n = a.ncols();
+    let mut x = vec![0.0; n];
+
+    // Golub-Kahan bidiagonalization initialization
+    let mut u = b.to_vec();
+    let mut beta = vector::norm2(&u);
+    if beta == 0.0 {
+        return LsqrResult {
+            x,
+            iterations: 0,
+            residual_norm: 0.0,
+            stop: StopReason::TrivialSolution,
+            residual_trace: vec![],
+        };
+    }
+    vector::scale(1.0 / beta, &mut u);
+
+    let mut v = a.apply_t(&u);
+    let mut alpha = vector::norm2(&v);
+    if alpha == 0.0 {
+        // b is orthogonal to the range of A: x = 0 is optimal
+        return LsqrResult {
+            x,
+            iterations: 0,
+            residual_norm: beta,
+            stop: StopReason::TrivialSolution,
+            residual_trace: vec![],
+        };
+    }
+    vector::scale(1.0 / alpha, &mut v);
+
+    let mut w = v.clone();
+    let mut phibar = beta;
+    let mut rhobar = alpha;
+    let b_norm = beta;
+    // running Frobenius-norm estimate of the damped bidiagonal (Paige &
+    // Saunders' ANORM), for the ‖Aᵀr‖-based stopping rule
+    let mut anorm_sq = alpha * alpha;
+    let mut trace = Vec::with_capacity(cfg.max_iter);
+    let mut stop = StopReason::MaxIterations;
+    let mut iterations = 0;
+
+    for iter in 0..cfg.max_iter {
+        iterations = iter + 1;
+
+        // continue the bidiagonalization: β·u = A·v − α·u
+        let av = a.apply(&v);
+        for (ui, avi) in u.iter_mut().zip(&av) {
+            *ui = avi - alpha * *ui;
+        }
+        beta = vector::norm2(&u);
+        if beta > 0.0 {
+            vector::scale(1.0 / beta, &mut u);
+        }
+        // α·v = Aᵀ·u − β·v
+        let atu = a.apply_t(&u);
+        for (vi, atui) in v.iter_mut().zip(&atu) {
+            *vi = atui - beta * *vi;
+        }
+        alpha = vector::norm2(&v);
+        if alpha > 0.0 {
+            vector::scale(1.0 / alpha, &mut v);
+        }
+
+        // eliminate the damping term with a first rotation
+        let rhobar1 = rhobar.hypot(cfg.damp);
+        if rhobar1 == 0.0 {
+            // total breakdown: the bidiagonalization has terminated and
+            // there is no damping — x is already the exact LS solution
+            stop = StopReason::Converged;
+            iterations = iter;
+            break;
+        }
+        let c1 = rhobar / rhobar1;
+        let s1 = cfg.damp / rhobar1;
+        let psi = s1 * phibar;
+        phibar *= c1;
+
+        // eliminate the subdiagonal with a second rotation
+        let rho = rhobar1.hypot(beta);
+        let c = rhobar1 / rho;
+        let s = beta / rho;
+        let theta = s * alpha;
+        rhobar = -c * alpha;
+        let phi = c * phibar;
+        phibar *= s;
+
+        // update x and the search direction w
+        let t1 = phi / rho;
+        let t2 = -theta / rho;
+        for i in 0..n {
+            x[i] += t1 * w[i];
+            w[i] = v[i] + t2 * w[i];
+        }
+
+        // ‖[r; damp·x]‖ ≈ √(φ̄² + ψ²) accumulated; the ψ terms are
+        // orthogonal between iterations, so track their running square sum.
+        let damped_res = (phibar * phibar + psi * psi).sqrt();
+        trace.push(damped_res);
+
+        // phibar carries a sign (the rotations propagate the sign of
+        // rhobar); only its magnitude estimates the residual norm.
+        if cfg.tol > 0.0 && phibar.abs() <= cfg.tol * b_norm {
+            stop = StopReason::Converged;
+            break;
+        }
+        // second Paige-Saunders rule, decisive for inconsistent systems:
+        // ‖Aᵀr̄‖ = α·|c·φ̄| must vanish at the LS solution even though the
+        // residual itself does not
+        anorm_sq += alpha * alpha + beta * beta + cfg.damp * cfg.damp;
+        let arnorm = alpha * (c * phibar).abs();
+        if cfg.tol > 0.0 && arnorm <= cfg.tol * anorm_sq.sqrt() * damped_res.max(f64::MIN_POSITIVE)
+        {
+            stop = StopReason::Converged;
+            break;
+        }
+        if alpha == 0.0 || beta == 0.0 {
+            // bidiagonalization breakdown: the Krylov space is exhausted,
+            // so the current x is the exact (damped) LS solution
+            stop = StopReason::Converged;
+            break;
+        }
+    }
+
+    LsqrResult {
+        residual_norm: *trace.last().unwrap_or(&phibar.abs()),
+        x,
+        iterations,
+        stop,
+        residual_trace: trace,
+    }
+}
+
+/// Internal operator `[A; damp·I]` used by the warm-start path: stacking
+/// the ridge term as explicit rows turns the damped problem into a plain
+/// least-squares problem whose right-hand side can carry an `x₀` offset.
+struct DampedStackOp<'a, A: LinearOperator + ?Sized> {
+    inner: &'a A,
+    damp: f64,
+}
+
+impl<A: LinearOperator + ?Sized> LinearOperator for DampedStackOp<'_, A> {
+    fn nrows(&self) -> usize {
+        self.inner.nrows() + self.inner.ncols()
+    }
+    fn ncols(&self) -> usize {
+        self.inner.ncols()
+    }
+    fn apply(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = self.inner.apply(x);
+        y.extend(x.iter().map(|v| self.damp * v));
+        y
+    }
+    fn apply_t(&self, x: &[f64]) -> Vec<f64> {
+        let (top, bottom) = x.split_at(self.inner.nrows());
+        let mut y = self.inner.apply_t(top);
+        for (yi, bi) in y.iter_mut().zip(bottom) {
+            *yi += self.damp * bi;
+        }
+        y
+    }
+}
+
+/// Warm-started damped LSQR: solve `min ‖A·x − b‖² + damp²·‖x‖²` starting
+/// from `x0` (e.g. the solution of a closely related earlier problem —
+/// incremental retraining after appending samples). Internally solves the
+/// equivalent stacked least-squares problem for the correction `d`:
+///
+/// ```text
+/// min ‖ [A; damp·I]·d − [b − A·x0; −damp·x0] ‖²,   x = x0 + d
+/// ```
+///
+/// With a good `x0` the correction is small and LSQR needs far fewer
+/// iterations than a cold start for the same residual.
+pub fn lsqr_warm<A: LinearOperator + ?Sized>(
+    a: &A,
+    b: &[f64],
+    x0: &[f64],
+    cfg: &LsqrConfig,
+) -> LsqrResult {
+    assert_eq!(b.len(), a.nrows(), "rhs length must equal operator rows");
+    assert_eq!(x0.len(), a.ncols(), "x0 length must equal operator cols");
+    let stacked = DampedStackOp {
+        inner: a,
+        damp: cfg.damp,
+    };
+    let ax0 = a.apply(x0);
+    let mut rhs: Vec<f64> = b.iter().zip(&ax0).map(|(bi, ai)| bi - ai).collect();
+    rhs.extend(x0.iter().map(|v| -cfg.damp * v));
+    let inner_cfg = LsqrConfig {
+        damp: 0.0, // damping is inside the stacked operator now
+        ..cfg.clone()
+    };
+    let mut result = lsqr(&stacked, &rhs, &inner_cfg);
+    for (xi, x0i) in result.x.iter_mut().zip(x0) {
+        *xi += x0i;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srda_linalg::ops::{gram, matvec, matvec_t};
+    use srda_linalg::{Cholesky, Mat};
+
+    fn noise_mat(m: usize, n: usize) -> Mat {
+        Mat::from_fn(m, n, |i, j| {
+            let x = (i as f64 * 12.9898 + j as f64 * 78.233).sin() * 43758.5453;
+            x - x.floor() - 0.5
+        })
+    }
+
+    fn ridge_oracle(a: &Mat, b: &[f64], alpha: f64) -> Vec<f64> {
+        let mut g = gram(a);
+        g.add_to_diag(alpha);
+        let atb = matvec_t(a, b).unwrap();
+        Cholesky::factor(&g).unwrap().solve(&atb).unwrap()
+    }
+
+    #[test]
+    fn solves_consistent_square_system() {
+        let a = noise_mat(6, 6);
+        let x_true: Vec<f64> = (0..6).map(|i| i as f64 - 2.5).collect();
+        let b = matvec(&a, &x_true).unwrap();
+        let r = lsqr(
+            &a,
+            &b,
+            &LsqrConfig {
+                damp: 0.0,
+                max_iter: 200,
+                tol: 1e-14,
+            },
+        );
+        for (u, v) in r.x.iter().zip(&x_true) {
+            assert!((u - v).abs() < 1e-6, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn overdetermined_matches_normal_equations() {
+        let a = noise_mat(20, 5);
+        let b: Vec<f64> = (0..20).map(|i| (i as f64 * 0.3).sin()).collect();
+        let r = lsqr(
+            &a,
+            &b,
+            &LsqrConfig {
+                damp: 0.0,
+                max_iter: 100,
+                tol: 1e-14,
+            },
+        );
+        let oracle = ridge_oracle(&a, &b, 0.0);
+        for (u, v) in r.x.iter().zip(&oracle) {
+            assert!((u - v).abs() < 1e-8, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn damped_solution_matches_ridge_oracle() {
+        let alpha: f64 = 0.7;
+        let a = noise_mat(15, 8);
+        let b: Vec<f64> = (0..15).map(|i| (i as f64 * 0.9).cos()).collect();
+        let r = lsqr(
+            &a,
+            &b,
+            &LsqrConfig {
+                damp: alpha.sqrt(),
+                max_iter: 200,
+                tol: 1e-14,
+            },
+        );
+        let oracle = ridge_oracle(&a, &b, alpha);
+        for (u, v) in r.x.iter().zip(&oracle) {
+            assert!((u - v).abs() < 1e-8, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn underdetermined_with_damping() {
+        // n > m: exactly SRDA's hard case; ridge makes it well-posed
+        let alpha: f64 = 0.5;
+        let a = noise_mat(6, 20);
+        let b: Vec<f64> = (0..6).map(|i| 1.0 + i as f64).collect();
+        let r = lsqr(
+            &a,
+            &b,
+            &LsqrConfig {
+                damp: alpha.sqrt(),
+                max_iter: 300,
+                tol: 1e-14,
+            },
+        );
+        let oracle = ridge_oracle(&a, &b, alpha);
+        for (u, v) in r.x.iter().zip(&oracle) {
+            assert!((u - v).abs() < 1e-8, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn zero_rhs_is_trivial() {
+        let a = noise_mat(5, 3);
+        let r = lsqr(&a, &[0.0; 5], &LsqrConfig::default());
+        assert_eq!(r.stop, StopReason::TrivialSolution);
+        assert_eq!(r.x, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn rhs_orthogonal_to_range_is_trivial() {
+        // A has only a first column; b orthogonal to it
+        let a = Mat::from_vec(2, 1, vec![1.0, 0.0]).unwrap();
+        let r = lsqr(&a, &[0.0, 5.0], &LsqrConfig::default());
+        assert_eq!(r.stop, StopReason::TrivialSolution);
+        assert_eq!(r.x, vec![0.0]);
+        assert!((r.residual_norm - 5.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn max_iter_respected() {
+        let a = noise_mat(30, 25);
+        let b = vec![1.0; 30];
+        let r = lsqr(
+            &a,
+            &b,
+            &LsqrConfig {
+                damp: 0.0,
+                max_iter: 3,
+                tol: 0.0,
+            },
+        );
+        assert_eq!(r.iterations, 3);
+        assert_eq!(r.stop, StopReason::MaxIterations);
+        assert_eq!(r.residual_trace.len(), 3);
+    }
+
+    #[test]
+    fn residual_trace_is_monotone_nonincreasing() {
+        let a = noise_mat(25, 10);
+        let b: Vec<f64> = (0..25).map(|i| (i as f64).sin()).collect();
+        let r = lsqr(
+            &a,
+            &b,
+            &LsqrConfig {
+                damp: 0.1,
+                max_iter: 30,
+                tol: 0.0,
+            },
+        );
+        for w in r.residual_trace.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "residual increased: {w:?}");
+        }
+    }
+
+    #[test]
+    fn converges_quickly_on_well_conditioned_problems() {
+        // the paper's claim: ~20 iterations suffice in practice
+        let a = noise_mat(60, 30);
+        let b: Vec<f64> = (0..60).map(|i| (i as f64 * 0.17).sin()).collect();
+        let r = lsqr(
+            &a,
+            &b,
+            &LsqrConfig {
+                damp: 1.0,
+                max_iter: 20,
+                tol: 0.0,
+            },
+        );
+        let oracle = ridge_oracle(&a, &b, 1.0);
+        let mut err = 0.0f64;
+        let mut norm = 0.0f64;
+        for (u, v) in r.x.iter().zip(&oracle) {
+            err += (u - v) * (u - v);
+            norm += v * v;
+        }
+        assert!(
+            err.sqrt() / norm.sqrt() < 1e-4,
+            "relative error {} too large after 20 iterations",
+            err.sqrt() / norm.sqrt()
+        );
+    }
+
+    #[test]
+    fn works_through_sparse_operator() {
+        let d = noise_mat(12, 7);
+        let s = srda_sparse::CsrMatrix::from_dense(&d, 0.2); // thin it out
+        let ds = s.to_dense();
+        let b: Vec<f64> = (0..12).map(|i| (i as f64 * 0.51).cos()).collect();
+        let cfg = LsqrConfig {
+            damp: 0.3,
+            max_iter: 200,
+            tol: 1e-14,
+        };
+        let r_sparse = lsqr(&s, &b, &cfg);
+        let r_dense = lsqr(&ds, &b, &cfg);
+        for (u, v) in r_sparse.x.iter().zip(&r_dense.x) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rhs length")]
+    fn rhs_length_checked() {
+        let a = noise_mat(4, 3);
+        let _ = lsqr(&a, &[1.0; 3], &LsqrConfig::default());
+    }
+
+    #[test]
+    fn warm_start_matches_cold_solution() {
+        let alpha: f64 = 0.6;
+        let a = noise_mat(16, 7);
+        let b: Vec<f64> = (0..16).map(|i| (i as f64 * 0.53).sin()).collect();
+        let cfg = LsqrConfig {
+            damp: alpha.sqrt(),
+            max_iter: 400,
+            tol: 1e-13,
+        };
+        let cold = lsqr(&a, &b, &cfg);
+        // warm start from an arbitrary point still converges to the same
+        // unique ridge solution
+        let x0: Vec<f64> = (0..7).map(|i| (i as f64) - 3.0).collect();
+        let warm = lsqr_warm(&a, &b, &x0, &cfg);
+        for (u, v) in warm.x.iter().zip(&cold.x) {
+            assert!((u - v).abs() < 1e-7, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn warm_start_from_exact_solution_converges_instantly() {
+        let alpha: f64 = 0.4;
+        let a = noise_mat(12, 5);
+        let b: Vec<f64> = (0..12).map(|i| (i as f64 * 0.71).cos()).collect();
+        let oracle = ridge_oracle(&a, &b, alpha);
+        let cfg = LsqrConfig {
+            damp: alpha.sqrt(),
+            max_iter: 100,
+            tol: 1e-10,
+        };
+        let warm = lsqr_warm(&a, &b, &oracle, &cfg);
+        assert!(
+            warm.iterations <= 3,
+            "took {} iterations from the exact solution",
+            warm.iterations
+        );
+        for (u, v) in warm.x.iter().zip(&oracle) {
+            assert!((u - v).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn warm_start_near_solution_needs_fewer_iterations() {
+        let alpha: f64 = 0.5;
+        let a = noise_mat(40, 20);
+        let b: Vec<f64> = (0..40).map(|i| (i as f64 * 0.37).sin()).collect();
+        let oracle = ridge_oracle(&a, &b, alpha);
+        // perturb the oracle slightly: the "previous model" after a small
+        // data update
+        let x0: Vec<f64> = oracle.iter().map(|v| v * 1.02 + 1e-3).collect();
+        let cfg = LsqrConfig {
+            damp: alpha.sqrt(),
+            max_iter: 200,
+            tol: 1e-8,
+        };
+        let cold = lsqr(&a, &b, &cfg);
+        let warm = lsqr_warm(&a, &b, &x0, &cfg);
+        assert!(
+            warm.iterations < cold.iterations,
+            "warm {} vs cold {}",
+            warm.iterations,
+            cold.iterations
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "x0 length")]
+    fn warm_start_x0_length_checked() {
+        let a = noise_mat(4, 3);
+        let _ = lsqr_warm(&a, &[1.0; 4], &[0.0; 2], &LsqrConfig::default());
+    }
+}

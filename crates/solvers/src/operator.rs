@@ -1,0 +1,260 @@
+//! The matrix-free operator interface and its implementations.
+//!
+//! LSQR touches the data only through `A·v` and `Aᵀ·u`. The paper leans on
+//! this twice: it is why sparse data stays sparse (§III.C.2), and why even
+//! out-of-core data "can still be applied with some reasonable disk I/O".
+//! Everything the SRDA core needs from a data matrix is captured here.
+
+use srda_linalg::Mat;
+use srda_sparse::CsrMatrix;
+
+/// A linear operator `A : ℝⁿ → ℝᵐ` exposed through its two matrix-vector
+/// products.
+pub trait LinearOperator {
+    /// Number of rows `m` (samples, in the SRDA convention).
+    fn nrows(&self) -> usize;
+    /// Number of columns `n` (features).
+    fn ncols(&self) -> usize;
+    /// `y = A·x` with `x.len() == ncols()`.
+    fn apply(&self, x: &[f64]) -> Vec<f64>;
+    /// `y = Aᵀ·x` with `x.len() == nrows()`.
+    fn apply_t(&self, x: &[f64]) -> Vec<f64>;
+}
+
+impl LinearOperator for Mat {
+    fn nrows(&self) -> usize {
+        Mat::nrows(self)
+    }
+    fn ncols(&self) -> usize {
+        Mat::ncols(self)
+    }
+    fn apply(&self, x: &[f64]) -> Vec<f64> {
+        srda_linalg::ops::matvec(self, x).expect("operator shape invariant")
+    }
+    fn apply_t(&self, x: &[f64]) -> Vec<f64> {
+        srda_linalg::ops::matvec_t(self, x).expect("operator shape invariant")
+    }
+}
+
+impl LinearOperator for CsrMatrix {
+    fn nrows(&self) -> usize {
+        CsrMatrix::nrows(self)
+    }
+    fn ncols(&self) -> usize {
+        CsrMatrix::ncols(self)
+    }
+    fn apply(&self, x: &[f64]) -> Vec<f64> {
+        self.matvec(x).expect("operator shape invariant")
+    }
+    fn apply_t(&self, x: &[f64]) -> Vec<f64> {
+        self.matvec_t(x).expect("operator shape invariant")
+    }
+}
+
+/// Out-of-core operator: the paper's "reasonable disk I/O" mode. Each
+/// product is one sequential scan of the on-disk non-zeros; only the row
+/// pointers stay resident. I/O failures abort via panic — an operator has
+/// no error channel, and a mid-solve disk failure has no sensible recovery.
+impl LinearOperator for srda_sparse::DiskCsr {
+    fn nrows(&self) -> usize {
+        srda_sparse::DiskCsr::nrows(self)
+    }
+    fn ncols(&self) -> usize {
+        srda_sparse::DiskCsr::ncols(self)
+    }
+    fn apply(&self, x: &[f64]) -> Vec<f64> {
+        self.matvec(x).expect("disk matvec failed")
+    }
+    fn apply_t(&self, x: &[f64]) -> Vec<f64> {
+        self.matvec_t(x).expect("disk matvec_t failed")
+    }
+}
+
+/// Wraps an operator as `[A | 1]`: a virtual all-ones last column.
+///
+/// This is the paper's bias-absorption trick (§III.B) in matrix-free form:
+/// the augmented solution vector is `[a; b]` with `b` the intercept, and no
+/// augmented copy of the data is ever materialized.
+pub struct AugmentedOp<'a, A: LinearOperator + ?Sized> {
+    inner: &'a A,
+}
+
+impl<'a, A: LinearOperator + ?Sized> AugmentedOp<'a, A> {
+    /// Wrap `inner` with a virtual constant-1 column appended.
+    pub fn new(inner: &'a A) -> Self {
+        AugmentedOp { inner }
+    }
+}
+
+impl<A: LinearOperator + ?Sized> LinearOperator for AugmentedOp<'_, A> {
+    fn nrows(&self) -> usize {
+        self.inner.nrows()
+    }
+    fn ncols(&self) -> usize {
+        self.inner.ncols() + 1
+    }
+    fn apply(&self, x: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(x.len(), self.ncols());
+        let (head, bias) = x.split_at(x.len() - 1);
+        let mut y = self.inner.apply(head);
+        let b = bias[0];
+        if b != 0.0 {
+            for yi in &mut y {
+                *yi += b;
+            }
+        }
+        y
+    }
+    fn apply_t(&self, x: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(x.len(), self.nrows());
+        let mut y = self.inner.apply_t(x);
+        y.push(x.iter().sum());
+        y
+    }
+}
+
+/// Wraps an operator as the implicitly centered matrix `X − 1·μᵀ`.
+///
+/// `(X − 1μᵀ)·v = X·v − (μᵀv)·1` and `(X − 1μᵀ)ᵀ·u = Xᵀ·u − (1ᵀu)·μ`, so
+/// centering costs one extra rank-one correction per product and a sparse
+/// `X` is never densified. This is the alternative to the bias trick that
+/// DESIGN.md's ablation benches compare against.
+pub struct CenteredOp<'a, A: LinearOperator + ?Sized> {
+    inner: &'a A,
+    mu: Vec<f64>,
+}
+
+impl<'a, A: LinearOperator + ?Sized> CenteredOp<'a, A> {
+    /// Wrap `inner`, subtracting the row `mu` from every virtual row.
+    /// Panics if `mu.len() != inner.ncols()`.
+    pub fn new(inner: &'a A, mu: Vec<f64>) -> Self {
+        assert_eq!(mu.len(), inner.ncols(), "mean length must match ncols");
+        CenteredOp { inner, mu }
+    }
+}
+
+impl<A: LinearOperator + ?Sized> LinearOperator for CenteredOp<'_, A> {
+    fn nrows(&self) -> usize {
+        self.inner.nrows()
+    }
+    fn ncols(&self) -> usize {
+        self.inner.ncols()
+    }
+    fn apply(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = self.inner.apply(x);
+        let shift = srda_linalg::vector::dot(&self.mu, x);
+        for yi in &mut y {
+            *yi -= shift;
+        }
+        y
+    }
+    fn apply_t(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = self.inner.apply_t(x);
+        let s: f64 = x.iter().sum();
+        srda_linalg::vector::axpy(-s, &self.mu, &mut y);
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srda_sparse::CooBuilder;
+
+    fn dense() -> Mat {
+        Mat::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap()
+    }
+
+    #[test]
+    fn dense_operator_matches_kernels() {
+        let a = dense();
+        let y = LinearOperator::apply(&a, &[1.0, -1.0]);
+        assert_eq!(y, vec![-1.0, -1.0, -1.0]);
+        let yt = LinearOperator::apply_t(&a, &[1.0, 0.0, 1.0]);
+        assert_eq!(yt, vec![6.0, 8.0]);
+    }
+
+    #[test]
+    fn sparse_operator_matches_dense() {
+        let d = dense();
+        let mut b = CooBuilder::new(3, 2);
+        for i in 0..3 {
+            for j in 0..2 {
+                b.push(i, j, d[(i, j)]).unwrap();
+            }
+        }
+        let s = b.build();
+        let x = [0.5, -2.0];
+        assert_eq!(LinearOperator::apply(&s, &x), LinearOperator::apply(&d, &x));
+        let u = [1.0, 2.0, 3.0];
+        assert_eq!(
+            LinearOperator::apply_t(&s, &u),
+            LinearOperator::apply_t(&d, &u)
+        );
+    }
+
+    #[test]
+    fn augmented_matches_explicit_column() {
+        let a = dense();
+        let aug = AugmentedOp::new(&a);
+        assert_eq!(aug.ncols(), 3);
+        assert_eq!(aug.nrows(), 3);
+        let explicit = a.append_constant_col(1.0);
+        let x = [1.0, -0.5, 2.0];
+        assert_eq!(aug.apply(&x), LinearOperator::apply(&explicit, &x));
+        let u = [0.5, 1.5, -1.0];
+        assert_eq!(aug.apply_t(&u), LinearOperator::apply_t(&explicit, &u));
+    }
+
+    #[test]
+    fn augmented_zero_bias_shortcut() {
+        let a = dense();
+        let aug = AugmentedOp::new(&a);
+        let x = [1.0, 1.0, 0.0];
+        assert_eq!(aug.apply(&x), LinearOperator::apply(&a, &[1.0, 1.0]));
+    }
+
+    #[test]
+    fn centered_matches_explicit_centering() {
+        let a = dense();
+        let mu = srda_linalg::stats::col_means(&a);
+        let centered_explicit = srda_linalg::stats::center_rows(&a, &mu);
+        let op = CenteredOp::new(&a, mu);
+        let x = [2.0, -1.0];
+        let y1 = op.apply(&x);
+        let y2 = LinearOperator::apply(&centered_explicit, &x);
+        for (u, v) in y1.iter().zip(&y2) {
+            assert!((u - v).abs() < 1e-12);
+        }
+        let u = [1.0, -2.0, 0.5];
+        let t1 = op.apply_t(&u);
+        let t2 = LinearOperator::apply_t(&centered_explicit, &u);
+        for (x1, x2) in t1.iter().zip(&t2) {
+            assert!((x1 - x2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mean length")]
+    fn centered_checks_mu_length() {
+        let a = dense();
+        let _ = CenteredOp::new(&a, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn operators_compose() {
+        // centered then augmented: the usual dense-SRDA configuration
+        let a = dense();
+        let mu = srda_linalg::stats::col_means(&a);
+        let centered = CenteredOp::new(&a, mu.clone());
+        let both = AugmentedOp::new(&centered);
+        assert_eq!(both.ncols(), 3);
+        let explicit = srda_linalg::stats::center_rows(&a, &mu).append_constant_col(1.0);
+        let x = [1.0, 2.0, 3.0];
+        let y1 = both.apply(&x);
+        let y2 = LinearOperator::apply(&explicit, &x);
+        for (u, v) in y1.iter().zip(&y2) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Direct (factorization-based) ridge regression.
+//!
+//! Solves `min ‖X·w − y‖² + α‖w‖²` for one or many right-hand sides:
+//!
+//! * **primal** — Cholesky of `XᵀX + αI` (`n × n`); the textbook normal
+//!   equations of the paper's Eqn 20. Best when `n ≤ m`.
+//! * **dual** — Cholesky of `XXᵀ + αI` (`m × m`) and `w = Xᵀu` — the
+//!   paper's Eqn 21 route for `n > m`. For `α > 0` the two are *exactly*
+//!   equivalent via the push-through identity
+//!   `(XᵀX + αI)⁻¹Xᵀ = Xᵀ(XXᵀ + αI)⁻¹`.
+//! * **auto** — picks whichever Gram matrix is smaller, the choice the
+//!   paper's cost analysis (§III.C.1) prescribes.
+//!
+//! The key amortization: the factorization is done **once** and reused for
+//! all `c − 1` SRDA responses, so the per-response cost is only the
+//! triangular solves.
+
+use srda_linalg::ops::{gram, gram_t, matmul_transa};
+use srda_linalg::{Cholesky, Mat, Result};
+
+/// Which normal-equation form a [`RidgeSolver`] factored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RidgeForm {
+    /// `XᵀX + αI` (`n × n`).
+    Primal,
+    /// `XXᵀ + αI` (`m × m`).
+    Dual,
+}
+
+/// A factored ridge problem ready to solve for many right-hand sides.
+#[derive(Debug, Clone)]
+pub struct RidgeSolver {
+    chol: Cholesky,
+    form: RidgeForm,
+    alpha: f64,
+}
+
+impl RidgeSolver {
+    /// Factor the primal normal equations `XᵀX + αI`.
+    pub fn primal(x: &Mat, alpha: f64) -> Result<Self> {
+        let mut g = gram(x);
+        g.add_to_diag(alpha);
+        Ok(RidgeSolver {
+            chol: Cholesky::factor(&g)?,
+            form: RidgeForm::Primal,
+            alpha,
+        })
+    }
+
+    /// Factor the dual normal equations `XXᵀ + αI` (paper Eqn 21).
+    pub fn dual(x: &Mat, alpha: f64) -> Result<Self> {
+        let mut k = gram_t(x);
+        k.add_to_diag(alpha);
+        Ok(RidgeSolver {
+            chol: Cholesky::factor(&k)?,
+            form: RidgeForm::Dual,
+            alpha,
+        })
+    }
+
+    /// Factor whichever form is smaller (`n ≤ m` → primal, else dual).
+    pub fn auto(x: &Mat, alpha: f64) -> Result<Self> {
+        if x.ncols() <= x.nrows() {
+            Self::primal(x, alpha)
+        } else {
+            Self::dual(x, alpha)
+        }
+    }
+
+    /// Which form was factored.
+    pub fn form(&self) -> RidgeForm {
+        self.form
+    }
+
+    /// The ridge parameter this solver was factored with.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Solve for a matrix of responses `Y` (`m × k`, one column per
+    /// right-hand side), returning the weights `W` (`n × k`).
+    ///
+    /// `x` must be the same matrix passed at factorization time (the
+    /// factorization stores only the Gram matrix, so the data is needed
+    /// again to form `XᵀY` / back-project the dual solution).
+    pub fn solve(&self, x: &Mat, y: &Mat) -> Result<Mat> {
+        match self.form {
+            RidgeForm::Primal => {
+                // W = (XᵀX + αI)⁻¹ Xᵀ Y
+                let xty = matmul_transa(x, y)?;
+                self.chol.solve_mat(&xty)
+            }
+            RidgeForm::Dual => {
+                // U = (XXᵀ + αI)⁻¹ Y ; W = Xᵀ U
+                let u = self.chol.solve_mat(y)?;
+                matmul_transa(x, &u)
+            }
+        }
+    }
+
+    /// Solve for a single response vector.
+    pub fn solve_vec(&self, x: &Mat, y: &[f64]) -> Result<Vec<f64>> {
+        let ym = Mat::from_vec(y.len(), 1, y.to_vec())?;
+        let w = self.solve(x, &ym)?;
+        Ok(w.col(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srda_linalg::ops::matvec;
+
+    fn noise_mat(m: usize, n: usize) -> Mat {
+        Mat::from_fn(m, n, |i, j| {
+            let x = (i as f64 * 91.17 + j as f64 * 13.73).sin() * 43758.5453;
+            x - x.floor() - 0.5
+        })
+    }
+
+    #[test]
+    fn primal_solves_normal_equations() {
+        let x = noise_mat(12, 5);
+        let y: Vec<f64> = (0..12).map(|i| (i as f64 * 0.8).sin()).collect();
+        let alpha = 0.4;
+        let solver = RidgeSolver::primal(&x, alpha).unwrap();
+        let w = solver.solve_vec(&x, &y).unwrap();
+        // verify (XᵀX + αI)w = Xᵀy
+        let mut g = gram(&x);
+        g.add_to_diag(alpha);
+        let lhs = matvec(&g, &w).unwrap();
+        let rhs = srda_linalg::ops::matvec_t(&x, &y).unwrap();
+        for (a, b) in lhs.iter().zip(&rhs) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn primal_and_dual_agree() {
+        // the push-through identity must hold exactly for α > 0
+        for (m, n) in [(12, 5), (5, 12), (8, 8)] {
+            let x = noise_mat(m, n);
+            let y = Mat::from_fn(m, 2, |i, j| ((i + j) as f64 * 0.37).cos());
+            let alpha = 0.25;
+            let wp = RidgeSolver::primal(&x, alpha).unwrap().solve(&x, &y).unwrap();
+            let wd = RidgeSolver::dual(&x, alpha).unwrap().solve(&x, &y).unwrap();
+            assert!(
+                wp.approx_eq(&wd, 1e-8),
+                "primal/dual mismatch for {m}x{n}: {}",
+                wp.sub(&wd).unwrap().max_abs()
+            );
+        }
+    }
+
+    #[test]
+    fn auto_picks_smaller_side() {
+        let tall = noise_mat(20, 5);
+        assert_eq!(
+            RidgeSolver::auto(&tall, 1.0).unwrap().form(),
+            RidgeForm::Primal
+        );
+        let wide = noise_mat(5, 20);
+        assert_eq!(
+            RidgeSolver::auto(&wide, 1.0).unwrap().form(),
+            RidgeForm::Dual
+        );
+    }
+
+    #[test]
+    fn multi_rhs_matches_single_rhs() {
+        let x = noise_mat(10, 6);
+        let y = Mat::from_fn(10, 3, |i, j| (i as f64 - j as f64) * 0.2);
+        let solver = RidgeSolver::auto(&x, 0.5).unwrap();
+        let w = solver.solve(&x, &y).unwrap();
+        for j in 0..3 {
+            let wj = solver.solve_vec(&x, &y.col(j)).unwrap();
+            for (a, b) in w.col(j).iter().zip(&wj) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_zero_requires_full_rank_primal() {
+        // full column rank: OK with α = 0
+        let x = noise_mat(12, 4);
+        assert!(RidgeSolver::primal(&x, 0.0).is_ok());
+        // rank-deficient (an all-zero feature): fails without regularization
+        let col = noise_mat(12, 1);
+        let x_bad = col.hcat(&Mat::zeros(12, 1)).unwrap();
+        assert!(RidgeSolver::primal(&x_bad, 0.0).is_err());
+        // ...but succeeds with it
+        assert!(RidgeSolver::primal(&x_bad, 1e-6).is_ok());
+    }
+
+    #[test]
+    fn larger_alpha_shrinks_solution() {
+        let x = noise_mat(15, 6);
+        let y: Vec<f64> = (0..15).map(|i| (i as f64 * 0.29).sin()).collect();
+        let norm = |alpha: f64| {
+            let w = RidgeSolver::primal(&x, alpha)
+                .unwrap()
+                .solve_vec(&x, &y)
+                .unwrap();
+            srda_linalg::vector::norm2(&w)
+        };
+        let n_small = norm(1e-3);
+        let n_mid = norm(1.0);
+        let n_big = norm(100.0);
+        assert!(n_small > n_mid && n_mid > n_big, "{n_small} {n_mid} {n_big}");
+    }
+
+    #[test]
+    fn dual_handles_high_dimensional_data() {
+        // n ≫ m: the regime where the paper's Eqn 21 saves the day
+        let x = noise_mat(6, 200);
+        let y: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        let solver = RidgeSolver::dual(&x, 0.1).unwrap();
+        let w = solver.solve_vec(&x, &y).unwrap();
+        assert_eq!(w.len(), 200);
+        // residual should be small: 6 equations, 200 unknowns, mild ridge
+        let fit = matvec(&x, &w).unwrap();
+        for (a, b) in fit.iter().zip(&y) {
+            assert!((a - b).abs() < 0.3, "{a} vs {b}");
+        }
+    }
+}

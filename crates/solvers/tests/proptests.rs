@@ -1,0 +1,122 @@
+//! Property-based tests: every solver in this crate answers the same
+//! question — `argmin ‖Ax − b‖² + α‖x‖²` — so on random well-posed inputs
+//! they must all agree with the Cholesky oracle and with each other.
+
+use proptest::prelude::*;
+use srda_linalg::ops::{gram, matvec_t};
+use srda_linalg::{Cholesky, Mat};
+use srda_solvers::cgls::{cgls, CglsConfig};
+use srda_solvers::lsqr::{lsqr, LsqrConfig};
+use srda_solvers::ridge::RidgeSolver;
+use srda_solvers::{AugmentedOp, CenteredOp, LinearOperator};
+
+fn problem_strategy() -> impl Strategy<Value = (Mat, Vec<f64>, f64)> {
+    (2usize..12, 2usize..12, 0.05f64..4.0).prop_flat_map(|(m, n, alpha)| {
+        let mat = proptest::collection::vec(-3.0f64..3.0, m * n)
+            .prop_map(move |d| Mat::from_vec(m, n, d).unwrap());
+        let rhs = proptest::collection::vec(-3.0f64..3.0, m);
+        (mat, rhs, Just(alpha))
+    })
+}
+
+fn oracle(a: &Mat, b: &[f64], alpha: f64) -> Vec<f64> {
+    let mut g = gram(a);
+    g.add_to_diag(alpha);
+    let atb = matvec_t(a, b).unwrap();
+    Cholesky::factor(&g).unwrap().solve(&atb).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lsqr_matches_cholesky_oracle((a, b, alpha) in problem_strategy()) {
+        let r = lsqr(&a, &b, &LsqrConfig { damp: alpha.sqrt(), max_iter: 500, tol: 0.0 });
+        let want = oracle(&a, &b, alpha);
+        let scale = srda_linalg::vector::norm2(&want).max(1.0);
+        for (u, v) in r.x.iter().zip(&want) {
+            prop_assert!((u - v).abs() < 1e-6 * scale, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn cgls_matches_cholesky_oracle((a, b, alpha) in problem_strategy()) {
+        let r = cgls(&a, &b, &CglsConfig { alpha, max_iter: 500, tol: 1e-14 });
+        let want = oracle(&a, &b, alpha);
+        let scale = srda_linalg::vector::norm2(&want).max(1.0);
+        for (u, v) in r.x.iter().zip(&want) {
+            prop_assert!((u - v).abs() < 1e-6 * scale, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn primal_dual_equivalence((a, b, alpha) in problem_strategy()) {
+        let y = Mat::from_vec(b.len(), 1, b.clone()).unwrap();
+        let wp = RidgeSolver::primal(&a, alpha).unwrap().solve(&a, &y).unwrap();
+        let wd = RidgeSolver::dual(&a, alpha).unwrap().solve(&a, &y).unwrap();
+        prop_assert!(
+            wp.approx_eq(&wd, 1e-6 * wp.max_abs().max(1.0)),
+            "max diff {}", wp.sub(&wd).unwrap().max_abs()
+        );
+    }
+
+    #[test]
+    fn augmented_operator_equals_explicit_column((a, b, _alpha) in problem_strategy()) {
+        let aug = AugmentedOp::new(&a);
+        let explicit = a.append_constant_col(1.0);
+        let x: Vec<f64> = (0..aug.ncols()).map(|i| (i as f64 * 0.83).sin()).collect();
+        let y1 = aug.apply(&x);
+        let y2 = LinearOperator::apply(&explicit, &x);
+        for (u, v) in y1.iter().zip(&y2) {
+            prop_assert!((u - v).abs() < 1e-10);
+        }
+        let t1 = aug.apply_t(&b);
+        let t2 = LinearOperator::apply_t(&explicit, &b);
+        for (u, v) in t1.iter().zip(&t2) {
+            prop_assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn centered_operator_equals_explicit_centering((a, b, _alpha) in problem_strategy()) {
+        let mu = srda_linalg::stats::col_means(&a);
+        let centered = srda_linalg::stats::center_rows(&a, &mu);
+        let op = CenteredOp::new(&a, mu);
+        let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.59).cos()).collect();
+        let y1 = op.apply(&x);
+        let y2 = LinearOperator::apply(&centered, &x);
+        for (u, v) in y1.iter().zip(&y2) {
+            prop_assert!((u - v).abs() < 1e-9);
+        }
+        let t1 = op.apply_t(&b);
+        let t2 = LinearOperator::apply_t(&centered, &b);
+        for (u, v) in t1.iter().zip(&t2) {
+            prop_assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn warm_start_converges_to_same_ridge_solution((a, b, alpha) in problem_strategy()) {
+        let cfg = LsqrConfig { damp: alpha.sqrt(), max_iter: 600, tol: 1e-13 };
+        let cold = lsqr(&a, &b, &cfg);
+        // arbitrary warm start — unique ridge minimum means same answer
+        let x0: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.77).sin() * 2.0).collect();
+        let warm = srda_solvers::lsqr::lsqr_warm(&a, &b, &x0, &cfg);
+        let scale = srda_linalg::vector::norm2(&cold.x).max(1.0);
+        for (u, v) in warm.x.iter().zip(&cold.x) {
+            prop_assert!((u - v).abs() < 1e-5 * scale, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn lsqr_through_sparse_equals_dense((a, b, alpha) in problem_strategy()) {
+        let s = srda_sparse::CsrMatrix::from_dense(&a, 0.5); // sparsify
+        let ds = s.to_dense();
+        let cfg = LsqrConfig { damp: alpha.sqrt(), max_iter: 300, tol: 0.0 };
+        let r1 = lsqr(&s, &b, &cfg);
+        let r2 = lsqr(&ds, &b, &cfg);
+        for (u, v) in r1.x.iter().zip(&r2.x) {
+            prop_assert!((u - v).abs() < 1e-8);
+        }
+    }
+}

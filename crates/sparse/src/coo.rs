@@ -1,0 +1,184 @@
+//! Triplet (COO) accumulation, the ergonomic way to build a sparse matrix.
+
+use crate::csr::CsrMatrix;
+use crate::{Result, SparseError};
+
+/// An append-only triplet builder. Duplicate `(row, col)` entries are summed
+/// when converting to CSR, and explicit zeros are dropped.
+///
+/// ```
+/// use srda_sparse::CooBuilder;
+///
+/// let mut b = CooBuilder::new(2, 3);
+/// b.push(0, 1, 2.0).unwrap();
+/// b.push(1, 2, 3.0).unwrap();
+/// b.push(0, 1, 0.5).unwrap(); // summed with the first entry
+/// let m = b.build();
+/// assert_eq!(m.get(0, 1), 2.5);
+/// assert_eq!(m.nnz(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CooBuilder {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl CooBuilder {
+    /// Create a builder for a `rows × cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        CooBuilder {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Create a builder with pre-reserved capacity for `nnz` entries.
+    pub fn with_capacity(rows: usize, cols: usize, nnz: usize) -> Self {
+        CooBuilder {
+            rows,
+            cols,
+            entries: Vec::with_capacity(nnz),
+        }
+    }
+
+    /// Append one entry; bounds-checked against the declared shape.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) -> Result<()> {
+        if row >= self.rows || col >= self.cols {
+            return Err(SparseError::IndexOutOfBounds {
+                index: (row, col),
+                shape: (self.rows, self.cols),
+            });
+        }
+        self.entries.push((row, col, value));
+        Ok(())
+    }
+
+    /// Number of accumulated triplets (before dedup).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no triplets have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Declared shape.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Sort, merge duplicates, drop zeros, and produce the CSR matrix.
+    pub fn build(mut self) -> CsrMatrix {
+        self.entries
+            .sort_unstable_by_key(|a| (a.0, a.1));
+
+        let mut indptr = Vec::with_capacity(self.rows + 1);
+        let mut indices = Vec::with_capacity(self.entries.len());
+        let mut values = Vec::with_capacity(self.entries.len());
+        indptr.push(0);
+
+        let mut current_row = 0usize;
+        let mut i = 0;
+        while i < self.entries.len() {
+            let (r, c, mut v) = self.entries[i];
+            i += 1;
+            // merge duplicates
+            while i < self.entries.len() && self.entries[i].0 == r && self.entries[i].1 == c {
+                v += self.entries[i].2;
+                i += 1;
+            }
+            if v == 0.0 {
+                continue;
+            }
+            while current_row < r {
+                indptr.push(indices.len());
+                current_row += 1;
+            }
+            indices.push(c);
+            values.push(v);
+        }
+        while current_row < self.rows {
+            indptr.push(indices.len());
+            current_row += 1;
+        }
+
+        CsrMatrix::from_raw_parts(self.rows, self.cols, indptr, indices, values)
+            .expect("CooBuilder produced structurally valid CSR")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_sorted_csr() {
+        let mut b = CooBuilder::new(3, 3);
+        // pushed out of order on purpose
+        b.push(2, 0, 5.0).unwrap();
+        b.push(0, 2, 1.0).unwrap();
+        b.push(0, 0, 2.0).unwrap();
+        let m = b.build();
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 0), 2.0);
+        assert_eq!(m.get(0, 2), 1.0);
+        assert_eq!(m.get(2, 0), 5.0);
+        assert_eq!(m.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn duplicates_sum() {
+        let mut b = CooBuilder::new(1, 2);
+        b.push(0, 1, 1.5).unwrap();
+        b.push(0, 1, 2.5).unwrap();
+        let m = b.build();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 1), 4.0);
+    }
+
+    #[test]
+    fn cancelling_duplicates_are_dropped() {
+        let mut b = CooBuilder::new(1, 1);
+        b.push(0, 0, 1.0).unwrap();
+        b.push(0, 0, -1.0).unwrap();
+        let m = b.build();
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn explicit_zeros_dropped() {
+        let mut b = CooBuilder::new(2, 2);
+        b.push(0, 0, 0.0).unwrap();
+        b.push(1, 1, 3.0).unwrap();
+        let m = b.build();
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let mut b = CooBuilder::new(2, 2);
+        assert!(b.push(2, 0, 1.0).is_err());
+        assert!(b.push(0, 2, 1.0).is_err());
+        assert!(b.push(1, 1, 1.0).is_ok());
+    }
+
+    #[test]
+    fn empty_build() {
+        let m = CooBuilder::new(4, 5).build();
+        assert_eq!(m.shape(), (4, 5));
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn trailing_empty_rows() {
+        let mut b = CooBuilder::new(5, 2);
+        b.push(1, 0, 1.0).unwrap();
+        let m = b.build();
+        assert_eq!(m.shape(), (5, 2));
+        assert_eq!(m.row_nnz(4), 0);
+        assert_eq!(m.row_nnz(1), 1);
+    }
+}

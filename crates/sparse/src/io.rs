@@ -1,0 +1,167 @@
+//! Text interchange for labeled sparse datasets (LIBSVM convention).
+//!
+//! One sample per line: `label idx:val idx:val ...`, with 0-based feature
+//! indices in strictly increasing order. Lines starting with `#` and blank
+//! lines are ignored.
+
+use crate::csr::CsrMatrix;
+use crate::{CooBuilder, Result, SparseError};
+
+/// A labeled sparse dataset as read from / written to the text format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledSparse {
+    /// The sample matrix (samples as rows).
+    pub x: CsrMatrix,
+    /// One class label per row.
+    pub labels: Vec<usize>,
+}
+
+/// Parse the text format. `n_features` fixes the column count (indices must
+/// be `< n_features`).
+pub fn parse(text: &str, n_features: usize) -> Result<LabeledSparse> {
+    let mut labels = Vec::new();
+    let mut triplets: Vec<(usize, usize, f64)> = Vec::new();
+    let mut row = 0usize;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let label_tok = parts.next().expect("non-empty line has a token");
+        let label: usize = label_tok.parse().map_err(|_| SparseError::Parse {
+            line: lineno + 1,
+            message: format!("bad label {label_tok:?}"),
+        })?;
+        labels.push(label);
+
+        let mut prev: Option<usize> = None;
+        for tok in parts {
+            let (idx_s, val_s) = tok.split_once(':').ok_or_else(|| SparseError::Parse {
+                line: lineno + 1,
+                message: format!("expected idx:val, got {tok:?}"),
+            })?;
+            let idx: usize = idx_s.parse().map_err(|_| SparseError::Parse {
+                line: lineno + 1,
+                message: format!("bad index {idx_s:?}"),
+            })?;
+            let val: f64 = val_s.parse().map_err(|_| SparseError::Parse {
+                line: lineno + 1,
+                message: format!("bad value {val_s:?}"),
+            })?;
+            if idx >= n_features {
+                return Err(SparseError::Parse {
+                    line: lineno + 1,
+                    message: format!("index {idx} >= n_features {n_features}"),
+                });
+            }
+            if let Some(p) = prev {
+                if idx <= p {
+                    return Err(SparseError::Parse {
+                        line: lineno + 1,
+                        message: format!("indices not strictly increasing at {idx}"),
+                    });
+                }
+            }
+            prev = Some(idx);
+            triplets.push((row, idx, val));
+        }
+        row += 1;
+    }
+
+    let mut b = CooBuilder::with_capacity(row, n_features, triplets.len());
+    for (r, c, v) in triplets {
+        b.push(r, c, v)?;
+    }
+    Ok(LabeledSparse {
+        x: b.build(),
+        labels,
+    })
+}
+
+/// Serialize to the text format.
+pub fn write(data: &LabeledSparse) -> String {
+    let mut out = String::new();
+    for i in 0..data.x.nrows() {
+        out.push_str(&data.labels[i].to_string());
+        for (j, v) in data.x.row_entries(i) {
+            out.push_str(&format!(" {j}:{v}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic() {
+        let text = "0 0:1.5 3:2\n1 1:-0.5\n";
+        let d = parse(text, 4).unwrap();
+        assert_eq!(d.labels, vec![0, 1]);
+        assert_eq!(d.x.shape(), (2, 4));
+        assert_eq!(d.x.get(0, 3), 2.0);
+        assert_eq!(d.x.get(1, 1), -0.5);
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let text = "# header\n\n0 0:1\n   \n1 1:2\n";
+        let d = parse(text, 2).unwrap();
+        assert_eq!(d.labels.len(), 2);
+    }
+
+    #[test]
+    fn empty_rows_allowed() {
+        let d = parse("2\n3 0:1\n", 1).unwrap();
+        assert_eq!(d.labels, vec![2, 3]);
+        assert_eq!(d.x.row_nnz(0), 0);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let text = "0 0:1.5 3:2\n1 1:-0.5\n5\n";
+        let d = parse(text, 4).unwrap();
+        let again = parse(&write(&d), 4).unwrap();
+        assert_eq!(d, again);
+    }
+
+    #[test]
+    fn rejects_bad_label() {
+        assert!(matches!(
+            parse("x 0:1\n", 2),
+            Err(SparseError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_pair() {
+        assert!(parse("0 0=1\n", 2).is_err());
+        assert!(parse("0 0:abc\n", 2).is_err());
+        assert!(parse("0 zz:1\n", 2).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_index() {
+        let err = parse("0 5:1\n", 3);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn rejects_unsorted_indices() {
+        assert!(parse("0 2:1 1:1\n", 4).is_err());
+        assert!(parse("0 1:1 1:2\n", 4).is_err());
+    }
+
+    #[test]
+    fn error_reports_correct_line() {
+        let err = parse("0 0:1\n1 bad\n", 2).unwrap_err();
+        match err {
+            SparseError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+}

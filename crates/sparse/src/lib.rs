@@ -1,0 +1,111 @@
+//! # srda-sparse
+//!
+//! Sparse-matrix substrate for the SRDA reproduction.
+//!
+//! The paper's headline result — discriminant analysis in time *linear* in
+//! the number of samples and features — holds only because LSQR touches the
+//! data exclusively through the two products `X·v` and `Xᵀ·v`, both of which
+//! cost `O(nnz)` on a sparse matrix. This crate provides exactly that:
+//!
+//! * [`CooBuilder`] — a triplet accumulator for incremental construction
+//!   (duplicate entries are summed, matching the usual COO semantics).
+//! * [`CsrMatrix`] — compressed sparse row storage with `O(nnz)` mat-vec
+//!   in both orientations, row slicing (for train/test splits), density
+//!   statistics (the paper's `s` = average non-zeros per sample), and
+//!   dense conversion.
+//! * [`io`] — a plain-text interchange format (`label idx:val idx:val ...`,
+//!   the LIBSVM convention) so sparse experiments can be serialized and
+//!   inspected.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coo;
+pub mod csr;
+pub mod disk;
+pub mod io;
+
+pub use coo::CooBuilder;
+pub use csr::CsrMatrix;
+pub use disk::DiskCsr;
+
+/// Errors produced by sparse-matrix construction and kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SparseError {
+    /// An index was outside the declared matrix shape.
+    IndexOutOfBounds {
+        /// The offending (row, col).
+        index: (usize, usize),
+        /// The declared shape.
+        shape: (usize, usize),
+    },
+    /// Operand shapes are incompatible.
+    ShapeMismatch {
+        /// Operation name.
+        op: &'static str,
+        /// Left shape.
+        lhs: (usize, usize),
+        /// Right shape (vectors reported as `(len, 1)`).
+        rhs: (usize, usize),
+    },
+    /// Malformed text input when parsing the interchange format.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Internal structural invariant violated (row pointers not monotone,
+    /// column indices unsorted, ...). Indicates a construction bug.
+    InvalidStructure {
+        /// Description of the violated invariant.
+        context: &'static str,
+    },
+}
+
+impl std::fmt::Display for SparseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for {}x{} matrix",
+                index.0, index.1, shape.0, shape.1
+            ),
+            SparseError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            SparseError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            SparseError::InvalidStructure { context } => {
+                write!(f, "invalid sparse structure: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SparseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = SparseError::IndexOutOfBounds {
+            index: (5, 6),
+            shape: (2, 3),
+        };
+        assert!(e.to_string().contains("(5, 6)"));
+        let p = SparseError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
+        assert!(p.to_string().contains("line 3"));
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests: CSR kernels must agree with their dense oracles on
+//! arbitrary sparsity patterns.
+
+use proptest::prelude::*;
+use srda_sparse::{io, CooBuilder, CsrMatrix};
+
+/// Strategy: random triplets in a bounded shape, possibly with duplicates.
+fn coo_strategy() -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, f64)>)> {
+    (1usize..10, 1usize..10).prop_flat_map(|(m, n)| {
+        let triplet = (0..m, 0..n, -5.0f64..5.0);
+        proptest::collection::vec(triplet, 0..30)
+            .prop_map(move |ts| (m, n, ts))
+    })
+}
+
+fn build(m: usize, n: usize, ts: &[(usize, usize, f64)]) -> CsrMatrix {
+    let mut b = CooBuilder::new(m, n);
+    for &(r, c, v) in ts {
+        b.push(r, c, v).unwrap();
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dense_roundtrip((m, n, ts) in coo_strategy()) {
+        let s = build(m, n, &ts);
+        let d = s.to_dense();
+        let s2 = CsrMatrix::from_dense(&d, 0.0);
+        prop_assert_eq!(&s, &s2);
+    }
+
+    #[test]
+    fn matvec_agrees_with_dense((m, n, ts) in coo_strategy(), seed in 0u64..100) {
+        let s = build(m, n, &ts);
+        let d = s.to_dense();
+        let x: Vec<f64> = (0..n).map(|i| ((seed + i as u64) as f64 * 0.91).sin()).collect();
+        let ys = s.matvec(&x).unwrap();
+        let yd = srda_linalg::ops::matvec(&d, &x).unwrap();
+        for (a, b) in ys.iter().zip(&yd) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+        let xt: Vec<f64> = (0..m).map(|i| ((seed + i as u64) as f64 * 0.37).cos()).collect();
+        let yst = s.matvec_t(&xt).unwrap();
+        let ydt = srda_linalg::ops::matvec_t(&d, &xt).unwrap();
+        for (a, b) in yst.iter().zip(&ydt) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution_and_matches_dense((m, n, ts) in coo_strategy()) {
+        let s = build(m, n, &ts);
+        let t = s.transpose();
+        prop_assert_eq!(t.shape(), (n, m));
+        prop_assert_eq!(&t.transpose(), &s);
+        prop_assert!(t.to_dense().approx_eq(&s.to_dense().transpose(), 0.0));
+    }
+
+    #[test]
+    fn select_rows_matches_dense((m, n, ts) in coo_strategy()) {
+        let s = build(m, n, &ts);
+        let idx: Vec<usize> = (0..m).rev().step_by(2).collect();
+        let sub = s.select_rows(&idx);
+        let dense_sub = s.to_dense().select_rows(&idx);
+        prop_assert!(sub.to_dense().approx_eq(&dense_sub, 0.0));
+    }
+
+    #[test]
+    fn io_roundtrip((m, n, ts) in coo_strategy()) {
+        let s = build(m, n, &ts);
+        let labels: Vec<usize> = (0..m).map(|i| i % 3).collect();
+        let data = io::LabeledSparse { x: s, labels };
+        let text = io::write(&data);
+        let back = io::parse(&text, n).unwrap();
+        prop_assert_eq!(back, data);
+    }
+
+    #[test]
+    fn nnz_bounds((m, n, ts) in coo_strategy()) {
+        let s = build(m, n, &ts);
+        prop_assert!(s.nnz() <= ts.len());
+        prop_assert!(s.nnz() <= m * n);
+        prop_assert!(s.density() <= 1.0);
+    }
+
+    #[test]
+    fn normalize_rows_gives_unit_norms((m, n, ts) in coo_strategy()) {
+        let mut s = build(m, n, &ts);
+        s.normalize_rows_l2();
+        for i in 0..m {
+            let norm_sq: f64 = s.row_entries(i).map(|(_, v)| v * v).sum();
+            if s.row_nnz(i) > 0 {
+                prop_assert!((norm_sq.sqrt() - 1.0).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn append_constant_col_preserves_matvec((m, n, ts) in coo_strategy()) {
+        let s = build(m, n, &ts);
+        let aug = s.append_constant_col(1.0);
+        // multiplying by [x; 0] must equal the original matvec
+        let x: Vec<f64> = (0..n).map(|i| i as f64 - 1.0).collect();
+        let mut x_aug = x.clone();
+        x_aug.push(0.0);
+        prop_assert_eq!(aug.matvec(&x_aug).unwrap(), s.matvec(&x).unwrap());
+        // and the last column contributes the constant
+        let mut bias_only = vec![0.0; n];
+        bias_only.push(2.0);
+        prop_assert_eq!(aug.matvec(&bias_only).unwrap(), vec![2.0; m]);
+    }
+}

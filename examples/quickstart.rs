@@ -1,0 +1,52 @@
+//! Quickstart: train SRDA on a small synthetic dataset, embed the test
+//! set, and classify with nearest centroid — the whole pipeline in ~50
+//! lines.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use srda::{Srda, SrdaConfig};
+use srda_data::{mnist_like, per_class_split};
+use srda_eval::nearest_centroid_error_rate;
+
+fn main() {
+    // 1. Data: a small MNIST-like instance (10 classes, 784 features).
+    let data = mnist_like(0.1, 7);
+    println!(
+        "dataset: {} samples x {} features, {} classes",
+        data.x.nrows(),
+        data.x.ncols(),
+        data.n_classes
+    );
+
+    // 2. Split: 20 training samples per class, rest for testing.
+    let split = per_class_split(&data.labels, 20, 0);
+    let train = data.select(&split.train);
+    let test = data.select(&split.test);
+
+    // 3. Fit SRDA (α = 1, normal equations — the paper's defaults).
+    let model = Srda::new(SrdaConfig::default())
+        .fit_dense(&train.x, &train.labels)
+        .expect("fit");
+    println!(
+        "embedding: {} -> {} dimensions",
+        model.embedding().n_features(),
+        model.embedding().n_components()
+    );
+
+    // 4. Embed both sets and classify.
+    let z_train = model.embedding().transform_dense(&train.x).expect("transform");
+    let z_test = model.embedding().transform_dense(&test.x).expect("transform");
+    let err = nearest_centroid_error_rate(
+        &z_train,
+        &train.labels,
+        &z_test,
+        &test.labels,
+        data.n_classes,
+    );
+    println!(
+        "test error: {:.2}% on {} held-out samples",
+        err * 100.0,
+        test.x.nrows()
+    );
+    assert!(err < 0.5, "sanity: should beat chance comfortably");
+}

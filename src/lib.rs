@@ -1,0 +1,13 @@
+//! # srda-suite
+//!
+//! Workspace root package: hosts the runnable examples (`examples/`) and
+//! the cross-crate integration tests (`tests/`) of the SRDA reproduction.
+//! The library itself only re-exports the workspace crates so examples and
+//! tests have a single import surface.
+
+pub use srda;
+pub use srda_data;
+pub use srda_eval;
+pub use srda_linalg;
+pub use srda_solvers;
+pub use srda_sparse;

@@ -1,0 +1,201 @@
+//! Integration tests for the beyond-the-paper extensions (the ones the
+//! paper's §III explicitly gestures at): spectral regression over general
+//! graphs, kernel SRDA, incremental refits, and the ingestion pipeline.
+
+use srda::{
+    AffinityGraph, EdgeWeight, Kernel, KernelSrda, KernelSrdaConfig, SpectralRegression,
+    SpectralRegressionConfig, Srda, SrdaConfig, SrdaSolver,
+};
+use srda_data::ingest::{ingest_corpus, VocabularyOptions};
+use srda_data::{mnist_like, per_class_split};
+
+#[test]
+fn spectral_regression_on_class_graph_classifies_like_srda() {
+    let data = mnist_like(0.05, 11);
+    let split = per_class_split(&data.labels, 10, 0);
+    let tr = data.select(&split.train);
+    let te = data.select(&split.test);
+
+    let graph = AffinityGraph::supervised(&tr.labels);
+    let sr = SpectralRegression::new(SpectralRegressionConfig {
+        n_components: data.n_classes - 1,
+        alpha: 1.0,
+        lsqr_iterations: None,
+        ..Default::default()
+    })
+    .fit_dense(&tr.x, &graph)
+    .unwrap();
+    let srda = Srda::new(SrdaConfig::default())
+        .fit_dense(&tr.x, &tr.labels)
+        .unwrap();
+
+    let err_of = |emb: &srda::Embedding| {
+        let zt = emb.transform_dense(&tr.x).unwrap();
+        let ze = emb.transform_dense(&te.x).unwrap();
+        srda_eval::nearest_centroid_error_rate(&zt, &tr.labels, &ze, &te.labels, data.n_classes)
+    };
+    let e_sr = err_of(&sr);
+    let e_srda = err_of(srda.embedding());
+    assert!(
+        (e_sr - e_srda).abs() < 0.05,
+        "SR {e_sr} vs SRDA {e_srda} diverge"
+    );
+}
+
+#[test]
+fn kernel_srda_with_linear_kernel_tracks_linear_srda() {
+    let data = mnist_like(0.04, 13);
+    let split = per_class_split(&data.labels, 8, 0);
+    let tr = data.select(&split.train);
+    let te = data.select(&split.test);
+
+    let kern = KernelSrda::new(KernelSrdaConfig {
+        kernel: Kernel::Linear,
+        alpha: 1.0,
+    })
+    .fit_dense(&tr.x, &tr.labels)
+    .unwrap();
+    let lin = Srda::new(SrdaConfig::default())
+        .fit_dense(&tr.x, &tr.labels)
+        .unwrap();
+
+    let zk_tr = kern.transform_dense(&tr.x).unwrap();
+    let zk_te = kern.transform_dense(&te.x).unwrap();
+    let ek = srda_eval::nearest_centroid_error_rate(
+        &zk_tr,
+        &tr.labels,
+        &zk_te,
+        &te.labels,
+        data.n_classes,
+    );
+    let zl_tr = lin.embedding().transform_dense(&tr.x).unwrap();
+    let zl_te = lin.embedding().transform_dense(&te.x).unwrap();
+    let el = srda_eval::nearest_centroid_error_rate(
+        &zl_tr,
+        &tr.labels,
+        &zl_te,
+        &te.labels,
+        data.n_classes,
+    );
+    // same function class up to the bias treatment: errors should be close
+    assert!((ek - el).abs() < 0.12, "kernel {ek} vs linear {el}");
+}
+
+#[test]
+fn unsupervised_graph_pipeline_runs_end_to_end() {
+    let data = mnist_like(0.03, 17);
+    let graph = AffinityGraph::knn(&data.x, 4, EdgeWeight::Heat { t: 3.0 });
+    assert!(graph.n_edges() > 0);
+    let emb = SpectralRegression::new(SpectralRegressionConfig {
+        n_components: 3,
+        alpha: 0.5,
+        lsqr_iterations: Some(50),
+        ..Default::default()
+    })
+    .fit_dense(&data.x, &graph)
+    .unwrap();
+    assert_eq!(emb.n_components(), 3);
+    assert!(emb.weights().is_finite());
+}
+
+#[test]
+fn incremental_refit_through_growing_corpus() {
+    // simulate a stream: fit on 60%, refit incrementally at 80% and 100%
+    let data = srda_data::newsgroups_like(0.03, 19);
+    let s60 = srda_data::ratio_split(&data.labels, 0.6, 0);
+    let s80 = srda_data::ratio_split(&data.labels, 0.8, 0);
+    let base = data.select(&s60.train);
+    let mid = data.select(&s80.train);
+
+    let srda = Srda::new(SrdaConfig::default());
+    let m0 = Srda::new(SrdaConfig {
+        solver: SrdaSolver::Lsqr {
+            max_iter: 200,
+            tol: 1e-8,
+        },
+        ..SrdaConfig::default()
+    })
+    .fit_sparse(&base.x, &base.labels)
+    .unwrap();
+    let m1 = srda
+        .fit_sparse_incremental(&mid.x, &mid.labels, &m0, 200, 1e-8)
+        .unwrap();
+    let m2 = srda
+        .fit_sparse_incremental(&data.x, &data.labels, &m1, 200, 1e-8)
+        .unwrap();
+    // final model matches a cold fit on the full data
+    let cold = Srda::new(SrdaConfig {
+        solver: SrdaSolver::Lsqr {
+            max_iter: 200,
+            tol: 1e-8,
+        },
+        ..SrdaConfig::default()
+    })
+    .fit_sparse(&data.x, &data.labels)
+    .unwrap();
+    let diff = m2
+        .embedding()
+        .weights()
+        .sub(cold.embedding().weights())
+        .unwrap()
+        .max_abs();
+    assert!(diff < 1e-4, "stream drifted from cold fit by {diff}");
+}
+
+#[test]
+fn ingestion_to_classification_pipeline() {
+    // raw strings -> vocabulary -> tf matrix -> SRDA -> predictions
+    let texts: Vec<String> = (0..30)
+        .map(|i| match i % 3 {
+            0 => format!("goalkeeper striker midfield football match {i}"),
+            1 => format!("parliament election senate vote legislation {i}"),
+            _ => format!("telescope galaxy nebula astronomy orbit {i}"),
+        })
+        .collect();
+    let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+    let (x, vocab) = ingest_corpus(&refs, &VocabularyOptions::default(), true);
+    assert!(vocab.len() >= 12);
+    let labels: Vec<usize> = (0..30).map(|i| i % 3).collect();
+    let model = Srda::new(SrdaConfig::lsqr_default())
+        .fit_sparse(&x, &labels)
+        .unwrap();
+    let z = model.embedding().transform_sparse(&x).unwrap();
+    let err = srda_eval::nearest_centroid_error_rate(&z, &labels, &z, &labels, 3);
+    assert_eq!(err, 0.0, "clean topics must classify perfectly");
+}
+
+#[test]
+fn idx_roundtrip_feeds_the_pipeline() {
+    // encode a small dense dataset as IDX bytes, decode, train
+    let data = mnist_like(0.03, 23);
+    let m = data.x.nrows();
+    let bytes_img = srda_data::idx::encode_idx(&srda_data::idx::IdxTensor {
+        shape: vec![m, 28, 28],
+        data: data
+            .x
+            .as_slice()
+            .iter()
+            .map(|&v| (v * 255.0).round() as u8)
+            .collect(),
+    });
+    let bytes_lbl = srda_data::idx::encode_idx(&srda_data::idx::IdxTensor {
+        shape: vec![m],
+        data: data.labels.iter().map(|&l| l as u8).collect(),
+    });
+    let imgs = srda_data::idx::parse_idx(&bytes_img).unwrap();
+    let lbls = srda_data::idx::parse_idx(&bytes_lbl).unwrap();
+    let x = srda_data::idx::images_to_mat(&imgs);
+    let y = srda_data::idx::labels_to_vec(&lbls);
+    assert_eq!(x.shape(), (m, 784));
+    let model = Srda::new(SrdaConfig::default()).fit_dense(&x, &y).unwrap();
+    assert_eq!(model.embedding().n_components(), 9);
+}
+
+#[test]
+fn cross_validated_alpha_selection_runs() {
+    let data = mnist_like(0.04, 29);
+    let (alpha, err) =
+        srda_eval::select_alpha_dense(&data.x, &data.labels, &[0.1, 1.0, 10.0], 3, 1);
+    assert!([0.1, 1.0, 10.0].contains(&alpha));
+    assert!((0.0..=1.0).contains(&err));
+}

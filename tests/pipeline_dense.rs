@@ -1,0 +1,151 @@
+//! End-to-end pipeline tests on the three dense dataset families,
+//! asserting the qualitative structure the paper's Tables III–VIII report.
+
+use srda::SrdaConfig;
+use srda_data::{isolet_like, mnist_like, per_class_split, pie_like, DenseDataset};
+use srda_eval::{run_dense, Algo};
+
+fn errors_at(data: &DenseDataset, l: usize, splits: usize) -> [f64; 4] {
+    let algos = [
+        Algo::Lda,
+        Algo::Rlda { alpha: 1.0 },
+        Algo::Srda(SrdaConfig::default()),
+        Algo::IdrQr { lambda: 1.0 },
+    ];
+    let mut out = [0.0; 4];
+    for (i, algo) in algos.iter().enumerate() {
+        let mut acc = 0.0;
+        for s in 0..splits {
+            let sp = per_class_split(&data.labels, l, s as u64);
+            let tr = data.select(&sp.train);
+            let te = data.select(&sp.test);
+            acc += run_dense(
+                algo,
+                &tr.x,
+                &tr.labels,
+                &te.x,
+                &te.labels,
+                data.n_classes,
+                None,
+            )
+            .error_rate
+            .expect("run");
+        }
+        out[i] = acc / splits as f64;
+    }
+    out
+}
+
+#[test]
+fn mnist_like_small_sample_ordering() {
+    // the paper's qualitative claim: regularized methods (RLDA/SRDA)
+    // dominate plain LDA in the small-sample regime
+    let data = mnist_like(0.08, 1);
+    let [lda, rlda, srda, idr] = errors_at(&data, 10, 2);
+    assert!(srda < lda, "SRDA {srda} should beat LDA {lda}");
+    assert!(rlda < lda, "RLDA {rlda} should beat LDA {lda}");
+    // all methods beat chance
+    let chance = 0.9;
+    for (name, e) in [("lda", lda), ("rlda", rlda), ("srda", srda), ("idr", idr)] {
+        assert!(e < chance, "{name} at {e} did not beat chance");
+    }
+}
+
+#[test]
+fn isolet_like_error_decreases_with_training_size() {
+    let data = isolet_like(0.15, 2);
+    let small = errors_at(&data, 4, 2)[2]; // SRDA
+    let large = errors_at(&data, 20, 2)[2];
+    assert!(
+        large < small,
+        "SRDA error should fall with more data: {small} -> {large}"
+    );
+}
+
+#[test]
+fn pie_like_68_class_pipeline_runs() {
+    let data = pie_like(0.08, 3);
+    assert_eq!(data.n_classes, 68);
+    let [lda, rlda, srda, idr] = errors_at(&data, 5, 1);
+    // chance error is ~98.5%; everything must do much better
+    for (name, e) in [("lda", lda), ("rlda", rlda), ("srda", srda), ("idr", idr)] {
+        assert!(e < 0.9, "{name} error {e}");
+    }
+    // regularized beats plain LDA at 5 samples/class
+    assert!(srda < lda);
+}
+
+#[test]
+fn srda_beats_raw_space_nearest_centroid() {
+    // dimension reduction must actually help over classifying in the
+    // original feature space
+    let data = mnist_like(0.08, 4);
+    let sp = per_class_split(&data.labels, 15, 0);
+    let tr = data.select(&sp.train);
+    let te = data.select(&sp.test);
+
+    let raw_err = srda_eval::nearest_centroid_error_rate(
+        &tr.x,
+        &tr.labels,
+        &te.x,
+        &te.labels,
+        data.n_classes,
+    );
+    let srda_err = run_dense(
+        &Algo::Srda(SrdaConfig::default()),
+        &tr.x,
+        &tr.labels,
+        &te.x,
+        &te.labels,
+        data.n_classes,
+        None,
+    )
+    .error_rate
+    .unwrap();
+    assert!(
+        srda_err < raw_err + 0.02,
+        "SRDA {srda_err} should not lose to raw nearest-centroid {raw_err}"
+    );
+}
+
+#[test]
+fn timing_fields_are_populated_and_plausible() {
+    let data = mnist_like(0.06, 5);
+    let sp = per_class_split(&data.labels, 10, 0);
+    let tr = data.select(&sp.train);
+    let te = data.select(&sp.test);
+    let out = run_dense(
+        &Algo::Srda(SrdaConfig::default()),
+        &tr.x,
+        &tr.labels,
+        &te.x,
+        &te.labels,
+        data.n_classes,
+        None,
+    );
+    let secs = out.train_secs.unwrap();
+    assert!(secs > 0.0 && secs < 60.0, "implausible time {secs}");
+    assert!(out.train_flam.unwrap() > 1000);
+}
+
+#[test]
+fn splits_are_reproducible_end_to_end() {
+    let data = mnist_like(0.06, 6);
+    let run = || {
+        let sp = per_class_split(&data.labels, 10, 7);
+        let tr = data.select(&sp.train);
+        let te = data.select(&sp.test);
+        run_dense(
+            &Algo::Srda(SrdaConfig::default()),
+            &tr.x,
+            &tr.labels,
+            &te.x,
+            &te.labels,
+            data.n_classes,
+            None,
+        )
+        .error_rate
+        .unwrap()
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,149 @@
+//! End-to-end pipeline tests on the sparse text family: the linear-time
+//! path, the memory wall, and dense/sparse consistency.
+
+use srda::{Srda, SrdaConfig, SrdaSolver};
+use srda_data::{newsgroups_like, ratio_split};
+use srda_eval::{run_sparse, Algo};
+
+#[test]
+fn sparse_lsqr_pipeline_beats_chance() {
+    let data = newsgroups_like(0.04, 1);
+    let sp = ratio_split(&data.labels, 0.3, 0);
+    let tr = data.select(&sp.train);
+    let te = data.select(&sp.test);
+    let out = run_sparse(
+        &Algo::Srda(SrdaConfig::lsqr_default()),
+        &tr.x,
+        &tr.labels,
+        &te.x,
+        &te.labels,
+        data.n_classes,
+        None,
+    );
+    let err = out.error_rate.expect("should run");
+    assert!(err < 0.7, "error {err} vs chance 0.95");
+}
+
+#[test]
+fn memory_wall_matches_paper_tables_ix_x() {
+    // a budget that holds the CSR matrix but not its dense form: SRDA
+    // runs, the three densifying baselines are skipped
+    let data = newsgroups_like(0.03, 2);
+    let sp = ratio_split(&data.labels, 0.4, 0);
+    let tr = data.select(&sp.train);
+    let te = data.select(&sp.test);
+    let budget = Some(2 * tr.x.memory_bytes());
+    assert!(tr.x.nrows() * tr.x.ncols() * 8 > 2 * tr.x.memory_bytes());
+
+    for algo in [
+        Algo::Lda,
+        Algo::Rlda { alpha: 1.0 },
+        Algo::IdrQr { lambda: 1.0 },
+    ] {
+        let out = run_sparse(
+            &algo,
+            &tr.x,
+            &tr.labels,
+            &te.x,
+            &te.labels,
+            data.n_classes,
+            budget,
+        );
+        assert!(
+            out.skipped.is_some(),
+            "{} should hit the memory wall",
+            algo.name()
+        );
+    }
+    let out = run_sparse(
+        &Algo::Srda(SrdaConfig::lsqr_default()),
+        &tr.x,
+        &tr.labels,
+        &te.x,
+        &te.labels,
+        data.n_classes,
+        budget,
+    );
+    assert!(out.skipped.is_none(), "SRDA must survive the memory wall");
+}
+
+#[test]
+fn sparse_and_densified_srda_agree() {
+    let data = newsgroups_like(0.02, 3);
+    let sp = ratio_split(&data.labels, 0.5, 0);
+    let tr = data.select(&sp.train);
+    let dense = tr.x.to_dense();
+    for solver in [
+        SrdaSolver::NormalEquations,
+        SrdaSolver::Lsqr {
+            max_iter: 30,
+            tol: 0.0,
+        },
+    ] {
+        let cfg = SrdaConfig {
+            solver,
+            ..SrdaConfig::default()
+        };
+        let ms = Srda::new(cfg.clone()).fit_sparse(&tr.x, &tr.labels).unwrap();
+        let md = Srda::new(cfg).fit_dense(&dense, &tr.labels).unwrap();
+        let ws = ms.embedding().weights();
+        let wd = md.embedding().weights();
+        assert!(
+            ws.approx_eq(wd, 1e-6 * wd.max_abs().max(1e-9)),
+            "{solver:?} diverges: {}",
+            ws.sub(wd).unwrap().max_abs()
+        );
+    }
+}
+
+#[test]
+fn lsqr_iteration_budget_controls_work() {
+    let data = newsgroups_like(0.03, 4);
+    let sp = ratio_split(&data.labels, 0.3, 0);
+    let tr = data.select(&sp.train);
+    let few = Srda::new(SrdaConfig {
+        solver: SrdaSolver::Lsqr {
+            max_iter: 3,
+            tol: 0.0,
+        },
+        ..SrdaConfig::default()
+    })
+    .fit_sparse(&tr.x, &tr.labels)
+    .unwrap();
+    let many = Srda::new(SrdaConfig {
+        solver: SrdaSolver::Lsqr {
+            max_iter: 15,
+            tol: 0.0,
+        },
+        ..SrdaConfig::default()
+    })
+    .fit_sparse(&tr.x, &tr.labels)
+    .unwrap();
+    assert_eq!(few.lsqr_iterations(), 3 * (data.n_classes - 1));
+    assert_eq!(many.lsqr_iterations(), 15 * (data.n_classes - 1));
+}
+
+#[test]
+fn sparse_io_roundtrip_preserves_pipeline_output() {
+    // serialize a sparse dataset to the LIBSVM-style text format, parse it
+    // back, and confirm the trained model is identical
+    let data = newsgroups_like(0.02, 5);
+    let labeled = srda_sparse::io::LabeledSparse {
+        x: data.x.clone(),
+        labels: data.labels.clone(),
+    };
+    let text = srda_sparse::io::write(&labeled);
+    let parsed = srda_sparse::io::parse(&text, data.x.ncols()).unwrap();
+    assert_eq!(parsed.x, data.x);
+
+    let m1 = Srda::new(SrdaConfig::lsqr_default())
+        .fit_sparse(&data.x, &data.labels)
+        .unwrap();
+    let m2 = Srda::new(SrdaConfig::lsqr_default())
+        .fit_sparse(&parsed.x, &parsed.labels)
+        .unwrap();
+    assert!(m1
+        .embedding()
+        .weights()
+        .approx_eq(m2.embedding().weights(), 0.0));
+}

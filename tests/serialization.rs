@@ -1,0 +1,70 @@
+//! Serialization round-trips across crates: trained models and sparse
+//! matrices must survive JSON (serde) intact and keep producing identical
+//! predictions.
+
+use srda::{Embedding, Srda, SrdaConfig};
+use srda_data::{mnist_like, per_class_split};
+use srda_sparse::CsrMatrix;
+
+#[test]
+fn trained_embedding_roundtrips_through_json() {
+    let data = mnist_like(0.05, 1);
+    let sp = per_class_split(&data.labels, 8, 0);
+    let tr = data.select(&sp.train);
+    let model = Srda::new(SrdaConfig::default())
+        .fit_dense(&tr.x, &tr.labels)
+        .unwrap();
+    let emb = model.embedding();
+
+    let json = serde_json::to_string(emb).unwrap();
+    let back: Embedding = serde_json::from_str(&json).unwrap();
+    assert_eq!(emb, &back);
+
+    // identical behaviour after the round-trip
+    let z1 = emb.transform_dense(&tr.x).unwrap();
+    let z2 = back.transform_dense(&tr.x).unwrap();
+    assert!(z1.approx_eq(&z2, 0.0));
+}
+
+#[test]
+fn sparse_matrix_roundtrips_through_json() {
+    let data = srda_data::newsgroups_like(0.01, 2);
+    let json = serde_json::to_string(&data.x).unwrap();
+    let back: CsrMatrix = serde_json::from_str(&json).unwrap();
+    assert_eq!(data.x, back);
+}
+
+#[test]
+fn embedding_json_is_humanly_plausible() {
+    // guard against accidental opaque encodings: the JSON must contain the
+    // structural fields by name
+    let emb = Embedding::new(srda_linalg::Mat::identity(2), vec![0.5, -0.5]).unwrap();
+    let json = serde_json::to_string(&emb).unwrap();
+    assert!(json.contains("weights"));
+    assert!(json.contains("bias"));
+}
+
+#[test]
+fn model_persistence_workflow() {
+    // the README's suggested save/load workflow: train, serialize to a
+    // file, load in a "new process", predict
+    let dir = std::env::temp_dir().join("srda_serialization_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.json");
+
+    let data = mnist_like(0.05, 3);
+    let sp = per_class_split(&data.labels, 8, 0);
+    let tr = data.select(&sp.train);
+    let te = data.select(&sp.test);
+    let model = Srda::new(SrdaConfig::default())
+        .fit_dense(&tr.x, &tr.labels)
+        .unwrap();
+    std::fs::write(&path, serde_json::to_vec(model.embedding()).unwrap()).unwrap();
+
+    let loaded: Embedding =
+        serde_json::from_slice(&std::fs::read(&path).unwrap()).unwrap();
+    let z1 = model.embedding().transform_dense(&te.x).unwrap();
+    let z2 = loaded.transform_dense(&te.x).unwrap();
+    assert!(z1.approx_eq(&z2, 0.0));
+    std::fs::remove_file(&path).ok();
+}

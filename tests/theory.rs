@@ -1,0 +1,222 @@
+//! Integration tests for the paper's theoretical claims, exercised through
+//! the public API of the workspace crates.
+
+use srda::{ClassIndex, Lda, Rlda, RldaConfig, Srda, SrdaConfig, SrdaSolver};
+use srda_linalg::ops::{gram, matvec};
+use srda_linalg::stats::centered;
+use srda_linalg::Mat;
+
+fn hash01(i: usize, j: usize, salt: u64) -> f64 {
+    let x = (i as f64 * 12.9898 + j as f64 * 78.233 + salt as f64 * 0.618).sin() * 43758.5453;
+    x - x.floor() - 0.5
+}
+
+/// Random-ish data with m linearly independent samples in n ≥ m dims.
+fn independent_samples(m: usize, n: usize, c: usize, salt: u64) -> (Mat, Vec<usize>) {
+    assert!(n >= m);
+    let y: Vec<usize> = (0..m).map(|i| i % c).collect();
+    let x = Mat::from_fn(m, n, |i, j| {
+        hash01(i, j, salt) + if j % c == y[i] { 1.0 } else { 0.0 }
+    });
+    (x, y)
+}
+
+/// Between-class scatter S_b = Σ_k m_k (μ_k − μ)(μ_k − μ)ᵀ.
+fn scatter_between(x: &Mat, y: &[usize], c: usize) -> Mat {
+    let (cent, counts) = srda_linalg::stats::class_means(x, y, c).unwrap();
+    let mu = srda_linalg::stats::col_means(x);
+    let n = x.ncols();
+    let mut sb = Mat::zeros(n, n);
+    for k in 0..c {
+        let mut d = cent.row(k).to_vec();
+        for (di, &mi) in d.iter_mut().zip(&mu) {
+            *di -= mi;
+        }
+        for i in 0..n {
+            for j in 0..n {
+                sb[(i, j)] += counts[k] as f64 * d[i] * d[j];
+            }
+        }
+    }
+    sb
+}
+
+#[test]
+fn theorem_1_exact_fit_gives_lda_eigenvector() {
+    // Theorem 1: if ȳ is an eigenvector of W (eigenvalue 1) and X̄ᵀa = ȳ,
+    // then a solves the LDA eigenproblem with the same eigenvalue:
+    // S_b a = 1 · S_t a.
+    let (x, y) = independent_samples(12, 30, 3, 5);
+    let (xc, _) = centered(&x);
+    let index = ClassIndex::new(&y).unwrap();
+    let ybar = srda::responses::generate(&index);
+
+    // minimum-norm exact solution of xc · a = ȳ via heavily-iterated LSQR
+    let a = {
+        let r = srda_solvers::lsqr::lsqr(
+            &xc,
+            &ybar.col(0),
+            &srda_solvers::lsqr::LsqrConfig {
+                damp: 0.0,
+                max_iter: 500,
+                tol: 1e-14,
+            },
+        );
+        // confirm the fit is exact (samples independent ⇒ solvable)
+        let fit = matvec(&xc, &r.x).unwrap();
+        for (u, v) in fit.iter().zip(&ybar.col(0)) {
+            assert!((u - v).abs() < 1e-8, "system not solved: {u} vs {v}");
+        }
+        r.x
+    };
+
+    let st = gram(&xc);
+    let sb = scatter_between(&x, &y, 3);
+    let sba = matvec(&sb, &a).unwrap();
+    let sta = matvec(&st, &a).unwrap();
+    let scale = sta.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1e-12);
+    for i in 0..30 {
+        assert!(
+            (sba[i] - sta[i]).abs() < 1e-7 * scale,
+            "S_b a ≠ S_t a at {i}: {} vs {}",
+            sba[i],
+            sta[i]
+        );
+    }
+}
+
+#[test]
+fn corollary_3_classes_collapse_when_samples_independent() {
+    // Corollary 3: linearly independent samples ⇒ as α → 0 the SRDA
+    // embedding maps every training sample of a class to the same point.
+    let (x, y) = independent_samples(15, 40, 3, 9);
+    let model = Srda::new(SrdaConfig {
+        alpha: 1e-12,
+        ..SrdaConfig::default()
+    })
+    .fit_dense(&x, &y)
+    .unwrap();
+    let z = model.embedding().transform_dense(&x).unwrap();
+    let (cent, _) = srda_linalg::stats::class_means(&z, &y, 3).unwrap();
+    let mut max_within = 0.0f64;
+    for (i, &k) in y.iter().enumerate() {
+        max_within = max_within
+            .max(srda_linalg::vector::dist2_sq(z.row(i), cent.row(k)).sqrt());
+    }
+    let between = srda_linalg::vector::dist2_sq(cent.row(0), cent.row(1)).sqrt();
+    assert!(
+        max_within < 1e-6 * between,
+        "classes not collapsed: within {max_within}, between {between}"
+    );
+}
+
+#[test]
+fn srda_and_lda_agree_on_training_separation_in_independent_case() {
+    // In the linearly independent regime both LDA and SRDA(α→0) collapse
+    // training classes; their embeddings must induce the same training
+    // partition (identical nearest-centroid training predictions).
+    let (x, y) = independent_samples(18, 50, 3, 13);
+    let lda = Lda::default().fit_dense(&x, &y).unwrap();
+    let srda = Srda::new(SrdaConfig {
+        alpha: 1e-12,
+        ..SrdaConfig::default()
+    })
+    .fit_dense(&x, &y)
+    .unwrap();
+    let z1 = lda.transform_dense(&x).unwrap();
+    let z2 = srda.embedding().transform_dense(&x).unwrap();
+    let p1 = srda_eval::NearestCentroid::fit(&z1, &y, 3).predict(&z1);
+    let p2 = srda_eval::NearestCentroid::fit(&z2, &y, 3).predict(&z2);
+    assert_eq!(p1, y, "LDA should fit training data exactly");
+    assert_eq!(p2, y, "SRDA should fit training data exactly");
+}
+
+#[test]
+fn srda_solvers_agree_end_to_end() {
+    // The same model must come out of normal equations and LSQR.
+    let data = srda_data::isolet_like(0.06, 3);
+    let split = srda_data::per_class_split(&data.labels, 8, 0);
+    let tr = data.select(&split.train);
+    let ne = Srda::new(SrdaConfig::default())
+        .fit_dense(&tr.x, &tr.labels)
+        .unwrap();
+    let it = Srda::new(SrdaConfig {
+        solver: SrdaSolver::Lsqr {
+            max_iter: 400,
+            tol: 0.0,
+        },
+        ..SrdaConfig::default()
+    })
+    .fit_dense(&tr.x, &tr.labels)
+    .unwrap();
+    let w1 = ne.embedding().weights();
+    let w2 = it.embedding().weights();
+    assert!(
+        w1.approx_eq(w2, 1e-5 * w1.max_abs().max(1.0)),
+        "solver disagreement: {}",
+        w1.sub(w2).unwrap().max_abs()
+    );
+}
+
+#[test]
+fn rlda_alpha_zero_matches_lda_subspace_when_well_posed() {
+    // well-posed: m ≫ n so S_t is nonsingular
+    let (x, y) = {
+        let y: Vec<usize> = (0..60).map(|i| i % 3).collect();
+        let x = Mat::from_fn(60, 8, |i, j| {
+            hash01(i, j, 21) * 0.3 + if j % 3 == y[i] { 1.0 } else { 0.0 }
+        });
+        (x, y)
+    };
+    let lda = Lda::default().fit_dense(&x, &y).unwrap();
+    let rlda = Rlda::new(RldaConfig {
+        alpha: 1e-10,
+        ..RldaConfig::default()
+    })
+    .fit_dense(&x, &y)
+    .unwrap();
+    // same span: project each LDA direction onto the RLDA span
+    let cols: Vec<Vec<f64>> = (0..rlda.n_components())
+        .map(|j| rlda.weights().col(j))
+        .collect();
+    let basis = srda_linalg::gram_schmidt::orthonormalize(&cols, 1e-10);
+    for j in 0..lda.n_components() {
+        let mut a = lda.weights().col(j);
+        srda_linalg::vector::normalize(&mut a);
+        let proj: f64 = basis
+            .iter()
+            .map(|b| srda_linalg::vector::dot(b, &a).powi(2))
+            .sum();
+        assert!(proj > 1.0 - 1e-6, "direction {j}: projection {proj}");
+    }
+}
+
+#[test]
+fn dual_and_primal_normal_equations_give_same_srda_model() {
+    // n > m triggers the dual path in RidgeSolver::auto; forcing m > n
+    // uses the primal. The embeddings on shared data must agree.
+    let (x, y) = independent_samples(14, 40, 2, 31); // wide: dual
+    let wide = Srda::new(SrdaConfig::default()).fit_dense(&x, &y).unwrap();
+    // check against explicitly computed ridge solution
+    let index = ClassIndex::new(&y).unwrap();
+    let ybar = srda::responses::generate(&index);
+    let x_aug = x.append_constant_col(1.0);
+    let mut g = gram(&x_aug);
+    g.add_to_diag(1.0);
+    let atb = srda_linalg::ops::matmul_transa(&x_aug, &ybar).unwrap();
+    let w_direct = srda_linalg::Cholesky::factor(&g)
+        .unwrap()
+        .solve_mat(&atb)
+        .unwrap();
+    let w_model = wide.embedding().weights();
+    for i in 0..40 {
+        for j in 0..1 {
+            assert!(
+                (w_model[(i, j)] - w_direct[(i, j)]).abs() < 1e-7,
+                "({i},{j}): {} vs {}",
+                w_model[(i, j)],
+                w_direct[(i, j)]
+            );
+        }
+    }
+}
