@@ -84,7 +84,7 @@ pub fn train(args: &ParsedArgs) -> Result<String> {
     };
     saved.save(Path::new(&model_path))?;
 
-    Ok(format!(
+    let mut out = format!(
         "trained on {} samples x {} features ({} classes) in {:.3}s\n\
          embedding: {} -> {} dims; model written to {}",
         data.x.nrows(),
@@ -94,7 +94,16 @@ pub fn train(args: &ParsedArgs) -> Result<String> {
         data.x.ncols(),
         saved.embedding.n_components(),
         model_path
-    ))
+    );
+    // surface the fit's robustness ledger: a degraded fit (jittered
+    // ridge, LSQR fallback, stagnation) must be visible, not silent
+    let report = model.fit_report();
+    if !report.clean() {
+        for w in &report.warnings {
+            out.push_str(&format!("\nwarning: {w}"));
+        }
+    }
+    Ok(out)
 }
 
 /// `srda eval`.

@@ -25,14 +25,32 @@ pub struct SavedModel {
 pub const FORMAT_VERSION: u32 = 1;
 
 impl SavedModel {
-    /// Serialize to a JSON file.
+    /// Serialize to a JSON file atomically: the bytes go to a temporary
+    /// file in the same directory, which is then renamed over the
+    /// target. A crash or full disk mid-write can never leave a
+    /// truncated model where a good one was expected.
     pub fn save(&self, path: &Path) -> Result<()> {
         let json = serde_json::to_vec_pretty(self)?;
-        std::fs::write(path, json)?;
+        let file_name = path.file_name().ok_or_else(|| {
+            crate::CliError::new(format!("invalid model path: {}", path.display()))
+        })?;
+        let dir = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+            _ => std::path::PathBuf::from("."),
+        };
+        let mut tmp_name = file_name.to_os_string();
+        tmp_name.push(format!(".tmp.{}", std::process::id()));
+        let tmp = dir.join(tmp_name);
+        if let Err(e) = std::fs::write(&tmp, &json).and_then(|_| std::fs::rename(&tmp, path)) {
+            std::fs::remove_file(&tmp).ok();
+            return Err(e.into());
+        }
         Ok(())
     }
 
-    /// Load from a JSON file.
+    /// Load from a JSON file, validating version, shapes, and
+    /// finiteness — a bit-rotted or hand-edited model file is rejected
+    /// here rather than producing NaN predictions downstream.
     pub fn load(path: &Path) -> Result<Self> {
         let bytes = std::fs::read(path)?;
         let model: SavedModel = serde_json::from_slice(&bytes)?;
@@ -42,7 +60,42 @@ impl SavedModel {
                 model.version
             )));
         }
+        model.validate()?;
         Ok(model)
+    }
+
+    /// Structural and numerical sanity checks shared by [`Self::load`].
+    fn validate(&self) -> Result<()> {
+        let bad = |what: &str| {
+            Err(crate::CliError::new(format!(
+                "corrupt model file: {what}"
+            )))
+        };
+        if !self.alpha.is_finite() || self.alpha < 0.0 {
+            return bad("alpha is not finite and non-negative");
+        }
+        if self.centroids.nrows() != self.n_classes {
+            return bad("centroid count does not match n_classes");
+        }
+        if self.centroids.ncols() != self.embedding.n_components() {
+            return bad("centroid dimension does not match the embedding");
+        }
+        if !self
+            .embedding
+            .weights()
+            .as_slice()
+            .iter()
+            .all(|v| v.is_finite())
+        {
+            return bad("embedding weights contain non-finite values");
+        }
+        if !self.embedding.bias().iter().all(|v| v.is_finite()) {
+            return bad("embedding bias contains non-finite values");
+        }
+        if !self.centroids.as_slice().iter().all(|v| v.is_finite()) {
+            return bad("centroids contain non-finite values");
+        }
+        Ok(())
     }
 
     /// Predict labels for embedded rows via nearest centroid.
@@ -111,5 +164,53 @@ mod tests {
     #[test]
     fn missing_file_errors() {
         assert!(SavedModel::load(Path::new("/nonexistent/model.json")).is_err());
+    }
+
+    #[test]
+    fn save_leaves_no_temp_file_and_overwrites_atomically() {
+        let dir = std::env::temp_dir().join("srda_cli_model_test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.json");
+        let m = toy_model();
+        m.save(&path).unwrap();
+        m.save(&path).unwrap(); // overwrite in place
+        assert_eq!(SavedModel::load(&path).unwrap(), m);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_mismatched_centroid_shape() {
+        let dir = std::env::temp_dir().join("srda_cli_model_test4");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.json");
+        let mut m = toy_model();
+        m.n_classes = 3; // but only 2 centroid rows
+        std::fs::write(&path, serde_json::to_vec(&m).unwrap()).unwrap();
+        let err = SavedModel::load(&path).unwrap_err();
+        assert!(err.message.contains("centroid count"), "{}", err.message);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_non_finite_values() {
+        let dir = std::env::temp_dir().join("srda_cli_model_test5");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.json");
+        // serde_json cannot emit NaN, so build the corrupt file textually:
+        // 1e999 overflows to infinity on parse
+        let json = serde_json::to_string(&toy_model())
+            .unwrap()
+            .replace("\"alpha\":1.0", "\"alpha\":1e999");
+        assert!(json.contains("1e999"), "fixture lost its corruption");
+        std::fs::write(&path, json).unwrap();
+        let err = SavedModel::load(&path).unwrap_err();
+        assert!(err.message.contains("alpha"), "{}", err.message);
+        std::fs::remove_file(&path).ok();
     }
 }

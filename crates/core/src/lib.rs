@@ -58,6 +58,7 @@ pub mod labels;
 pub mod lda;
 pub mod model;
 pub mod pca;
+pub mod report;
 pub mod responses;
 pub mod rlda;
 pub mod spectral_regression;
@@ -71,6 +72,7 @@ pub use labels::ClassIndex;
 pub use lda::{Lda, LdaConfig, SvdMethod};
 pub use model::Embedding;
 pub use pca::{Fisherfaces, FisherfacesConfig, Pca, PcaConfig, PcaModel};
+pub use report::{FitReport, RecoveryAction, ResponseSolver};
 pub use rlda::{Rlda, RldaConfig};
 pub use spectral_regression::{GraphEigensolver, SpectralRegression, SpectralRegressionConfig};
 pub use srda::{Srda, SrdaConfig, SrdaModel, SrdaSolver};

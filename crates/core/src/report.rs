@@ -1,0 +1,108 @@
+//! What happened during a fit — the robustness ledger.
+//!
+//! Every `Srda::fit_*` entry point records how each of the `c − 1`
+//! response problems was actually solved, every recovery action the
+//! fallback chain took (see `srda_solvers::robust`), and any warnings
+//! raised along the way. The report travels with the returned
+//! [`crate::SrdaModel`] (via `SrdaModel::fit_report`), so a fit that
+//! silently degraded — jittered ridge, LSQR fallback, stagnated
+//! iterations — is always distinguishable from a clean one.
+
+pub use srda_solvers::robust::RecoveryAction;
+use srda_solvers::robust::{RobustSolveReport, SolverUsed};
+use srda_solvers::StopReason;
+
+/// How one response (one column of `Ȳ`) was solved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseSolver {
+    /// Direct normal-equations solve, no recovery.
+    Direct,
+    /// Direct solve that needed `jitter` extra diagonal loading.
+    DirectJittered {
+        /// Extra diagonal loading added on top of the configured `α`.
+        jitter: f64,
+    },
+    /// Damped LSQR engaged as a *fallback* after the direct solves
+    /// failed.
+    LsqrFallback,
+    /// Damped LSQR as the *configured* solver.
+    Lsqr {
+        /// Iterations this response consumed.
+        iterations: usize,
+        /// Why the solve stopped.
+        stop: StopReason,
+    },
+}
+
+/// Diagnostics from one `Srda::fit_*` call.
+#[derive(Debug, Clone, Default)]
+pub struct FitReport {
+    /// Human-readable descriptions of every breakdown, recovery, and
+    /// anomaly. Empty for a clean fit.
+    pub warnings: Vec<String>,
+    /// Recovery actions the fallback chain took, in order. Empty for a
+    /// clean fit.
+    pub recoveries: Vec<RecoveryAction>,
+    /// How each response problem was solved (length `c − 1`). For
+    /// direct solves the factorization is shared, so all entries match.
+    pub responses: Vec<ResponseSolver>,
+    /// Condition-number estimate of the factored Gram matrix (squared
+    /// ratio of extreme Cholesky diagonal entries); `None` when no
+    /// factorization succeeded (pure LSQR fits and fallbacks).
+    pub condition_estimate: Option<f64>,
+}
+
+impl FitReport {
+    /// `true` when the fit needed no recovery and raised no warnings.
+    pub fn clean(&self) -> bool {
+        self.warnings.is_empty() && self.recoveries.is_empty()
+    }
+
+    /// Build a report from a [`RobustSolveReport`], fanning the single
+    /// shared-factorization outcome out to all `k` responses.
+    pub(crate) fn from_robust(rep: &RobustSolveReport, k: usize) -> FitReport {
+        let per_response = match rep.solver {
+            SolverUsed::Direct => ResponseSolver::Direct,
+            SolverUsed::DirectJittered { jitter } => ResponseSolver::DirectJittered { jitter },
+            SolverUsed::LsqrFallback => ResponseSolver::LsqrFallback,
+        };
+        FitReport {
+            warnings: rep.warnings.clone(),
+            recoveries: rep.actions.clone(),
+            responses: vec![per_response; k],
+            condition_estimate: rep.condition_estimate,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_report_is_clean() {
+        let r = FitReport::default();
+        assert!(r.clean());
+        assert!(r.responses.is_empty());
+        assert!(r.condition_estimate.is_none());
+    }
+
+    #[test]
+    fn from_robust_fans_out_to_all_responses() {
+        let rep = RobustSolveReport {
+            solver: SolverUsed::DirectJittered { jitter: 0.5 },
+            actions: vec![RecoveryAction::JitterRetry { jitter: 0.5 }],
+            warnings: vec!["direct solve failed".into()],
+            condition_estimate: Some(42.0),
+            form: None,
+        };
+        let r = FitReport::from_robust(&rep, 3);
+        assert!(!r.clean());
+        assert_eq!(r.responses.len(), 3);
+        assert!(r
+            .responses
+            .iter()
+            .all(|s| *s == ResponseSolver::DirectJittered { jitter: 0.5 }));
+        assert_eq!(r.condition_estimate, Some(42.0));
+    }
+}

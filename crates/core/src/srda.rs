@@ -20,12 +20,13 @@
 
 use crate::labels::ClassIndex;
 use crate::model::Embedding;
+use crate::report::{FitReport, RecoveryAction, ResponseSolver};
 use crate::responses;
 use crate::{Result, SrdaError};
-use srda_linalg::Mat;
+use srda_linalg::{LinalgError, Mat};
 use srda_solvers::lsqr::{lsqr, LsqrConfig};
-use srda_solvers::ridge::RidgeSolver;
-use srda_solvers::{AugmentedOp, LinearOperator};
+use srda_solvers::robust::RobustRidge;
+use srda_solvers::{AugmentedOp, LinearOperator, StopReason};
 use srda_sparse::CsrMatrix;
 
 /// How SRDA's `c − 1` ridge problems are solved.
@@ -109,6 +110,8 @@ pub struct SrdaModel {
     alpha: f64,
     /// Total LSQR iterations across responses (0 for direct solves).
     lsqr_iterations: usize,
+    /// Robustness ledger: what the fit actually did (see [`FitReport`]).
+    fit_report: FitReport,
 }
 
 impl Srda {
@@ -146,21 +149,25 @@ impl Srda {
                 let need = x.nrows() * (n + 1) * 8;
                 self.check_budget(need, "augmented data matrix")?;
                 let x_aug = x.append_constant_col(1.0);
-                let solver = RidgeSolver::auto(&x_aug, self.config.alpha)?;
-                let w_aug = solver.solve(&x_aug, &ybar)?;
-                Ok(self.finish(w_aug, n, index.n_classes(), 0))
+                // RobustRidge walks the recovery ladder (direct →
+                // jittered retries → damped LSQR) instead of propagating
+                // a Singular/NotPositiveDefinite error to the caller
+                let (w_aug, rep) =
+                    RobustRidge::default().solve(&x_aug, &ybar, self.config.alpha)?;
+                let report = FitReport::from_robust(&rep, ybar.ncols());
+                Ok(self.finish(w_aug, n, index.n_classes(), 0, report))
             }
             SrdaSolver::Lsqr { max_iter, tol } => {
                 let op = AugmentedOp::new(x);
-                let (w_aug, iters) = solve_lsqr_responses(
+                let (w_aug, iters, report) = solve_lsqr_responses(
                     &op,
                     &ybar,
                     self.config.alpha,
                     max_iter,
                     tol,
                     self.config.parallel_responses,
-                );
-                Ok(self.finish(w_aug, n, index.n_classes(), iters))
+                )?;
+                Ok(self.finish(w_aug, n, index.n_classes(), iters, report))
             }
         }
     }
@@ -198,33 +205,108 @@ impl Srda {
                     }
                 }
                 k.add_to_diag(self.config.alpha);
-                let chol = srda_linalg::Cholesky::factor(&k)?;
-                let u = chol.solve_mat(&ybar)?;
-                // w̃ = X̃ᵀ u : feature part via sparse transpose-multiply,
-                // bias part via column sums of u
-                let c1 = ybar.ncols();
-                let mut w_aug = Mat::zeros(n + 1, c1);
-                for j in 0..c1 {
-                    let uj = u.col(j);
-                    let wj = x.matvec_t(&uj)?;
-                    for (i, &v) in wj.iter().enumerate() {
-                        w_aug[(i, j)] = v;
-                    }
-                    w_aug[(n, j)] = uj.iter().sum();
+
+                // same recovery ladder as the dense path, inlined because
+                // the dual Gram matrix is built from sparse rows and
+                // RobustRidge only speaks dense `Mat`: factor → escalating
+                // jitter → matrix-free LSQR fallback
+                let mut report = FitReport::default();
+                let mut chol = None;
+                match srda_linalg::Cholesky::factor(&k) {
+                    Ok(c) => chol = Some((c, 0.0)),
+                    Err(e) if factor_retryable(&e) => report.warnings.push(format!(
+                        "sparse dual factorization failed (α = {:e}): {e}",
+                        self.config.alpha
+                    )),
+                    Err(e) => return Err(e.into()),
                 }
-                Ok(self.finish(w_aug, n, index.n_classes(), 0))
+                if chol.is_none() {
+                    let base = if self.config.alpha > 0.0 {
+                        self.config.alpha * 10.0
+                    } else {
+                        1e-10 * k.max_abs().max(1.0)
+                    };
+                    let mut applied = 0.0;
+                    for attempt in 1..=3 {
+                        let jitter = base * 10f64.powi(attempt - 1);
+                        k.add_to_diag(jitter - applied);
+                        applied = jitter;
+                        report
+                            .recoveries
+                            .push(RecoveryAction::JitterRetry { jitter });
+                        match srda_linalg::Cholesky::factor(&k) {
+                            Ok(c) => {
+                                report.warnings.push(format!(
+                                    "recovered with diagonal jitter {jitter:e} on retry {attempt}"
+                                ));
+                                chol = Some((c, jitter));
+                                break;
+                            }
+                            Err(e) if factor_retryable(&e) => report.warnings.push(format!(
+                                "jitter retry {attempt} (jitter {jitter:e}) failed: {e}"
+                            )),
+                            Err(e) => return Err(e.into()),
+                        }
+                    }
+                }
+                if let Some((chol, jitter)) = chol {
+                    let u = chol.solve_mat(&ybar)?;
+                    // w̃ = X̃ᵀ u : feature part via sparse transpose-multiply,
+                    // bias part via column sums of u
+                    let c1 = ybar.ncols();
+                    let mut w_aug = Mat::zeros(n + 1, c1);
+                    for j in 0..c1 {
+                        let uj = u.col(j);
+                        let wj = x.matvec_t(&uj)?;
+                        for (i, &v) in wj.iter().enumerate() {
+                            w_aug[(i, j)] = v;
+                        }
+                        w_aug[(n, j)] = uj.iter().sum();
+                    }
+                    if w_aug.as_slice().iter().all(|v| v.is_finite()) {
+                        report.condition_estimate = Some(chol.condition_estimate());
+                        let solver = if jitter > 0.0 {
+                            ResponseSolver::DirectJittered { jitter }
+                        } else {
+                            ResponseSolver::Direct
+                        };
+                        report.responses = vec![solver; c1];
+                        return Ok(self.finish(w_aug, n, index.n_classes(), 0, report));
+                    }
+                    report
+                        .warnings
+                        .push("sparse dual solve produced non-finite weights".into());
+                }
+                // every factorization failed (or poisoned the weights):
+                // solve matrix-free, which never forms the Gram matrix
+                report.recoveries.push(RecoveryAction::LsqrFallback);
+                report
+                    .warnings
+                    .push("all factorizations failed; weights computed by damped LSQR".into());
+                let op = AugmentedOp::new(x);
+                let (w_aug, iters, mut fb) = solve_lsqr_responses(
+                    &op,
+                    &ybar,
+                    self.config.alpha,
+                    500,
+                    1e-10,
+                    self.config.parallel_responses,
+                )?;
+                report.warnings.append(&mut fb.warnings);
+                report.responses = vec![ResponseSolver::LsqrFallback; ybar.ncols()];
+                Ok(self.finish(w_aug, n, index.n_classes(), iters, report))
             }
             SrdaSolver::Lsqr { max_iter, tol } => {
                 let op = AugmentedOp::new(x);
-                let (w_aug, iters) = solve_lsqr_responses(
+                let (w_aug, iters, report) = solve_lsqr_responses(
                     &op,
                     &ybar,
                     self.config.alpha,
                     max_iter,
                     tol,
                     self.config.parallel_responses,
-                );
-                Ok(self.finish(w_aug, n, index.n_classes(), iters))
+                )?;
+                Ok(self.finish(w_aug, n, index.n_classes(), iters, report))
             }
         }
     }
@@ -259,15 +341,15 @@ impl Srda {
         let ybar = responses::generate(&index);
         let n = x.ncols();
         let op = AugmentedOp::new(x);
-        let (w_aug, iters) = solve_lsqr_responses(
+        let (w_aug, iters, report) = solve_lsqr_responses(
             &op,
             &ybar,
             self.config.alpha,
             max_iter,
             tol,
             self.config.parallel_responses,
-        );
-        Ok(self.finish(w_aug, n, index.n_classes(), iters))
+        )?;
+        Ok(self.finish(w_aug, n, index.n_classes(), iters, report))
     }
 
     /// Incrementally refit on an **updated** sparse dataset (e.g. the old
@@ -324,6 +406,7 @@ impl Srda {
         let prev_b = previous.embedding().bias();
         let mut w_aug = Mat::zeros(n + 1, ybar.ncols());
         let mut total_iters = 0;
+        let mut report = FitReport::default();
         let mut x0 = vec![0.0; n + 1];
         for j in 0..ybar.ncols() {
             for i in 0..n {
@@ -331,10 +414,11 @@ impl Srda {
             }
             x0[n] = prev_b[j];
             let r = srda_solvers::lsqr::lsqr_warm(&op, &ybar.col(j), &x0, &cfg);
+            record_lsqr_response(&mut report, j, &r, tol)?;
             total_iters += r.iterations;
             w_aug.set_col(j, &r.x);
         }
-        Ok(self.finish(w_aug, n, index.n_classes(), total_iters))
+        Ok(self.finish(w_aug, n, index.n_classes(), total_iters, report))
     }
 
     fn check_budget(&self, needed: usize, context: &'static str) -> Result<()> {
@@ -350,7 +434,14 @@ impl Srda {
         Ok(())
     }
 
-    fn finish(&self, w_aug: Mat, n: usize, n_classes: usize, lsqr_iterations: usize) -> SrdaModel {
+    fn finish(
+        &self,
+        w_aug: Mat,
+        n: usize,
+        n_classes: usize,
+        lsqr_iterations: usize,
+        fit_report: FitReport,
+    ) -> SrdaModel {
         // split [W; bᵀ] into the weight matrix and the intercept row
         let weights = w_aug.block(0, n, 0, w_aug.ncols());
         let bias = w_aug.row(n).to_vec();
@@ -359,14 +450,62 @@ impl Srda {
             n_classes,
             alpha: self.config.alpha,
             lsqr_iterations,
+            fit_report,
         }
     }
+}
+
+/// Can a failed Cholesky factorization plausibly be fixed by more
+/// diagonal loading?
+fn factor_retryable(e: &LinalgError) -> bool {
+    matches!(
+        e,
+        LinalgError::NotPositiveDefinite { .. }
+            | LinalgError::Singular { .. }
+            | LinalgError::NonFinite { .. }
+    )
+}
+
+/// Fold one LSQR response outcome into the fit report. A diverged solve
+/// means the weight column is garbage (LSQR resets it to zero), so the
+/// whole fit fails loudly instead of returning a silently broken model —
+/// this is how a poisoned right-hand side or a failing disk operator
+/// surfaces to the caller.
+fn record_lsqr_response(
+    report: &mut FitReport,
+    j: usize,
+    r: &srda_solvers::lsqr::LsqrResult,
+    tol: f64,
+) -> Result<()> {
+    match r.stop {
+        StopReason::Diverged => {
+            return Err(SrdaError::Linalg(LinalgError::NonFinite {
+                context: "LSQR response solve (diverged: non-finite input or operator output)",
+            }));
+        }
+        StopReason::Stagnated => report.warnings.push(format!(
+            "response {j}: LSQR stagnated after {} iterations (residual {:.3e})",
+            r.iterations, r.residual_norm
+        )),
+        StopReason::MaxIterations if tol > 0.0 => report.warnings.push(format!(
+            "response {j}: LSQR hit the iteration cap ({}) before reaching tol",
+            r.iterations
+        )),
+        _ => {}
+    }
+    report.responses.push(ResponseSolver::Lsqr {
+        iterations: r.iterations,
+        stop: r.stop,
+    });
+    Ok(())
 }
 
 /// Solve the `c − 1` damped least-squares problems with LSQR — one
 /// response at a time, or one thread per response when `parallel` is set
 /// (they are fully independent) — returning the stacked `(n+1) × (c−1)`
-/// solution and the total iteration count.
+/// solution, the total iteration count, and a [`FitReport`] with the
+/// per-response stop reasons. A diverged response fails the whole fit
+/// (see [`record_lsqr_response`]).
 fn solve_lsqr_responses<A: LinearOperator + ?Sized + Sync>(
     op: &A,
     ybar: &Mat,
@@ -374,7 +513,7 @@ fn solve_lsqr_responses<A: LinearOperator + ?Sized + Sync>(
     max_iter: usize,
     tol: f64,
     parallel: bool,
-) -> (Mat, usize) {
+) -> Result<(Mat, usize, FitReport)> {
     let cfg = LsqrConfig {
         damp: alpha.sqrt(),
         max_iter,
@@ -398,11 +537,13 @@ fn solve_lsqr_responses<A: LinearOperator + ?Sized + Sync>(
     };
     let mut w = Mat::zeros(op.ncols(), k);
     let mut total_iters = 0;
+    let mut report = FitReport::default();
     for (j, result) in results.iter().enumerate() {
+        record_lsqr_response(&mut report, j, result, tol)?;
         total_iters += result.iterations;
         w.set_col(j, &result.x);
     }
-    (w, total_iters)
+    Ok((w, total_iters, report))
 }
 
 impl SrdaModel {
@@ -424,6 +565,14 @@ impl SrdaModel {
     /// Total LSQR iterations spent (0 when the direct solver was used).
     pub fn lsqr_iterations(&self) -> usize {
         self.lsqr_iterations
+    }
+
+    /// The robustness ledger for the fit that produced this model: every
+    /// recovery taken, per-response solver outcomes, warnings, and the
+    /// Gram-matrix condition estimate. [`FitReport::clean`] is `true`
+    /// when nothing went wrong.
+    pub fn fit_report(&self) -> &FitReport {
+        &self.fit_report
     }
 }
 
@@ -863,5 +1012,66 @@ mod tests {
         let c = SrdaConfig::lsqr_default();
         assert_eq!(c.alpha, 1.0);
         assert!(matches!(c.solver, SrdaSolver::Lsqr { max_iter: 15, .. }));
+    }
+
+    #[test]
+    fn clean_fits_report_clean() {
+        let (x, y) = three_blobs();
+        let direct = Srda::new(SrdaConfig::default()).fit_dense(&x, &y).unwrap();
+        let rep = direct.fit_report();
+        assert!(rep.clean());
+        assert_eq!(rep.responses.len(), 2);
+        assert!(rep.responses.iter().all(|s| *s == ResponseSolver::Direct));
+        assert!(rep.condition_estimate.unwrap() >= 1.0);
+
+        let iterative = Srda::new(SrdaConfig::lsqr_default())
+            .fit_dense(&x, &y)
+            .unwrap();
+        let rep = iterative.fit_report();
+        assert!(rep.clean());
+        assert!(rep.condition_estimate.is_none());
+        assert!(rep
+            .responses
+            .iter()
+            .all(|s| matches!(s, ResponseSolver::Lsqr { iterations, .. } if *iterations > 0)));
+    }
+
+    #[test]
+    fn rank_deficient_dense_fit_recovers_with_warning() {
+        // an all-zero feature with α = 0 makes the augmented Gram matrix
+        // singular — this fit used to return Err(NotPositiveDefinite);
+        // the fallback chain must now produce a usable model plus a
+        // recorded warning
+        let (x, y) = blobs();
+        let x_bad = x.hcat(&Mat::zeros(8, 1)).unwrap();
+        let cfg = SrdaConfig {
+            alpha: 0.0,
+            ..SrdaConfig::default()
+        };
+        let model = Srda::new(cfg).fit_dense(&x_bad, &y).unwrap();
+        let rep = model.fit_report();
+        assert!(!rep.clean());
+        assert!(!rep.warnings.is_empty());
+        assert!(!rep.recoveries.is_empty());
+        assert!(rep
+            .responses
+            .iter()
+            .all(|s| *s != ResponseSolver::Direct));
+        let w = model.embedding().weights();
+        assert!(w.as_slice().iter().all(|v| v.is_finite()));
+        // the recovered model still separates the classes
+        let z = model.embedding().transform_dense(&x_bad).unwrap();
+        let (within, between) = class_compactness(&z, &y);
+        assert!(between > 10.0 * within, "within {within}, between {between}");
+    }
+
+    #[test]
+    fn fit_rejects_non_finite_labels_data() {
+        // a NaN row in the data must surface as an error from the LSQR
+        // path, never as a NaN-filled model
+        let (mut x, y) = blobs();
+        x[(3, 1)] = f64::NAN;
+        let err = Srda::new(SrdaConfig::lsqr_default()).fit_dense(&x, &y);
+        assert!(matches!(err, Err(SrdaError::Linalg(_))), "{err:?}");
     }
 }

@@ -35,9 +35,10 @@ impl Vocabulary {
         self.index.get(term).copied()
     }
 
-    /// The term at column `id`.
-    pub fn term(&self, id: usize) -> &str {
-        &self.terms[id]
+    /// The term at column `id`, or `None` when `id` is out of range
+    /// (e.g. an index from a different vocabulary).
+    pub fn term(&self, id: usize) -> Option<&str> {
+        self.terms.get(id).map(String::as_str)
     }
 }
 
@@ -199,9 +200,11 @@ mod tests {
         let v2 = build_vocabulary(&docs, &opts);
         assert_eq!(v1, v2);
         for i in 1..v1.len() {
-            assert!(v1.term(i - 1) < v1.term(i));
+            assert!(v1.term(i - 1).unwrap() < v1.term(i).unwrap());
         }
-        assert_eq!(v1.id(v1.term(3)), Some(3));
+        assert_eq!(v1.id(v1.term(3).unwrap()), Some(3));
+        // out-of-range ids are None, not a panic
+        assert_eq!(v1.term(v1.len()), None);
     }
 
     #[test]

@@ -25,6 +25,13 @@ impl Cholesky {
     /// non-positive — for SRDA this never happens when `α > 0` because the
     /// ridge shift makes the Gram matrix strictly positive definite.
     pub fn factor(a: &Mat) -> Result<Self> {
+        #[cfg(feature = "failpoints")]
+        if crate::failpoint::should_fail("cholesky.singular") {
+            return Err(LinalgError::NotPositiveDefinite {
+                pivot: 0,
+                value: -1.0,
+            });
+        }
         if !a.is_square() {
             return Err(LinalgError::NotSquare {
                 rows: a.nrows(),
@@ -108,6 +115,28 @@ impl Cholesky {
     /// criteria.
     pub fn log_det(&self) -> f64 {
         self.l.diag().iter().map(|d| d.ln()).sum::<f64>() * 2.0
+    }
+
+    /// Cheap 2-norm condition-number estimate from the factor diagonal:
+    /// `(max Lᵢᵢ / min Lᵢᵢ)²`. The diagonal of `L` brackets the singular
+    /// values of `L` (`σ_min ≤ min Lᵢᵢ` need not hold in general, but for
+    /// the diagonally-dominant Gram-plus-ridge matrices SRDA factors the
+    /// ratio tracks `κ(A)` well within an order of magnitude), so this is
+    /// the standard O(n) diagnostic for "how close to breakdown was this
+    /// solve" without an extra factorization.
+    pub fn condition_estimate(&self) -> f64 {
+        let diag = self.l.diag();
+        let mut lo = f64::INFINITY;
+        let mut hi = 0.0f64;
+        for d in diag {
+            lo = lo.min(d);
+            hi = hi.max(d);
+        }
+        if lo <= 0.0 || !lo.is_finite() {
+            return f64::INFINITY;
+        }
+        let r = hi / lo;
+        r * r
     }
 }
 
@@ -209,6 +238,16 @@ mod tests {
         let ch = Cholesky::factor(&Mat::from_diag(&[9.0])).unwrap();
         assert_eq!(ch.l()[(0, 0)], 3.0);
         assert_eq!(ch.solve(&[18.0]).unwrap(), vec![2.0]);
+    }
+
+    #[test]
+    fn condition_estimate_tracks_diagonal_spread() {
+        // identity: perfectly conditioned
+        let ch = Cholesky::factor(&Mat::identity(5)).unwrap();
+        assert!((ch.condition_estimate() - 1.0).abs() < 1e-14);
+        // diag(100, 1): L = diag(10, 1), estimate = 100 = true κ
+        let ch = Cholesky::factor(&Mat::from_diag(&[100.0, 1.0])).unwrap();
+        assert!((ch.condition_estimate() - 100.0).abs() < 1e-10);
     }
 
     #[test]

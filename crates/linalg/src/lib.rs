@@ -41,6 +41,8 @@
 pub mod cholesky;
 pub mod eigen;
 pub mod error;
+#[cfg(feature = "failpoints")]
+pub mod failpoint;
 pub mod flam;
 pub mod golub_reinsch;
 pub mod gram_schmidt;

@@ -21,6 +21,10 @@
 //!   `(XᵀX + αI)a = Xᵀȳ` via Cholesky, and the dual form
 //!   `(XXᵀ + αI)u = ȳ, a = Xᵀu` (paper Eqn 21) that is cheaper when
 //!   `n > m`. An `auto` entry point picks the smaller system.
+//! * [`robust`] — a fault-tolerant wrapper around the direct solvers:
+//!   on `Singular`/non-finite breakdown it retries with bounded
+//!   escalating diagonal jitter and finally falls back to damped LSQR,
+//!   reporting every recovery step it took.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +33,9 @@ pub mod cgls;
 pub mod lsqr;
 pub mod operator;
 pub mod ridge;
+pub mod robust;
 
-pub use lsqr::{lsqr, LsqrConfig, LsqrResult, StopReason};
+pub use lsqr::{lsqr, lsqr_warm, LsqrConfig, LsqrResult, StopReason};
 pub use operator::{AugmentedOp, CenteredOp, LinearOperator};
+pub use ridge::{RidgeForm, RidgeSolver};
+pub use robust::{RecoveryAction, RobustConfig, RobustRidge, RobustSolveReport, SolverUsed};

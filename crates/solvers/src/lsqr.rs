@@ -11,17 +11,26 @@ use crate::operator::LinearOperator;
 use srda_linalg::vector;
 
 /// Configuration for an LSQR run.
+///
+/// ## Contract
+///
+/// `damp` and `tol` must be **finite and non-negative**. Both [`lsqr`] and
+/// [`lsqr_warm`] validate this at entry and panic on violation — a
+/// negative or NaN knob is a programming error in the caller, exactly like
+/// a mismatched right-hand-side length, and silently accepting it
+/// previously produced NaN-filled "solutions" with no diagnostic.
 #[derive(Debug, Clone)]
 pub struct LsqrConfig {
     /// Regularization: the solver minimizes `‖Ax − b‖² + damp²‖x‖²`.
     /// For SRDA's ridge parameter `α`, pass `damp = √α`.
+    /// Must be finite and `>= 0`.
     pub damp: f64,
     /// Hard iteration cap. The paper: "In our experiments, 20 iterations
     /// are enough"; their 20Newsgroups runs use 15.
     pub max_iter: usize,
     /// Relative residual tolerance (`atol`/`btol` of the reference
     /// implementation, collapsed to one knob). Set to 0 to always run
-    /// `max_iter` iterations.
+    /// `max_iter` iterations. Must be finite and `>= 0`.
     pub tol: f64,
 }
 
@@ -35,6 +44,31 @@ impl Default for LsqrConfig {
     }
 }
 
+impl LsqrConfig {
+    /// Enforce the documented contract; called by [`lsqr`]/[`lsqr_warm`].
+    fn validate(&self) {
+        assert!(
+            self.damp.is_finite() && self.damp >= 0.0,
+            "LsqrConfig.damp must be finite and non-negative, got {}",
+            self.damp
+        );
+        assert!(
+            self.tol.is_finite() && self.tol >= 0.0,
+            "LsqrConfig.tol must be finite and non-negative, got {}",
+            self.tol
+        );
+    }
+}
+
+/// Iterations of no relative residual improvement tolerated before
+/// declaring [`StopReason::Stagnated`] (only when `tol > 0`; `tol = 0`
+/// means "run exactly `max_iter` iterations", which stagnation detection
+/// must not override).
+const STAGNATION_WINDOW: usize = 8;
+/// Relative residual improvement below which an iteration counts as "no
+/// progress" for stagnation purposes.
+const STAGNATION_RTOL: f64 = 1e-12;
+
 /// Why LSQR stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StopReason {
@@ -44,6 +78,16 @@ pub enum StopReason {
     Converged,
     /// The iteration cap was hit.
     MaxIterations,
+    /// A non-finite quantity appeared — in the right-hand side, in an
+    /// operator product, or in the bidiagonalization recurrences. The
+    /// returned `x` is the last finite iterate (possibly all zeros); it is
+    /// **never** NaN-contaminated.
+    Diverged,
+    /// The damped residual made no relative progress for
+    /// [`STAGNATION_WINDOW`] consecutive iterations (detected only when
+    /// `tol > 0`): the iteration is wedged at its attainable floor and
+    /// further matvecs are wasted work.
+    Stagnated,
 }
 
 /// The outcome of an LSQR run.
@@ -77,8 +121,23 @@ pub struct LsqrResult {
 /// ```
 pub fn lsqr<A: LinearOperator + ?Sized>(a: &A, b: &[f64], cfg: &LsqrConfig) -> LsqrResult {
     assert_eq!(b.len(), a.nrows(), "rhs length must equal operator rows");
+    cfg.validate();
     let n = a.ncols();
     let mut x = vec![0.0; n];
+
+    let diverged = |x: Vec<f64>, iterations: usize, trace: Vec<f64>| LsqrResult {
+        x,
+        iterations,
+        residual_norm: f64::INFINITY,
+        stop: StopReason::Diverged,
+        residual_trace: trace,
+    };
+
+    // reject a poisoned right-hand side before any work: a NaN here would
+    // otherwise propagate through every recurrence below
+    if !b.iter().all(|v| v.is_finite()) {
+        return diverged(x, 0, vec![]);
+    }
 
     // Golub-Kahan bidiagonalization initialization
     let mut u = b.to_vec();
@@ -92,10 +151,23 @@ pub fn lsqr<A: LinearOperator + ?Sized>(a: &A, b: &[f64], cfg: &LsqrConfig) -> L
             residual_trace: vec![],
         };
     }
+    if !beta.is_finite() {
+        // finite entries but overflowing norm: treat as breakdown
+        return diverged(x, 0, vec![]);
+    }
     vector::scale(1.0 / beta, &mut u);
 
     let mut v = a.apply_t(&u);
+    // check the raw operator output, not its norm: norm2's overflow-safe
+    // max ignores NaN, so a poisoned matvec can masquerade as a zero norm
+    if !v.iter().all(|t| t.is_finite()) {
+        return diverged(x, 0, vec![]);
+    }
     let mut alpha = vector::norm2(&v);
+    if !alpha.is_finite() {
+        // finite entries but overflowing norm: treat as breakdown
+        return diverged(x, 0, vec![]);
+    }
     if alpha == 0.0 {
         // b is orthogonal to the range of A: x = 0 is optimal
         return LsqrResult {
@@ -118,25 +190,59 @@ pub fn lsqr<A: LinearOperator + ?Sized>(a: &A, b: &[f64], cfg: &LsqrConfig) -> L
     let mut trace = Vec::with_capacity(cfg.max_iter);
     let mut stop = StopReason::MaxIterations;
     let mut iterations = 0;
+    // stagnation tracking (active only when tol > 0)
+    let mut best_res = f64::INFINITY;
+    let mut no_improve = 0usize;
 
     for iter in 0..cfg.max_iter {
+        #[cfg(feature = "failpoints")]
+        if srda_linalg::failpoint::should_fail("lsqr.breakdown") {
+            // simulate a non-finite operator product surfacing here
+            stop = StopReason::Diverged;
+            iterations = iter;
+            break;
+        }
         iterations = iter + 1;
 
         // continue the bidiagonalization: β·u = A·v − α·u
         let av = a.apply(&v);
+        if !av.iter().all(|t| t.is_finite()) {
+            // a bad matvec (NaN/∞ from the operator) — stop before the
+            // poison reaches x. Checked on the raw product because
+            // norm2's overflow-safe max ignores NaN.
+            stop = StopReason::Diverged;
+            iterations = iter;
+            break;
+        }
         for (ui, avi) in u.iter_mut().zip(&av) {
             *ui = avi - alpha * *ui;
         }
         beta = vector::norm2(&u);
+        if !beta.is_finite() {
+            // finite entries but overflowing norm: treat as breakdown
+            stop = StopReason::Diverged;
+            iterations = iter;
+            break;
+        }
         if beta > 0.0 {
             vector::scale(1.0 / beta, &mut u);
         }
         // α·v = Aᵀ·u − β·v
         let atu = a.apply_t(&u);
+        if !atu.iter().all(|t| t.is_finite()) {
+            stop = StopReason::Diverged;
+            iterations = iter;
+            break;
+        }
         for (vi, atui) in v.iter_mut().zip(&atu) {
             *vi = atui - beta * *vi;
         }
         alpha = vector::norm2(&v);
+        if !alpha.is_finite() {
+            stop = StopReason::Diverged;
+            iterations = iter;
+            break;
+        }
         if alpha > 0.0 {
             vector::scale(1.0 / alpha, &mut v);
         }
@@ -164,9 +270,15 @@ pub fn lsqr<A: LinearOperator + ?Sized>(a: &A, b: &[f64], cfg: &LsqrConfig) -> L
         let phi = c * phibar;
         phibar *= s;
 
-        // update x and the search direction w
+        // update x and the search direction w — but never with non-finite
+        // step coefficients (overflowing recurrences surface here)
         let t1 = phi / rho;
         let t2 = -theta / rho;
+        if !t1.is_finite() || !t2.is_finite() {
+            stop = StopReason::Diverged;
+            iterations = iter;
+            break;
+        }
         for i in 0..n {
             x[i] += t1 * w[i];
             w[i] = v[i] + t2 * w[i];
@@ -199,10 +311,35 @@ pub fn lsqr<A: LinearOperator + ?Sized>(a: &A, b: &[f64], cfg: &LsqrConfig) -> L
             stop = StopReason::Converged;
             break;
         }
+        // stagnation: the residual floor has been reached but neither
+        // tolerance rule fires (e.g. tol below the attainable accuracy);
+        // cut the run instead of burning matvecs to no effect
+        if cfg.tol > 0.0 {
+            if damped_res < best_res * (1.0 - STAGNATION_RTOL) {
+                best_res = damped_res;
+                no_improve = 0;
+            } else {
+                no_improve += 1;
+                if no_improve >= STAGNATION_WINDOW {
+                    stop = StopReason::Stagnated;
+                    break;
+                }
+            }
+        }
     }
 
+    // belt and braces: whatever path got here, a non-finite x never leaves
+    // this function (the checks above should make this unreachable)
+    if !x.iter().all(|v| v.is_finite()) {
+        x = vec![0.0; n];
+        stop = StopReason::Diverged;
+    }
     LsqrResult {
-        residual_norm: *trace.last().unwrap_or(&phibar.abs()),
+        residual_norm: if stop == StopReason::Diverged {
+            f64::INFINITY
+        } else {
+            *trace.last().unwrap_or(&phibar.abs())
+        },
         x,
         iterations,
         stop,
@@ -251,6 +388,14 @@ impl<A: LinearOperator + ?Sized> LinearOperator for DampedStackOp<'_, A> {
 ///
 /// With a good `x0` the correction is small and LSQR needs far fewer
 /// iterations than a cold start for the same residual.
+///
+/// A non-finite `x0` or `b` is rejected up front with
+/// [`StopReason::Diverged`] and `x = 0` — warm-starting from a poisoned
+/// previous model must not smuggle its NaNs into the new one. `cfg` obeys
+/// the [`LsqrConfig`] contract (finite, non-negative `damp`/`tol`),
+/// enforced by panic. `damp = 0` is a fully supported configuration: the
+/// stacked rows vanish and the solve degenerates to plain warm-started
+/// least squares.
 pub fn lsqr_warm<A: LinearOperator + ?Sized>(
     a: &A,
     b: &[f64],
@@ -259,6 +404,16 @@ pub fn lsqr_warm<A: LinearOperator + ?Sized>(
 ) -> LsqrResult {
     assert_eq!(b.len(), a.nrows(), "rhs length must equal operator rows");
     assert_eq!(x0.len(), a.ncols(), "x0 length must equal operator cols");
+    cfg.validate();
+    if !x0.iter().all(|v| v.is_finite()) || !b.iter().all(|v| v.is_finite()) {
+        return LsqrResult {
+            x: vec![0.0; a.ncols()],
+            iterations: 0,
+            residual_norm: f64::INFINITY,
+            stop: StopReason::Diverged,
+            residual_trace: vec![],
+        };
+    }
     let stacked = DampedStackOp {
         inner: a,
         damp: cfg.damp,
@@ -554,5 +709,187 @@ mod tests {
     fn warm_start_x0_length_checked() {
         let a = noise_mat(4, 3);
         let _ = lsqr_warm(&a, &[1.0; 4], &[0.0; 2], &LsqrConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "damp must be finite and non-negative")]
+    fn negative_damp_rejected() {
+        let a = noise_mat(4, 3);
+        let _ = lsqr(
+            &a,
+            &[1.0; 4],
+            &LsqrConfig {
+                damp: -0.5,
+                ..LsqrConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "tol must be finite and non-negative")]
+    fn nan_tol_rejected() {
+        let a = noise_mat(4, 3);
+        let _ = lsqr(
+            &a,
+            &[1.0; 4],
+            &LsqrConfig {
+                tol: f64::NAN,
+                ..LsqrConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "damp must be finite and non-negative")]
+    fn warm_start_validates_config_too() {
+        let a = noise_mat(4, 3);
+        let _ = lsqr_warm(
+            &a,
+            &[1.0; 4],
+            &[0.0; 3],
+            &LsqrConfig {
+                damp: f64::INFINITY,
+                ..LsqrConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn non_finite_rhs_flags_diverged_with_zero_x() {
+        let a = noise_mat(5, 3);
+        let mut b = vec![1.0; 5];
+        b[2] = f64::NAN;
+        let r = lsqr(&a, &b, &LsqrConfig::default());
+        assert_eq!(r.stop, StopReason::Diverged);
+        assert_eq!(r.iterations, 0);
+        assert_eq!(r.x, vec![0.0; 3]);
+        let mut b2 = vec![1.0; 5];
+        b2[0] = f64::INFINITY;
+        let r2 = lsqr(&a, &b2, &LsqrConfig::default());
+        assert_eq!(r2.stop, StopReason::Diverged);
+    }
+
+    /// An operator whose forward product emits NaN — the "bad matvec"
+    /// scenario (e.g. corrupted data read mid-solve).
+    struct PoisonOp {
+        m: usize,
+        n: usize,
+    }
+
+    impl crate::operator::LinearOperator for PoisonOp {
+        fn nrows(&self) -> usize {
+            self.m
+        }
+        fn ncols(&self) -> usize {
+            self.n
+        }
+        fn apply(&self, _x: &[f64]) -> Vec<f64> {
+            vec![f64::NAN; self.m]
+        }
+        fn apply_t(&self, x: &[f64]) -> Vec<f64> {
+            vec![x.iter().sum(); self.n]
+        }
+    }
+
+    #[test]
+    fn nan_matvec_flags_diverged_and_never_emits_nan_x() {
+        let op = PoisonOp { m: 4, n: 3 };
+        let r = lsqr(&op, &[1.0; 4], &LsqrConfig::default());
+        assert_eq!(r.stop, StopReason::Diverged);
+        assert!(r.x.iter().all(|v| v.is_finite()), "x contaminated: {:?}", r.x);
+        assert!(r.residual_norm.is_infinite());
+    }
+
+    #[test]
+    fn warm_start_with_damp_zero_matches_ls_oracle() {
+        // damp = 0: the stacked ridge rows vanish; plain warm-started LS
+        let a = noise_mat(20, 5);
+        let b: Vec<f64> = (0..20).map(|i| (i as f64 * 0.43).sin()).collect();
+        let x0: Vec<f64> = (0..5).map(|i| 0.3 * i as f64 - 1.0).collect();
+        let cfg = LsqrConfig {
+            damp: 0.0,
+            max_iter: 300,
+            tol: 1e-14,
+        };
+        let r = lsqr_warm(&a, &b, &x0, &cfg);
+        assert!(r.x.iter().all(|v| v.is_finite()));
+        let oracle = ridge_oracle(&a, &b, 0.0);
+        for (u, v) in r.x.iter().zip(&oracle) {
+            assert!((u - v).abs() < 1e-7, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn warm_start_rejects_non_finite_x0() {
+        let a = noise_mat(6, 4);
+        let b = vec![1.0; 6];
+        let mut x0 = vec![0.0; 4];
+        x0[1] = f64::NAN;
+        let r = lsqr_warm(&a, &b, &x0, &LsqrConfig::default());
+        assert_eq!(r.stop, StopReason::Diverged);
+        assert_eq!(r.iterations, 0);
+        assert!(r.x.iter().all(|v| v.is_finite()), "x contaminated: {:?}", r.x);
+    }
+
+    #[test]
+    fn stagnation_detected_when_tol_is_unattainable() {
+        // inconsistent overdetermined system with damping: the damped
+        // residual has a strictly positive floor, and tol = 1e-300 can
+        // never be met — without stagnation detection this would burn all
+        // 500 iterations at the floor
+        let a = noise_mat(20, 5);
+        let b: Vec<f64> = (0..20).map(|i| (i as f64 * 0.77).cos()).collect();
+        let r = lsqr(
+            &a,
+            &b,
+            &LsqrConfig {
+                damp: 0.3,
+                max_iter: 500,
+                tol: 1e-300,
+            },
+        );
+        assert_eq!(r.stop, StopReason::Stagnated, "stopped as {:?}", r.stop);
+        assert!(r.iterations < 100, "ran {} iterations", r.iterations);
+        // the iterate at the floor is still the correct damped solution
+        let oracle = ridge_oracle(&a, &b, 0.09);
+        for (u, v) in r.x.iter().zip(&oracle) {
+            assert!((u - v).abs() < 1e-6, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn tol_zero_disables_stagnation_detection() {
+        // the paper's fixed-iteration mode must run exactly max_iter even
+        // when the residual is flat
+        let a = noise_mat(20, 5);
+        let b: Vec<f64> = (0..20).map(|i| (i as f64 * 0.77).cos()).collect();
+        let r = lsqr(
+            &a,
+            &b,
+            &LsqrConfig {
+                damp: 0.3,
+                max_iter: 60,
+                tol: 0.0,
+            },
+        );
+        assert_eq!(r.iterations, 60);
+        assert_eq!(r.stop, StopReason::MaxIterations);
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn breakdown_failpoint_forces_diverged() {
+        srda_linalg::failpoint::reset();
+        let a = noise_mat(10, 4);
+        let b = vec![1.0; 10];
+        srda_linalg::failpoint::arm("lsqr.breakdown", 1);
+        let r = lsqr(&a, &b, &LsqrConfig::default());
+        assert_eq!(r.stop, StopReason::Diverged);
+        assert!(r.x.iter().all(|v| v.is_finite()));
+        assert_eq!(srda_linalg::failpoint::fired("lsqr.breakdown"), 1);
+        srda_linalg::failpoint::reset();
+        // and with nothing armed the same problem solves normally
+        let r2 = lsqr(&a, &b, &LsqrConfig::default());
+        assert_ne!(r2.stop, StopReason::Diverged);
     }
 }

@@ -53,8 +53,14 @@ impl LinearOperator for CsrMatrix {
 
 /// Out-of-core operator: the paper's "reasonable disk I/O" mode. Each
 /// product is one sequential scan of the on-disk non-zeros; only the row
-/// pointers stay resident. I/O failures abort via panic — an operator has
-/// no error channel, and a mid-solve disk failure has no sensible recovery.
+/// pointers stay resident.
+///
+/// An operator has no error channel, so a mid-solve disk failure is
+/// signalled by returning an all-NaN product. [`crate::lsqr`] rejects
+/// non-finite operator output and stops with
+/// [`crate::StopReason::Diverged`], which the fit layer converts into a
+/// proper error — the failure surfaces to the caller instead of aborting
+/// the process or leaking NaN into a model.
 impl LinearOperator for srda_sparse::DiskCsr {
     fn nrows(&self) -> usize {
         srda_sparse::DiskCsr::nrows(self)
@@ -63,10 +69,12 @@ impl LinearOperator for srda_sparse::DiskCsr {
         srda_sparse::DiskCsr::ncols(self)
     }
     fn apply(&self, x: &[f64]) -> Vec<f64> {
-        self.matvec(x).expect("disk matvec failed")
+        self.matvec(x)
+            .unwrap_or_else(|_| vec![f64::NAN; srda_sparse::DiskCsr::nrows(self)])
     }
     fn apply_t(&self, x: &[f64]) -> Vec<f64> {
-        self.matvec_t(x).expect("disk matvec_t failed")
+        self.matvec_t(x)
+            .unwrap_or_else(|_| vec![f64::NAN; srda_sparse::DiskCsr::ncols(self)])
     }
 }
 

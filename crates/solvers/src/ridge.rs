@@ -77,6 +77,14 @@ impl RidgeSolver {
         self.alpha
     }
 
+    /// Cheap condition-number estimate of the factored Gram matrix: the
+    /// squared ratio of the extreme Cholesky diagonal entries. A lower
+    /// bound on the true 2-norm condition number, O(n) to compute —
+    /// useful as a conditioning diagnostic, not a rigorous bound.
+    pub fn condition_estimate(&self) -> f64 {
+        self.chol.condition_estimate()
+    }
+
     /// Solve for a matrix of responses `Y` (`m × k`, one column per
     /// right-hand side), returning the weights `W` (`n × k`).
     ///

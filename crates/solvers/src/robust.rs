@@ -1,0 +1,371 @@
+//! Fault-tolerant ridge solving: a direct solve with a bounded recovery
+//! chain behind it.
+//!
+//! SRDA's per-response systems are usually benign, but real corpora
+//! produce rank-deficient Gram matrices (duplicate documents, empty
+//! feature columns, `α = 0` runs) and a failed factorization used to
+//! abort the whole fit. [`RobustRidge`] instead walks a fixed escalation
+//! ladder:
+//!
+//! 1. **Direct** — factor the configured normal-equation form
+//!    ([`RidgeSolver::auto`]) and solve. This is the paper's fast path
+//!    and the only step that runs when nothing goes wrong.
+//! 2. **Jittered retries** — on a retryable breakdown
+//!    ([`LinalgError::NotPositiveDefinite`], [`LinalgError::Singular`],
+//!    [`LinalgError::NonFinite`], or a non-finite solution), re-factor
+//!    with extra diagonal loading, escalating by
+//!    [`RobustConfig::jitter_factor`] (default ×10) for at most
+//!    [`RobustConfig::max_jitter_retries`] attempts (default 3).
+//! 3. **LSQR fallback** — if every factorization fails, solve each
+//!    response column iteratively with damped [`lsqr`] (`damp = √α`),
+//!    which never forms the Gram matrix and tolerates rank deficiency
+//!    (it returns the minimum-norm least-squares solution).
+//!
+//! Every step taken is recorded in a [`RobustSolveReport`] so callers —
+//! and ultimately `FitReport` in `srda-core` — can surface what happened
+//! instead of silently returning a subtly different model. The chain is
+//! *bounded*: it never loops, and non-retryable errors (shape mismatches,
+//! invalid dimensions) propagate immediately.
+
+use crate::lsqr::{lsqr, LsqrConfig, StopReason};
+use crate::ridge::{RidgeForm, RidgeSolver};
+use srda_linalg::{LinalgError, Mat, Result};
+
+/// Knobs for the [`RobustRidge`] recovery chain.
+#[derive(Debug, Clone)]
+pub struct RobustConfig {
+    /// Maximum number of jittered re-factorizations before falling back
+    /// to LSQR (step 2 of the ladder). `0` disables jitter retries.
+    pub max_jitter_retries: usize,
+    /// Multiplicative escalation between consecutive jitter attempts.
+    pub jitter_factor: f64,
+    /// Iteration budget for the LSQR fallback (step 3).
+    pub fallback_max_iter: usize,
+    /// Convergence tolerance for the LSQR fallback.
+    pub fallback_tol: f64,
+}
+
+impl Default for RobustConfig {
+    fn default() -> Self {
+        RobustConfig {
+            max_jitter_retries: 3,
+            jitter_factor: 10.0,
+            fallback_max_iter: 500,
+            fallback_tol: 1e-10,
+        }
+    }
+}
+
+/// Which rung of the escalation ladder produced the returned weights.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SolverUsed {
+    /// The plain direct solve succeeded — no recovery needed.
+    Direct,
+    /// A direct solve succeeded after adding `jitter` to the Gram
+    /// diagonal (on top of the requested `α`).
+    DirectJittered {
+        /// Extra diagonal loading that made the factorization succeed.
+        jitter: f64,
+    },
+    /// All factorizations failed; the damped LSQR fallback produced the
+    /// weights.
+    LsqrFallback,
+}
+
+/// One recovery step taken during a [`RobustRidge::solve`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryAction {
+    /// A re-factorization with `jitter` extra diagonal loading was
+    /// attempted (successfully or not — see the paired warning).
+    JitterRetry {
+        /// Extra diagonal loading used for this attempt.
+        jitter: f64,
+    },
+    /// The damped LSQR fallback was engaged.
+    LsqrFallback,
+}
+
+/// What happened during a [`RobustRidge::solve`] call.
+#[derive(Debug, Clone)]
+pub struct RobustSolveReport {
+    /// The ladder rung that produced the returned weights.
+    pub solver: SolverUsed,
+    /// Recovery steps taken, in order. Empty on the happy path.
+    pub actions: Vec<RecoveryAction>,
+    /// Human-readable descriptions of every breakdown and recovery.
+    /// Empty on the happy path.
+    pub warnings: Vec<String>,
+    /// Condition-number estimate of the successfully factored Gram
+    /// matrix ([`RidgeSolver::condition_estimate`]); `None` when the
+    /// LSQR fallback produced the weights.
+    pub condition_estimate: Option<f64>,
+    /// Normal-equation form that was factored; `None` for the LSQR
+    /// fallback.
+    pub form: Option<RidgeForm>,
+}
+
+impl RobustSolveReport {
+    /// `true` when the plain direct solve succeeded with no recovery.
+    pub fn clean(&self) -> bool {
+        self.solver == SolverUsed::Direct && self.warnings.is_empty()
+    }
+}
+
+/// A ridge solver with the bounded fallback chain described in the
+/// module docs.
+#[derive(Debug, Clone, Default)]
+pub struct RobustRidge {
+    cfg: RobustConfig,
+}
+
+/// Is this an error the jitter/fallback ladder can plausibly fix?
+fn retryable(e: &LinalgError) -> bool {
+    matches!(
+        e,
+        LinalgError::NotPositiveDefinite { .. }
+            | LinalgError::Singular { .. }
+            | LinalgError::NonFinite { .. }
+    )
+}
+
+impl RobustRidge {
+    /// Build a chain with the given configuration.
+    pub fn new(cfg: RobustConfig) -> Self {
+        RobustRidge { cfg }
+    }
+
+    /// Factor `x` with ridge `alpha_eff`, solve for all responses, and
+    /// verify the result is finite. Any retryable breakdown comes back
+    /// as `Err`.
+    fn try_direct(&self, x: &Mat, y: &Mat, alpha_eff: f64) -> Result<(Mat, RidgeForm, f64)> {
+        let solver = RidgeSolver::auto(x, alpha_eff)?;
+        let w = solver.solve(x, y)?;
+        if !w.as_slice().iter().all(|v| v.is_finite()) {
+            return Err(LinalgError::NonFinite {
+                context: "ridge solution",
+            });
+        }
+        Ok((w, solver.form(), solver.condition_estimate()))
+    }
+
+    /// Jitter schedule: the extra diagonal loading for retry `attempt`
+    /// (1-based). Scales with `α` when one was requested, otherwise with
+    /// the squared magnitude of the data so the loading is meaningful
+    /// relative to the Gram diagonal.
+    fn jitter_for(&self, x: &Mat, alpha: f64, attempt: usize) -> f64 {
+        let base = if alpha > 0.0 {
+            alpha * self.cfg.jitter_factor
+        } else {
+            let scale = x.max_abs().powi(2).max(1.0);
+            1e-10 * scale
+        };
+        base * self.cfg.jitter_factor.powi(attempt as i32 - 1)
+    }
+
+    /// Solve `min ‖X·W − Y‖² + α‖W‖²` for all columns of `y`, walking
+    /// the recovery ladder as needed.
+    ///
+    /// Returns the weights (`n × k`) plus a [`RobustSolveReport`]
+    /// recording every recovery taken. `Err` is returned only when the
+    /// final LSQR fallback itself diverges (or for non-retryable errors
+    /// such as shape mismatches, which indicate caller bugs rather than
+    /// numerical breakdown).
+    pub fn solve(&self, x: &Mat, y: &Mat, alpha: f64) -> Result<(Mat, RobustSolveReport)> {
+        let mut report = RobustSolveReport {
+            solver: SolverUsed::Direct,
+            actions: Vec::new(),
+            warnings: Vec::new(),
+            condition_estimate: None,
+            form: None,
+        };
+
+        // Rung 1: plain direct solve.
+        match self.try_direct(x, y, alpha) {
+            Ok((w, form, cond)) => {
+                report.condition_estimate = Some(cond);
+                report.form = Some(form);
+                return Ok((w, report));
+            }
+            Err(e) if retryable(&e) => {
+                report
+                    .warnings
+                    .push(format!("direct solve failed (α = {alpha:e}): {e}"));
+            }
+            Err(e) => return Err(e),
+        }
+
+        // Rung 2: bounded escalating jitter.
+        for attempt in 1..=self.cfg.max_jitter_retries {
+            let jitter = self.jitter_for(x, alpha, attempt);
+            report.actions.push(RecoveryAction::JitterRetry { jitter });
+            match self.try_direct(x, y, alpha + jitter) {
+                Ok((w, form, cond)) => {
+                    report.warnings.push(format!(
+                        "recovered with diagonal jitter {jitter:e} on retry {attempt}"
+                    ));
+                    report.solver = SolverUsed::DirectJittered { jitter };
+                    report.condition_estimate = Some(cond);
+                    report.form = Some(form);
+                    return Ok((w, report));
+                }
+                Err(e) if retryable(&e) => {
+                    report
+                        .warnings
+                        .push(format!("jitter retry {attempt} (jitter {jitter:e}) failed: {e}"));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Rung 3: damped LSQR, one response column at a time. Never
+        // forms the Gram matrix, so the breakdowns above cannot recur;
+        // rank deficiency yields the minimum-norm solution.
+        report.actions.push(RecoveryAction::LsqrFallback);
+        report.solver = SolverUsed::LsqrFallback;
+        let cfg = LsqrConfig {
+            damp: alpha.sqrt(),
+            max_iter: self.cfg.fallback_max_iter,
+            tol: self.cfg.fallback_tol,
+        };
+        let mut w = Mat::zeros(x.ncols(), y.ncols());
+        for j in 0..y.ncols() {
+            let r = lsqr(x, &y.col(j), &cfg);
+            match r.stop {
+                StopReason::Diverged => {
+                    return Err(LinalgError::NonFinite {
+                        context: "robust ridge: LSQR fallback diverged",
+                    });
+                }
+                StopReason::MaxIterations => {
+                    report.warnings.push(format!(
+                        "LSQR fallback hit the {} iteration budget on response {j} \
+                         (residual {:.3e})",
+                        self.cfg.fallback_max_iter, r.residual_norm
+                    ));
+                }
+                _ => {}
+            }
+            w.set_col(j, &r.x);
+        }
+        report
+            .warnings
+            .push("all factorizations failed; weights computed by damped LSQR".to_string());
+        Ok((w, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noise_mat(m: usize, n: usize) -> Mat {
+        Mat::from_fn(m, n, |i, j| {
+            let x = (i as f64 * 91.17 + j as f64 * 13.73).sin() * 43758.5453;
+            x - x.floor() - 0.5
+        })
+    }
+
+    fn ridge_oracle(x: &Mat, y: &Mat, alpha: f64) -> Mat {
+        RidgeSolver::auto(x, alpha).unwrap().solve(x, y).unwrap()
+    }
+
+    #[test]
+    fn clean_problem_takes_the_direct_path() {
+        let x = noise_mat(15, 6);
+        let y = Mat::from_fn(15, 2, |i, j| ((i + 2 * j) as f64 * 0.31).sin());
+        let (w, rep) = RobustRidge::default().solve(&x, &y, 0.5).unwrap();
+        assert!(rep.clean());
+        assert_eq!(rep.solver, SolverUsed::Direct);
+        assert!(rep.actions.is_empty());
+        assert_eq!(rep.form, Some(RidgeForm::Primal));
+        assert!(rep.condition_estimate.unwrap() >= 1.0);
+        assert!(w.approx_eq(&ridge_oracle(&x, &y, 0.5), 1e-12));
+    }
+
+    #[test]
+    fn rank_deficient_alpha_zero_recovers_instead_of_erroring() {
+        // an all-zero feature column with α = 0: the plain direct solve
+        // fails (see ridge::tests::alpha_zero_requires_full_rank_primal),
+        // but the chain must produce finite weights plus a warning
+        let col = noise_mat(12, 1);
+        let x = col.hcat(&Mat::zeros(12, 1)).unwrap();
+        let y = Mat::from_fn(12, 1, |i, _| (i as f64 * 0.4).cos());
+        assert!(RidgeSolver::primal(&x, 0.0).is_err());
+        let (w, rep) = RobustRidge::default().solve(&x, &y, 0.0).unwrap();
+        assert!(!rep.clean());
+        assert_ne!(rep.solver, SolverUsed::Direct);
+        assert!(!rep.warnings.is_empty());
+        assert!(w.as_slice().iter().all(|v| v.is_finite()));
+        // the recovered solution still fits the well-posed part: compare
+        // against the tiny-ridge oracle on the nonzero column
+        let oracle = ridge_oracle(&x, &y, 1e-8);
+        assert!((w.as_slice()[0] - oracle.as_slice()[0]).abs() < 1e-3);
+    }
+
+    #[test]
+    fn jitter_schedule_escalates_by_the_configured_factor() {
+        let x = noise_mat(4, 4);
+        let chain = RobustRidge::default();
+        let j1 = chain.jitter_for(&x, 0.01, 1);
+        let j2 = chain.jitter_for(&x, 0.01, 2);
+        let j3 = chain.jitter_for(&x, 0.01, 3);
+        assert!((j1 - 0.1).abs() < 1e-15);
+        assert!((j2 / j1 - 10.0).abs() < 1e-9);
+        assert!((j3 / j2 - 10.0).abs() < 1e-9);
+        // α = 0 uses a data-scaled base instead
+        assert!(chain.jitter_for(&x, 0.0, 1) > 0.0);
+    }
+
+    #[test]
+    fn non_retryable_errors_propagate() {
+        let x = noise_mat(10, 4);
+        let y_bad = Mat::from_fn(9, 1, |i, _| i as f64); // wrong row count
+        let err = RobustRidge::default().solve(&x, &y_bad, 0.1).unwrap_err();
+        assert!(matches!(err, LinalgError::ShapeMismatch { .. }));
+    }
+
+    #[cfg(feature = "failpoints")]
+    mod failpoints {
+        use super::*;
+        use srda_linalg::failpoint;
+
+        #[test]
+        fn forced_singular_recovers_via_jitter_retry() {
+            failpoint::reset();
+            let x = noise_mat(15, 6);
+            let y = Mat::from_fn(15, 2, |i, j| ((i + j) as f64 * 0.23).sin());
+            // fail the first factorization only: retry 1 succeeds
+            failpoint::arm("cholesky.singular", 1);
+            let (w, rep) = RobustRidge::default().solve(&x, &y, 0.5).unwrap();
+            failpoint::reset();
+            assert!(matches!(rep.solver, SolverUsed::DirectJittered { .. }));
+            assert_eq!(rep.actions.len(), 1);
+            assert!(matches!(rep.actions[0], RecoveryAction::JitterRetry { .. }));
+            assert_eq!(rep.warnings.len(), 2); // failure + recovery
+            assert!(w.as_slice().iter().all(|v| v.is_finite()));
+            // jittered α = 0.5 + 5.0: must match that oracle exactly
+            assert!(w.approx_eq(&ridge_oracle(&x, &y, 5.5), 1e-10));
+        }
+
+        #[test]
+        fn exhausted_retries_fall_back_to_lsqr() {
+            failpoint::reset();
+            let x = noise_mat(15, 6);
+            let y = Mat::from_fn(15, 2, |i, j| ((i + j) as f64 * 0.23).sin());
+            // direct + all 3 jitter retries fail
+            failpoint::arm("cholesky.singular", 4);
+            let (w, rep) = RobustRidge::default().solve(&x, &y, 0.5).unwrap();
+            failpoint::reset();
+            assert_eq!(rep.solver, SolverUsed::LsqrFallback);
+            assert_eq!(rep.actions.len(), 4);
+            assert_eq!(*rep.actions.last().unwrap(), RecoveryAction::LsqrFallback);
+            assert!(rep.condition_estimate.is_none());
+            // LSQR solves the *un-jittered* problem: compare to the α = 0.5 oracle
+            assert!(
+                w.approx_eq(&ridge_oracle(&x, &y, 0.5), 1e-6),
+                "fallback drifted: {:e}",
+                w.sub(&ridge_oracle(&x, &y, 0.5)).unwrap().max_abs()
+            );
+        }
+    }
+}

@@ -12,60 +12,101 @@
 //! sequential pass per `matvec`/`matvec_t`, which is exactly the access
 //! pattern LSQR needs.
 //!
-//! ## File format (`SRDACSR1`, little-endian)
+//! ## File format (`SRDACSR2`, little-endian)
 //!
 //! ```text
-//! magic   8 bytes  "SRDACSR1"
-//! rows    u64
-//! cols    u64
-//! nnz     u64
-//! indptr  (rows+1) × u64
-//! entries nnz × (u64 col, f64 value)   — interleaved, row-major
+//! magic    8 bytes  "SRDACSR2"
+//! rows     u64
+//! cols     u64
+//! nnz      u64
+//! crc32    u32      CRC-32/IEEE of indptr ++ entries (see crate::crc32)
+//! reserved u32      zero
+//! indptr   (rows+1) × u64
+//! entries  nnz × (u64 col, f64 value)   — interleaved, row-major
 //! ```
 //!
 //! Interleaving the column/value pairs keeps both products a single
 //! forward scan (no second seek stream).
+//!
+//! ## Integrity guarantees
+//!
+//! Training jobs can run for hours against one of these files, so
+//! [`DiskCsr::open`] refuses anything it cannot fully trust rather than
+//! letting corruption surface as silently-wrong products mid-solve:
+//!
+//! * the declared shape must match the file size **exactly** (catches
+//!   truncated and over-long files before any data is read);
+//! * row pointers must start at 0, be monotone non-decreasing, and end at
+//!   `nnz`;
+//! * every column index must be `< cols`;
+//! * the CRC-32 over row pointers and entries must match the header.
+//!
+//! The column and CRC checks cost one extra sequential pass at open time —
+//! the same I/O as a single LSQR iteration — and nothing afterwards.
 
+use crate::crc32::Crc32;
 use crate::csr::CsrMatrix;
 use bytes::{Buf, BufMut};
 use parking_lot::Mutex;
 use std::fs::File;
-use std::io::{self, BufReader, Read, Seek, SeekFrom, Write};
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-const MAGIC: &[u8; 8] = b"SRDACSR1";
+const MAGIC: &[u8; 8] = b"SRDACSR2";
+/// Fixed-size header: magic + rows + cols + nnz + crc32 + reserved.
+const HEADER_BYTES: u64 = 8 + 8 + 8 + 8 + 4 + 4;
+/// Offset of the crc32 field within the header.
+const CRC_OFFSET: u64 = 32;
 /// Stream buffer size for the non-zero scan.
 const CHUNK_ENTRIES: usize = 4096;
 const ENTRY_BYTES: usize = 16; // u64 + f64
 
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
 /// Serialize a [`CsrMatrix`] into the on-disk format.
+///
+/// The checksum field is back-patched after the entries are streamed out,
+/// so the write is one sequential pass plus one 4-byte seek.
 pub fn write_csr(path: &Path, m: &CsrMatrix) -> io::Result<()> {
-    let mut header = Vec::with_capacity(32 + 8 * (m.nrows() + 1));
+    let mut crc = Crc32::new();
+    let mut header = Vec::with_capacity(HEADER_BYTES as usize);
     header.put_slice(MAGIC);
     header.put_u64_le(m.nrows() as u64);
     header.put_u64_le(m.ncols() as u64);
     header.put_u64_le(m.nnz() as u64);
+    header.put_u32_le(0); // crc placeholder, patched below
+    header.put_u32_le(0); // reserved
     // rebuild indptr from row_nnz (the CSR internals stay private)
+    let mut indptr = Vec::with_capacity(8 * (m.nrows() + 1));
     let mut acc = 0u64;
-    header.put_u64_le(0);
+    indptr.put_u64_le(0);
     for i in 0..m.nrows() {
         acc += m.row_nnz(i) as u64;
-        header.put_u64_le(acc);
+        indptr.put_u64_le(acc);
     }
-    let mut f = std::io::BufWriter::new(File::create(path)?);
+    crc.update(&indptr);
+    let mut f = BufWriter::new(File::create(path)?);
     f.write_all(&header)?;
+    f.write_all(&indptr)?;
     let mut buf = Vec::with_capacity(CHUNK_ENTRIES * ENTRY_BYTES);
     for i in 0..m.nrows() {
         for (j, v) in m.row_entries(i) {
             buf.put_u64_le(j as u64);
             buf.put_f64_le(v);
             if buf.len() >= CHUNK_ENTRIES * ENTRY_BYTES {
+                crc.update(&buf);
                 f.write_all(&buf)?;
                 buf.clear();
             }
         }
     }
+    crc.update(&buf);
     f.write_all(&buf)?;
+    // patch the checksum into the header
+    f.seek(SeekFrom::Start(CRC_OFFSET))?;
+    f.write_all(&crc.finish().to_le_bytes())?;
     f.flush()
 }
 
@@ -95,34 +136,97 @@ impl std::fmt::Debug for DiskCsr {
 
 impl DiskCsr {
     /// Open a file written by [`write_csr`], loading only the header and
-    /// row pointers.
+    /// row pointers, and fully validating the file (see the module docs
+    /// for the guarantee list). The validation scan is one sequential
+    /// pass over the non-zeros; afterwards products trust the file.
     pub fn open(path: &Path) -> io::Result<DiskCsr> {
-        let mut f = BufReader::new(File::open(path)?);
+        let file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        let mut f = BufReader::new(file);
         let mut magic = [0u8; 8];
         f.read_exact(&mut magic)?;
         if &magic != MAGIC {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "not an SRDACSR1 file",
-            ));
+            return Err(bad("not an SRDACSR2 file"));
         }
-        let mut head = [0u8; 24];
+        let mut head = [0u8; 32];
         f.read_exact(&mut head)?;
         let mut hb = &head[..];
-        let rows = hb.get_u64_le() as usize;
-        let cols = hb.get_u64_le() as usize;
-        let nnz = hb.get_u64_le() as usize;
-        let mut indptr_bytes = vec![0u8; 8 * (rows + 1)];
+        let rows = hb.get_u64_le();
+        let cols = hb.get_u64_le();
+        let nnz = hb.get_u64_le();
+        let stored_crc = hb.get_u32_le();
+
+        // shape sanity *before* trusting any derived size: all arithmetic
+        // checked so a corrupt header cannot overflow into a bogus match
+        let indptr_bytes_len = rows
+            .checked_add(1)
+            .and_then(|n| n.checked_mul(8))
+            .ok_or_else(|| bad("header row count overflows"))?;
+        let entry_bytes_len = nnz
+            .checked_mul(ENTRY_BYTES as u64)
+            .ok_or_else(|| bad("header nnz overflows"))?;
+        let expected_len = HEADER_BYTES
+            .checked_add(indptr_bytes_len)
+            .and_then(|n| n.checked_add(entry_bytes_len))
+            .ok_or_else(|| bad("header sizes overflow"))?;
+        if file_len < expected_len {
+            return Err(bad(format!(
+                "truncated file: header declares {expected_len} bytes, found {file_len}"
+            )));
+        }
+        if file_len > expected_len {
+            return Err(bad(format!(
+                "trailing bytes: header declares {expected_len} bytes, found {file_len}"
+            )));
+        }
+        let rows = rows as usize;
+        let cols = cols as usize;
+        let nnz = nnz as usize;
+
+        let mut crc = Crc32::new();
+        let mut indptr_bytes = vec![0u8; indptr_bytes_len as usize];
         f.read_exact(&mut indptr_bytes)?;
+        crc.update(&indptr_bytes);
         let mut ib = &indptr_bytes[..];
         let indptr: Vec<u64> = (0..=rows).map(|_| ib.get_u64_le()).collect();
-        if indptr[rows] as usize != nnz {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "row pointers inconsistent with nnz",
-            ));
+        if indptr[0] != 0 {
+            return Err(bad("row pointers must start at 0"));
         }
-        let data_offset = 32 + 8 * (rows as u64 + 1);
+        if indptr.windows(2).any(|w| w[1] < w[0]) {
+            return Err(bad("row pointers are not monotone non-decreasing"));
+        }
+        if indptr[rows] as usize != nnz {
+            return Err(bad("row pointers inconsistent with nnz"));
+        }
+
+        // validation pass over the entries: checksum + column bounds
+        let mut buf = vec![0u8; CHUNK_ENTRIES * ENTRY_BYTES];
+        let mut remaining = nnz;
+        while remaining > 0 {
+            let take = remaining.min(CHUNK_ENTRIES);
+            let bytes = take * ENTRY_BYTES;
+            f.read_exact(&mut buf[..bytes])?;
+            crc.update(&buf[..bytes]);
+            let mut b = &buf[..bytes];
+            for _ in 0..take {
+                let col = b.get_u64_le();
+                let _val = b.get_f64_le();
+                if col as usize >= cols {
+                    return Err(bad(format!(
+                        "column index {col} out of bounds for {cols} columns"
+                    )));
+                }
+            }
+            remaining -= take;
+        }
+        let computed = crc.finish();
+        if computed != stored_crc {
+            return Err(bad(format!(
+                "checksum mismatch: header says {stored_crc:#010x}, data hashes to {computed:#010x}"
+            )));
+        }
+
+        let data_offset = HEADER_BYTES + indptr_bytes_len;
         Ok(DiskCsr {
             path: path.to_path_buf(),
             rows,
@@ -162,6 +266,13 @@ impl DiskCsr {
     /// Stream all non-zeros in row-major order, invoking
     /// `visit(row, col, value)` — the primitive both products build on.
     fn scan(&self, mut visit: impl FnMut(usize, usize, f64)) -> io::Result<()> {
+        #[cfg(feature = "failpoints")]
+        if srda_linalg::failpoint::should_fail("diskcsr.read") {
+            return Err(io::Error::new(
+                io::ErrorKind::Other,
+                "injected I/O failure (failpoint diskcsr.read)",
+            ));
+        }
         let mut reader = self.reader.lock();
         reader.seek(SeekFrom::Start(self.data_offset))?;
         let mut row = 0usize;
@@ -219,10 +330,7 @@ impl DiskCsr {
             }
         })?;
         if err.is_some() {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "entry out of declared bounds",
-            ));
+            return Err(bad("entry out of declared bounds"));
         }
         Ok(b.build())
     }
@@ -321,14 +429,109 @@ mod tests {
     }
 
     #[test]
-    fn resident_memory_is_small() {
-        let m = sample(200, 100, 4);
-        let path = tmp("resident.bin");
+    fn rejects_truncated_file() {
+        let m = sample(20, 15, 5);
+        let path = tmp("truncated.bin");
         write_csr(&path, &m).unwrap();
-        let disk = DiskCsr::open(&path).unwrap();
-        // resident set ~ indptr + one chunk buffer, far below the nnz data
-        assert!(disk.resident_bytes() < m.memory_bytes() + 70_000);
-        assert!(disk.resident_bytes() < 8 * 201 + 4096 * 16 + 1);
+        let full = std::fs::read(&path).unwrap();
+        // chop entries off the tail: every prefix must be rejected
+        for keep in [full.len() - 1, full.len() - ENTRY_BYTES, full.len() / 2] {
+            std::fs::write(&path, &full[..keep]).unwrap();
+            let err = DiskCsr::open(&path).unwrap_err();
+            assert!(
+                err.to_string().contains("truncated"),
+                "unexpected error for keep={keep}: {err}"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let m = sample(8, 6, 6);
+        let path = tmp("trailing.bin");
+        write_csr(&path, &m).unwrap();
+        let mut full = std::fs::read(&path).unwrap();
+        full.extend_from_slice(&[0u8; 7]);
+        std::fs::write(&path, &full).unwrap();
+        let err = DiskCsr::open(&path).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_corrupted_header() {
+        let m = sample(10, 10, 7);
+        let path = tmp("badheader.bin");
+        write_csr(&path, &m).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        // corrupt the nnz field (offset 24): size check must catch it
+        let mut bad_nnz = full.clone();
+        bad_nnz[24] ^= 0xFF;
+        std::fs::write(&path, &bad_nnz).unwrap();
+        assert!(DiskCsr::open(&path).is_err());
+        // nnz = u64::MAX: the checked size arithmetic must not overflow
+        let mut huge_nnz = full.clone();
+        huge_nnz[24..32].copy_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&path, &huge_nnz).unwrap();
+        assert!(DiskCsr::open(&path).is_err());
+        // rows = u64::MAX likewise
+        let mut huge_rows = full;
+        huge_rows[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&path, &huge_rows).unwrap();
+        assert!(DiskCsr::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_flipped_data_bit() {
+        let m = sample(15, 12, 8);
+        let path = tmp("bitflip.bin");
+        write_csr(&path, &m).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        // flip one bit in the last value byte: only the CRC can catch this
+        let mut flipped = full;
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        std::fs::write(&path, &flipped).unwrap();
+        let err = DiskCsr::open(&path).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_non_monotone_indptr() {
+        let m = sample(6, 5, 9);
+        let path = tmp("badindptr.bin");
+        write_csr(&path, &m).unwrap();
+        let mut full = std::fs::read(&path).unwrap();
+        // indptr starts at byte 40; make the second pointer huge
+        full[48..56].copy_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&path, &full).unwrap();
+        let err = DiskCsr::open(&path).unwrap_err();
+        assert!(err.to_string().contains("monotone") || err.to_string().contains("nnz"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_column() {
+        let mut b = CooBuilder::new(2, 3);
+        b.push(0, 0, 1.0).unwrap();
+        b.push(1, 2, 2.0).unwrap();
+        let m = b.build();
+        let path = tmp("badcol.bin");
+        write_csr(&path, &m).unwrap();
+        let mut full = std::fs::read(&path).unwrap();
+        // first entry's column index lives right after indptr (40 + 3*8)
+        let col_off = 40 + 3 * 8;
+        full[col_off..col_off + 8].copy_from_slice(&99u64.to_le_bytes());
+        // keep the CRC honest so the column check is what fires
+        let mut crc = Crc32::new();
+        crc.update(&full[40..]);
+        full[32..36].copy_from_slice(&crc.finish().to_le_bytes());
+        std::fs::write(&path, &full).unwrap();
+        let err = DiskCsr::open(&path).unwrap_err();
+        assert!(err.to_string().contains("out of bounds"), "{err}");
         std::fs::remove_file(&path).ok();
     }
 }

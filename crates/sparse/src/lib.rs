@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod coo;
+pub mod crc32;
 pub mod csr;
 pub mod disk;
 pub mod io;
