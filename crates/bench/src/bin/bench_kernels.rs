@@ -1,0 +1,264 @@
+//! Execution-backend microbenchmark: naive loops vs the blocked serial
+//! backend vs the threaded backend, on paper-shaped workloads.
+//!
+//! Emits `BENCH_kernels.json` (path overridable as the first argument)
+//! with per-kernel wall times and speedups, plus a determinism check
+//! (the threaded backend must be bitwise-identical to serial).
+//!
+//! Knobs:
+//! * `SRDA_BENCH_THREADS` — thread count for the threaded variant
+//!   (default 4; on a single-core container the threaded numbers
+//!   honestly show the scheduling overhead instead of a speedup).
+//! * `SRDA_BENCH_SCALE` — scale factor in `(0, 1]` for the workload
+//!   shapes (default 1.0), so CI smoke runs can finish quickly.
+
+use srda_linalg::ops::{gram_exec, matmul_exec};
+use srda_linalg::{Executor, Mat};
+use srda_sparse::CsrMatrix;
+use std::time::Instant;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Deterministic pseudo-random value in [-0.5, 0.5).
+fn noise(seed: usize) -> f64 {
+    let x = (seed as f64 * 12.9898).sin() * 43758.5453;
+    x - x.floor() - 0.5
+}
+
+fn dense(m: usize, n: usize, seed: usize) -> Mat {
+    let mut a = Mat::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            a[(i, j)] = noise(seed + i * n + j);
+        }
+    }
+    a
+}
+
+/// CSR matrix with roughly `per_row` nonzeros per row.
+fn sparse(m: usize, n: usize, per_row: usize, seed: usize) -> CsrMatrix {
+    let mut indptr = Vec::with_capacity(m + 1);
+    let mut indices = Vec::new();
+    let mut data = Vec::new();
+    indptr.push(0);
+    for i in 0..m {
+        let mut cols: Vec<usize> = (0..per_row)
+            .map(|k| {
+                let u = noise(seed + i * per_row + k) + 0.5;
+                ((u * n as f64) as usize).min(n - 1)
+            })
+            .collect();
+        cols.sort_unstable();
+        cols.dedup();
+        for &j in &cols {
+            indices.push(j);
+            data.push(noise(seed + 31 * (i + j)) + 1.0);
+        }
+        indptr.push(indices.len());
+    }
+    CsrMatrix::from_raw_parts(m, n, indptr, indices, data).unwrap()
+}
+
+/// Best-of-`reps` wall time of `f`, in seconds.
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = f();
+    for _ in 0..reps {
+        let t = Instant::now();
+        out = f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    (best, out)
+}
+
+struct Row {
+    kernel: &'static str,
+    shape: String,
+    naive: f64,
+    serial: f64,
+    threaded: f64,
+    identical: bool,
+}
+
+fn naive_gram(a: &Mat) -> Mat {
+    let (m, n) = a.shape();
+    let mut g = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            let mut s = 0.0;
+            for r in 0..m {
+                s += a[(r, i)] * a[(r, j)];
+            }
+            g[(i, j)] = s;
+        }
+    }
+    g
+}
+
+fn naive_matmul(a: &Mat, b: &Mat) -> Mat {
+    let (m, k) = a.shape();
+    let n = b.ncols();
+    let mut c = Mat::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = 0.0;
+            for p in 0..k {
+                s += a[(i, p)] * b[(p, j)];
+            }
+            c[(i, j)] = s;
+        }
+    }
+    c
+}
+
+fn naive_csr_matvec(a: &CsrMatrix, x: &[f64]) -> Vec<f64> {
+    (0..a.nrows())
+        .map(|i| a.row_entries(i).map(|(j, v)| v * x[j]).sum())
+        .collect()
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let threads = env_usize("SRDA_BENCH_THREADS", 4);
+    let scale = env_f64("SRDA_BENCH_SCALE", 1.0).clamp(0.01, 1.0);
+    let sc = |d: usize| ((d as f64 * scale) as usize).max(8);
+    let serial = Executor::serial();
+    let par = Executor::threaded(threads);
+    let reps = 3;
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    // dense Gram AᵀA: the normal-equations hot spot (Eqn 20)
+    {
+        let (m, n) = (sc(1000), sc(500));
+        let a = dense(m, n, 1);
+        let (t_naive, g0) = time_best(reps, || naive_gram(&a));
+        let (t_serial, g1) = time_best(reps, || gram_exec(&a, &serial));
+        let (t_par, g2) = time_best(reps, || gram_exec(&a, &par));
+        rows.push(Row {
+            kernel: "dense_gram",
+            shape: format!("{m}x{n}"),
+            naive: t_naive,
+            serial: t_serial,
+            threaded: t_par,
+            identical: g1.as_slice() == g2.as_slice() && g0.shape() == g1.shape(),
+        });
+    }
+
+    // dense GEMM: embedding back-projection W = V·Q
+    {
+        let (m, k, n) = (sc(800), sc(400), sc(200));
+        let a = dense(m, k, 2);
+        let b = dense(k, n, 3);
+        let (t_naive, c0) = time_best(reps, || naive_matmul(&a, &b));
+        let (t_serial, c1) = time_best(reps, || matmul_exec(&a, &b, &serial).unwrap());
+        let (t_par, c2) = time_best(reps, || matmul_exec(&a, &b, &par).unwrap());
+        rows.push(Row {
+            kernel: "dense_gemm",
+            shape: format!("{m}x{k}x{n}"),
+            naive: t_naive,
+            serial: t_serial,
+            threaded: t_par,
+            identical: c1.as_slice() == c2.as_slice() && c0.shape() == c1.shape(),
+        });
+    }
+
+    // sparse mat-vec: the LSQR inner loop on 20NG-shaped data (§III.C.2)
+    {
+        let (m, n, per_row) = (sc(20_000), sc(40_000), 60);
+        let a = sparse(m, n, per_row, 4);
+        let x: Vec<f64> = (0..n).map(|j| noise(7 + j)).collect();
+        let (t_naive, y0) = time_best(reps, || naive_csr_matvec(&a, &x));
+        let (t_serial, y1) = time_best(reps, || a.matvec_exec(&x, &serial).unwrap());
+        let (t_par, y2) = time_best(reps, || a.matvec_exec(&x, &par).unwrap());
+        rows.push(Row {
+            kernel: "csr_matvec",
+            shape: format!("{m}x{n} nnz={}", a.nnz()),
+            naive: t_naive,
+            serial: t_serial,
+            threaded: t_par,
+            identical: y1 == y2 && y0.len() == y1.len(),
+        });
+    }
+
+    // sparse dual Gram XXᵀ: the n > m dual path (Eqn 21)
+    {
+        let (m, n, per_row) = (sc(1_500), sc(40_000), 60);
+        let a = sparse(m, n, per_row, 5);
+        let budget = usize::MAX;
+        let (t_serial, g1) = time_best(reps, || {
+            a.gram_t_dense_checked_exec(budget, &serial).unwrap()
+        });
+        let (t_par, g2) =
+            time_best(reps, || a.gram_t_dense_checked_exec(budget, &par).unwrap());
+        rows.push(Row {
+            kernel: "csr_gram_t",
+            shape: format!("{m}x{n} nnz={}", a.nnz()),
+            naive: t_serial, // no separate naive variant: serial IS the baseline
+            serial: t_serial,
+            threaded: t_par,
+            identical: g1.as_slice() == g2.as_slice(),
+        });
+    }
+
+    // hand-formatted JSON: the serde_json stub used for offline checks
+    // cannot serialize at runtime, and the format here is trivial
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"scale\": {scale},\n"));
+    json.push_str(&format!(
+        "  \"hardware_threads\": {},\n",
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    ));
+    json.push_str("  \"kernels\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"shape\": \"{}\", \"naive_s\": {:.6}, \
+             \"blocked_serial_s\": {:.6}, \"threaded_s\": {:.6}, \
+             \"speedup_blocked_vs_naive\": {:.3}, \"speedup_threaded_vs_serial\": {:.3}, \
+             \"bitwise_identical\": {}}}{}\n",
+            r.kernel,
+            r.shape,
+            r.naive,
+            r.serial,
+            r.threaded,
+            r.naive / r.serial.max(1e-12),
+            r.serial / r.threaded.max(1e-12),
+            r.identical,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+
+    println!("wrote {out_path}");
+    println!(
+        "{:<12} {:>22} {:>10} {:>10} {:>10} {:>9}",
+        "kernel", "shape", "naive(s)", "serial(s)", "par(s)", "bitwise"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:>22} {:>10.4} {:>10.4} {:>10.4} {:>9}",
+            r.kernel, r.shape, r.naive, r.serial, r.threaded, r.identical
+        );
+    }
+    if rows.iter().any(|r| !r.identical) {
+        eprintln!("error: threaded backend diverged from serial");
+        std::process::exit(1);
+    }
+}

@@ -49,6 +49,7 @@ fn dense_panel(name: &str, data: &srda_data::DenseDataset, l: usize, splits: usi
             solver: SrdaSolver::NormalEquations,
             memory_budget_bytes: None,
             parallel_responses: false,
+            ..SrdaConfig::default()
         };
         let vals: Vec<f64> = (0..splits)
             .filter_map(|s| {
@@ -97,6 +98,7 @@ fn sparse_panel(name: &str, data: &srda_data::SparseDataset, frac: f64, splits: 
             },
             memory_budget_bytes: None,
             parallel_responses: false,
+            ..SrdaConfig::default()
         };
         let vals: Vec<f64> = (0..splits)
             .filter_map(|s| {

@@ -89,6 +89,7 @@ pub fn usage() -> String {
 USAGE:
   srda train     --data FILE --features N --model OUT.json
                  [--alpha 1.0] [--solver ne|lsqr] [--iters 15]
+                 [--threads N]   (default: SRDA_THREADS, else serial)
   srda eval      --data FILE --model MODEL.json
   srda transform --data FILE --model MODEL.json [--out FILE.csv]
   srda generate  --dataset pie|isolet|mnist|news --out FILE

@@ -38,12 +38,24 @@ fn infer_features(text: &str) -> Result<usize> {
 
 /// `srda train`.
 pub fn train(args: &ParsedArgs) -> Result<String> {
-    args.ensure_only(&["data", "features", "model", "alpha", "solver", "iters"])?;
+    args.ensure_only(&["data", "features", "model", "alpha", "solver", "iters", "threads"])?;
     let data_path = args.required("data")?;
     let model_path = args.required("model")?.to_string();
     let n_features = args.optional("features").map(|_| args.parse_required("features")).transpose()?;
     let alpha: f64 = args.parse_or("alpha", 1.0)?;
     let iters: usize = args.parse_or("iters", 15)?;
+    // --threads N picks the execution backend for the hot kernels;
+    // omitted, it defers to SRDA_THREADS (srda::ExecPolicy::from_env)
+    let exec = match args.optional("threads") {
+        None => srda::ExecPolicy::from_env(),
+        Some(_) => {
+            let n: usize = args.parse_required("threads")?;
+            if n == 0 {
+                return Err(CliError::new("--threads must be >= 1"));
+            }
+            srda::ExecPolicy::threaded(n)
+        }
+    };
     let solver = match args.optional("solver").unwrap_or("lsqr") {
         "ne" => SrdaSolver::NormalEquations,
         "lsqr" => SrdaSolver::Lsqr {
@@ -65,6 +77,7 @@ pub fn train(args: &ParsedArgs) -> Result<String> {
     let model = Srda::new(SrdaConfig {
         alpha,
         solver,
+        exec,
         ..SrdaConfig::default()
     })
     .fit_sparse(&data.x, &data.labels)?;
@@ -359,6 +372,56 @@ mod tests {
         ]))
         .unwrap();
         assert!(msg.contains("784 -> 9 dims"), "{msg}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn train_threads_flag_matches_serial_and_rejects_zero() {
+        let dir = tmpdir("threads");
+        let data = dir.join("data.svm");
+        run(&sv(&[
+            "generate",
+            "--dataset",
+            "news",
+            "--scale",
+            "0.02",
+            "--seed",
+            "7",
+            "--out",
+            data.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let model_for = |tag: &str, threads: &str| {
+            let model = dir.join(format!("m_{tag}.json"));
+            run(&sv(&[
+                "train",
+                "--data",
+                data.to_str().unwrap(),
+                "--model",
+                model.to_str().unwrap(),
+                "--solver",
+                "ne",
+                "--threads",
+                threads,
+            ]))
+            .unwrap();
+            std::fs::read_to_string(&model).unwrap()
+        };
+        // the threaded backend must be bitwise-identical to serial, so the
+        // serialized models (full float formatting) must match exactly
+        assert_eq!(model_for("serial", "1"), model_for("par", "3"));
+
+        let err = run(&sv(&[
+            "train",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            dir.join("m0.json").to_str().unwrap(),
+            "--threads",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.message.contains("--threads"), "{}", err.message);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -18,7 +18,7 @@
 use crate::labels::ClassIndex;
 use crate::responses;
 use crate::{Result, SrdaError};
-use srda_linalg::{vector, Cholesky, Mat};
+use srda_linalg::{vector, Cholesky, ExecPolicy, Executor, Mat};
 
 /// Kernel functions κ(x, y).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,27 +54,48 @@ impl Kernel {
 
     /// Gram matrix of the rows of `a` (symmetric, `m × m`).
     pub fn gram(&self, a: &Mat) -> Mat {
+        self.gram_exec(a, &Executor::serial())
+    }
+
+    /// [`Kernel::gram`] on an explicit execution backend: row blocks of
+    /// the upper triangle are evaluated in parallel, then mirrored. Each
+    /// entry is one independent κ evaluation, so every backend produces
+    /// bit-identical matrices.
+    pub fn gram_exec(&self, a: &Mat, exec: &Executor) -> Mat {
         let m = a.nrows();
         let mut k = Mat::zeros(m, m);
-        for i in 0..m {
-            for j in i..m {
-                let v = self.eval(a.row(i), a.row(j));
-                k[(i, j)] = v;
-                k[(j, i)] = v;
+        let kernel = *self;
+        exec.for_each_row_block(k.as_mut_slice(), m, |start, block| {
+            for (local, krow) in block.chunks_mut(m).enumerate() {
+                let i = start + local;
+                for j in i..m {
+                    krow[j] = kernel.eval(a.row(i), a.row(j));
+                }
             }
-        }
+        });
+        mirror_upper(&mut k);
         k
     }
 
     /// Cross-Gram matrix between the rows of `a` and the rows of `b`
     /// (`a.nrows() × b.nrows()`).
     pub fn cross_gram(&self, a: &Mat, b: &Mat) -> Mat {
+        self.cross_gram_exec(a, b, &Executor::serial())
+    }
+
+    /// [`Kernel::cross_gram`] on an explicit execution backend.
+    pub fn cross_gram_exec(&self, a: &Mat, b: &Mat, exec: &Executor) -> Mat {
         let mut k = Mat::zeros(a.nrows(), b.nrows());
-        for i in 0..a.nrows() {
-            for j in 0..b.nrows() {
-                k[(i, j)] = self.eval(a.row(i), b.row(j));
+        let kernel = *self;
+        let w = b.nrows();
+        exec.for_each_row_block(k.as_mut_slice(), w, |start, block| {
+            for (local, krow) in block.chunks_mut(w).enumerate() {
+                let i = start + local;
+                for (j, kij) in krow.iter_mut().enumerate() {
+                    *kij = kernel.eval(a.row(i), b.row(j));
+                }
             }
-        }
+        });
         k
     }
 
@@ -82,19 +103,27 @@ impl Kernel {
     /// the identity `‖x − y‖² = ‖x‖² + ‖y‖² − 2xᵀy` (so RBF needs only
     /// sparse dot products).
     pub fn gram_sparse(&self, a: &srda_sparse::CsrMatrix) -> Mat {
+        self.gram_sparse_exec(a, &Executor::serial())
+    }
+
+    /// [`Kernel::gram_sparse`] on an explicit execution backend.
+    pub fn gram_sparse_exec(&self, a: &srda_sparse::CsrMatrix, exec: &Executor) -> Mat {
         let m = a.nrows();
         let sq: Vec<f64> = (0..m)
             .map(|i| a.row_entries(i).map(|(_, v)| v * v).sum())
             .collect();
         let mut k = Mat::zeros(m, m);
-        for i in 0..m {
-            for j in i..m {
-                let dot = sparse_row_dot(a, i, a, j);
-                let v = self.eval_from_dot(dot, sq[i], sq[j]);
-                k[(i, j)] = v;
-                k[(j, i)] = v;
+        let kernel = *self;
+        exec.for_each_row_block(k.as_mut_slice(), m, |start, block| {
+            for (local, krow) in block.chunks_mut(m).enumerate() {
+                let i = start + local;
+                for j in i..m {
+                    let dot = sparse_row_dot(a, i, a, j);
+                    krow[j] = kernel.eval_from_dot(dot, sq[i], sq[j]);
+                }
             }
-        }
+        });
+        mirror_upper(&mut k);
         k
     }
 
@@ -104,6 +133,16 @@ impl Kernel {
         a: &srda_sparse::CsrMatrix,
         b: &srda_sparse::CsrMatrix,
     ) -> Mat {
+        self.cross_gram_sparse_exec(a, b, &Executor::serial())
+    }
+
+    /// [`Kernel::cross_gram_sparse`] on an explicit execution backend.
+    pub fn cross_gram_sparse_exec(
+        &self,
+        a: &srda_sparse::CsrMatrix,
+        b: &srda_sparse::CsrMatrix,
+        exec: &Executor,
+    ) -> Mat {
         let sq_a: Vec<f64> = (0..a.nrows())
             .map(|i| a.row_entries(i).map(|(_, v)| v * v).sum())
             .collect();
@@ -111,12 +150,17 @@ impl Kernel {
             .map(|i| b.row_entries(i).map(|(_, v)| v * v).sum())
             .collect();
         let mut k = Mat::zeros(a.nrows(), b.nrows());
-        for i in 0..a.nrows() {
-            for j in 0..b.nrows() {
-                let dot = sparse_row_dot(a, i, b, j);
-                k[(i, j)] = self.eval_from_dot(dot, sq_a[i], sq_b[j]);
+        let kernel = *self;
+        let w = b.nrows();
+        exec.for_each_row_block(k.as_mut_slice(), w, |start, block| {
+            for (local, krow) in block.chunks_mut(w).enumerate() {
+                let i = start + local;
+                for (j, kij) in krow.iter_mut().enumerate() {
+                    let dot = sparse_row_dot(a, i, b, j);
+                    *kij = kernel.eval_from_dot(dot, sq_a[i], sq_b[j]);
+                }
             }
-        }
+        });
         k
     }
 
@@ -126,6 +170,17 @@ impl Kernel {
             Kernel::Linear => dot,
             Kernel::Rbf { gamma } => (-gamma * (xx + yy - 2.0 * dot)).exp(),
             Kernel::Polynomial { degree, coef0 } => (dot + coef0).powi(degree as i32),
+        }
+    }
+}
+
+/// Copy the strict upper triangle into the lower half (in-place
+/// symmetrization after a parallel upper-triangle build).
+fn mirror_upper(k: &mut Mat) {
+    let m = k.nrows();
+    for i in 0..m {
+        for j in (i + 1)..m {
+            k[(j, i)] = k[(i, j)];
         }
     }
 }
@@ -166,6 +221,10 @@ pub struct KernelSrdaConfig {
     pub kernel: Kernel,
     /// Ridge parameter `α > 0`.
     pub alpha: f64,
+    /// Execution backend for the Gram builds at fit and transform time
+    /// (defaults to [`ExecPolicy::from_env`], so `SRDA_THREADS=N` threads
+    /// them; all backends are bitwise identical).
+    pub exec: ExecPolicy,
 }
 
 impl Default for KernelSrdaConfig {
@@ -173,6 +232,7 @@ impl Default for KernelSrdaConfig {
         KernelSrdaConfig {
             kernel: Kernel::Rbf { gamma: 1.0 },
             alpha: 1.0,
+            exec: ExecPolicy::from_env(),
         }
     }
 }
@@ -199,6 +259,9 @@ pub struct KernelSrdaModel {
     /// Dual coefficients, `m × (c − 1)`.
     beta: Mat,
     n_classes: usize,
+    /// Execution backend carried over from the fit config; used for the
+    /// cross-Gram and projection products at transform time.
+    exec: ExecPolicy,
 }
 
 impl KernelSrda {
@@ -216,7 +279,10 @@ impl KernelSrda {
                 got: y.len(),
             });
         }
-        let gram = self.config.kernel.gram(x);
+        let gram = self
+            .config
+            .kernel
+            .gram_exec(x, &Executor::new(self.config.exec));
         self.fit_from_gram(gram, y, TrainData::Dense(x.clone()))
     }
 
@@ -235,7 +301,10 @@ impl KernelSrda {
                 got: y.len(),
             });
         }
-        let gram = self.config.kernel.gram_sparse(x);
+        let gram = self
+            .config
+            .kernel
+            .gram_sparse_exec(x, &Executor::new(self.config.exec));
         self.fit_from_gram(gram, y, TrainData::Sparse(x.clone()))
     }
 
@@ -255,6 +324,7 @@ impl KernelSrda {
             train_x,
             beta,
             n_classes: index.n_classes(),
+            exec: self.config.exec,
         })
     }
 }
@@ -292,16 +362,17 @@ impl KernelSrdaModel {
                 got: x.ncols(),
             });
         }
+        let exec = Executor::new(self.exec);
         let k = match &self.train_x {
-            TrainData::Dense(train) => self.kernel.cross_gram(x, train),
+            TrainData::Dense(train) => self.kernel.cross_gram_exec(x, train, &exec),
             TrainData::Sparse(train) => {
                 // sparsify the query; exact because from_dense keeps all
                 // non-zeros
                 let xs = srda_sparse::CsrMatrix::from_dense(x, 0.0);
-                self.kernel.cross_gram_sparse(&xs, train)
+                self.kernel.cross_gram_sparse_exec(&xs, train, &exec)
             }
         };
-        Ok(srda_linalg::ops::matmul(&k, &self.beta)?)
+        Ok(srda_linalg::ops::matmul_exec(&k, &self.beta, &exec)?)
     }
 
     /// Embed a sparse batch.
@@ -313,14 +384,15 @@ impl KernelSrdaModel {
                 got: x.ncols(),
             });
         }
+        let exec = Executor::new(self.exec);
         let k = match &self.train_x {
-            TrainData::Sparse(train) => self.kernel.cross_gram_sparse(x, train),
+            TrainData::Sparse(train) => self.kernel.cross_gram_sparse_exec(x, train, &exec),
             TrainData::Dense(train) => {
                 let ts = srda_sparse::CsrMatrix::from_dense(train, 0.0);
-                self.kernel.cross_gram_sparse(x, &ts)
+                self.kernel.cross_gram_sparse_exec(x, &ts, &exec)
             }
         };
-        Ok(srda_linalg::ops::matmul(&k, &self.beta)?)
+        Ok(srda_linalg::ops::matmul_exec(&k, &self.beta, &exec)?)
     }
 }
 
@@ -375,6 +447,32 @@ mod tests {
     }
 
     #[test]
+    fn exec_gram_builds_match_serial_bitwise() {
+        let (x, _) = xor_data();
+        let xs = srda_sparse::CsrMatrix::from_dense(&x, 0.0);
+        for kernel in [
+            Kernel::Linear,
+            Kernel::Rbf { gamma: 0.4 },
+            Kernel::Polynomial {
+                degree: 2,
+                coef0: 1.0,
+            },
+        ] {
+            let kd = kernel.gram(&x);
+            let kc = kernel.cross_gram(&x, &x);
+            let ks = kernel.gram_sparse(&xs);
+            let kcs = kernel.cross_gram_sparse(&xs, &xs);
+            for t in [2, 4, 64] {
+                let exec = Executor::threaded(t);
+                assert!(kd.approx_eq(&kernel.gram_exec(&x, &exec), 0.0));
+                assert!(kc.approx_eq(&kernel.cross_gram_exec(&x, &x, &exec), 0.0));
+                assert!(ks.approx_eq(&kernel.gram_sparse_exec(&xs, &exec), 0.0));
+                assert!(kcs.approx_eq(&kernel.cross_gram_sparse_exec(&xs, &xs, &exec), 0.0));
+            }
+        }
+    }
+
+    #[test]
     fn gram_is_symmetric_psd() {
         let (x, _) = xor_data();
         let k = Kernel::Rbf { gamma: 0.3 }.gram(&x);
@@ -389,6 +487,7 @@ mod tests {
         let model = KernelSrda::new(KernelSrdaConfig {
             kernel: Kernel::Rbf { gamma: 0.5 },
             alpha: 0.1,
+            exec: ExecPolicy::serial(),
         })
         .fit_dense(&x, &y)
         .unwrap();
@@ -406,6 +505,7 @@ mod tests {
         let lin = KernelSrda::new(KernelSrdaConfig {
             kernel: Kernel::Linear,
             alpha: 0.1,
+            exec: ExecPolicy::serial(),
         })
         .fit_dense(&x, &y)
         .unwrap();
@@ -436,6 +536,7 @@ mod tests {
         let kmodel = KernelSrda::new(KernelSrdaConfig {
             kernel: Kernel::Linear,
             alpha: 1.0,
+            exec: ExecPolicy::serial(),
         })
         .fit_dense(&x, &y)
         .unwrap();
@@ -450,6 +551,7 @@ mod tests {
         let model = KernelSrda::new(KernelSrdaConfig {
             kernel: Kernel::Rbf { gamma: 0.5 },
             alpha: 0.1,
+            exec: ExecPolicy::serial(),
         })
         .fit_dense(&x, &y)
         .unwrap();
@@ -472,6 +574,7 @@ mod tests {
             KernelSrda::new(KernelSrdaConfig {
                 kernel: Kernel::Rbf { gamma: 0.5 },
                 alpha,
+                exec: ExecPolicy::serial(),
             })
             .fit_dense(&x, &y)
             .unwrap()
@@ -517,6 +620,7 @@ mod tests {
         let cfg = KernelSrdaConfig {
             kernel: Kernel::Rbf { gamma: 0.5 },
             alpha: 0.2,
+            exec: ExecPolicy::serial(),
         };
         let md = KernelSrda::new(cfg.clone()).fit_dense(&x, &y).unwrap();
         let ms = KernelSrda::new(cfg).fit_sparse(&xs, &y).unwrap();

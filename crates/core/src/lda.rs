@@ -15,10 +15,10 @@
 use crate::labels::ClassIndex;
 use crate::model::Embedding;
 use crate::{Result, SrdaError};
-use srda_linalg::ops::{matmul, scale_rows};
+use srda_linalg::ops::{matmul, matmul_exec, matvec_t_exec, scale_rows};
 use srda_linalg::stats::centered;
 use srda_linalg::svd::Svd;
-use srda_linalg::{Mat, SymmetricEigen};
+use srda_linalg::{ExecPolicy, Executor, Mat, SymmetricEigen};
 
 /// Which SVD engine factors the centered data matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -61,6 +61,9 @@ pub struct LdaConfig {
     /// on large sparse corpora this guard trips exactly where the paper's
     /// Tables IX/X report LDA "can not be applied".
     pub memory_budget_bytes: Option<usize>,
+    /// Execution backend for the dense back-projection products
+    /// (defaults to [`ExecPolicy::from_env`]).
+    pub exec: ExecPolicy,
 }
 
 impl Default for LdaConfig {
@@ -70,6 +73,7 @@ impl Default for LdaConfig {
             svd_method: SvdMethod::default(),
             eig_tol: 1e-9,
             memory_budget_bytes: None,
+            exec: ExecPolicy::from_env(),
         }
     }
 }
@@ -131,14 +135,15 @@ impl Lda {
         let (b, _lambdas) = recover_left_eigvecs(&h, self.config.eig_tol)?;
 
         // Step 3: map back, A = V Σ⁻¹ B (n × q).
+        let exec = Executor::new(self.config.exec);
         let mut sb = b;
         let inv_s: Vec<f64> = svd.s.iter().map(|v| 1.0 / v).collect();
         scale_rows(&mut sb, &inv_s);
-        let weights = matmul(&svd.v, &sb)?;
+        let weights = matmul_exec(&svd.v, &sb, &exec)?;
 
         // center at transform time: f(x) = Wᵀ(x − μ)
         let bias: Vec<f64> = {
-            let wmu = srda_linalg::ops::matvec_t(&weights, &mu)?;
+            let wmu = matvec_t_exec(&weights, &mu, &exec)?;
             wmu.iter().map(|v| -v).collect()
         };
         Embedding::new(weights, bias)

@@ -65,6 +65,7 @@ pub mod spectral_regression;
 pub mod srda;
 
 pub use error::SrdaError;
+pub use srda_linalg::{Backend, ExecPolicy, Executor};
 pub use graph::{AffinityGraph, EdgeWeight};
 pub use idr_qr::{IdrQr, IdrQrConfig};
 pub use kernel::{Kernel, KernelSrda, KernelSrdaConfig, KernelSrdaModel};

@@ -20,9 +20,9 @@ use crate::labels::ClassIndex;
 use crate::lda::{class_sum_matrix, recover_left_eigvecs};
 use crate::model::Embedding;
 use crate::{Result, SrdaError};
-use srda_linalg::ops::{matmul, scale_rows};
+use srda_linalg::ops::{matmul_exec, matvec_t_exec, scale_rows};
 use srda_linalg::stats::centered;
-use srda_linalg::Mat;
+use srda_linalg::{ExecPolicy, Executor, Mat};
 
 /// Configuration for [`Rlda`].
 #[derive(Debug, Clone)]
@@ -39,6 +39,9 @@ pub struct RldaConfig {
     /// needs the dense centered matrix and singular factors; the paper
     /// notes RLDA's memory situation "is even worse").
     pub memory_budget_bytes: Option<usize>,
+    /// Execution backend for the dense back-projection products
+    /// (defaults to [`ExecPolicy::from_env`]).
+    pub exec: ExecPolicy,
 }
 
 impl Default for RldaConfig {
@@ -49,6 +52,7 @@ impl Default for RldaConfig {
             svd_method: crate::lda::SvdMethod::default(),
             eig_tol: 1e-9,
             memory_budget_bytes: None,
+            exec: ExecPolicy::from_env(),
         }
     }
 }
@@ -116,12 +120,13 @@ impl Rlda {
             .iter()
             .map(|&s| 1.0 / (s * s + self.config.alpha).sqrt())
             .collect();
+        let exec = Executor::new(self.config.exec);
         let mut qb = b;
         scale_rows(&mut qb, &undo);
-        let weights = matmul(&svd.v, &qb)?;
+        let weights = matmul_exec(&svd.v, &qb, &exec)?;
 
         let bias: Vec<f64> = {
-            let wmu = srda_linalg::ops::matvec_t(&weights, &mu)?;
+            let wmu = matvec_t_exec(&weights, &mu, &exec)?;
             wmu.iter().map(|v| -v).collect()
         };
         Embedding::new(weights, bias)

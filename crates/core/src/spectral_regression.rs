@@ -22,10 +22,10 @@
 use crate::graph::AffinityGraph;
 use crate::model::Embedding;
 use crate::{Result, SrdaError};
-use srda_linalg::{Mat, SymmetricEigen};
+use srda_linalg::{ExecPolicy, Executor, Mat, SymmetricEigen};
 use srda_solvers::lsqr::{lsqr, LsqrConfig};
 use srda_solvers::ridge::RidgeSolver;
-use srda_solvers::AugmentedOp;
+use srda_solvers::{AugmentedOp, ExecDense};
 
 /// How the spectral step's eigenvectors are computed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -53,6 +53,9 @@ pub struct SpectralRegressionConfig {
     pub lsqr_iterations: Option<usize>,
     /// Eigensolver for the spectral step.
     pub eigensolver: GraphEigensolver,
+    /// Execution backend for the regression step's products (defaults to
+    /// [`ExecPolicy::from_env`]).
+    pub exec: ExecPolicy,
 }
 
 impl Default for SpectralRegressionConfig {
@@ -62,6 +65,7 @@ impl Default for SpectralRegressionConfig {
             alpha: 1.0,
             lsqr_iterations: None,
             eigensolver: GraphEigensolver::Dense,
+            exec: ExecPolicy::from_env(),
         }
     }
 }
@@ -182,14 +186,16 @@ impl SpectralRegression {
         }
         let ybar = self.responses(graph)?;
         let n = x.ncols();
+        let exec = Executor::new(self.config.exec);
         let w_aug = match self.config.lsqr_iterations {
             None => {
                 let x_aug = x.append_constant_col(1.0);
-                let solver = RidgeSolver::auto(&x_aug, self.config.alpha)?;
+                let solver = RidgeSolver::auto_exec(&x_aug, self.config.alpha, exec)?;
                 solver.solve(&x_aug, &ybar)?
             }
             Some(iters) => {
-                let op = AugmentedOp::new(x);
+                let inner = ExecDense::new(x, exec);
+                let op = AugmentedOp::new(&inner);
                 let cfg = LsqrConfig {
                     damp: self.config.alpha.sqrt(),
                     max_iter: iters,

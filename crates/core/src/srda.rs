@@ -23,10 +23,10 @@ use crate::model::Embedding;
 use crate::report::{FitReport, RecoveryAction, ResponseSolver};
 use crate::responses;
 use crate::{Result, SrdaError};
-use srda_linalg::{LinalgError, Mat};
+use srda_linalg::{ExecPolicy, Executor, LinalgError, Mat};
 use srda_solvers::lsqr::{lsqr, LsqrConfig};
-use srda_solvers::robust::RobustRidge;
-use srda_solvers::{AugmentedOp, LinearOperator, StopReason};
+use srda_solvers::robust::{factor_ladder, RobustConfig, RobustRidge};
+use srda_solvers::{AugmentedOp, ExecCsr, ExecDense, LinearOperator, StopReason};
 use srda_sparse::CsrMatrix;
 
 /// How SRDA's `c − 1` ridge problems are solved.
@@ -66,6 +66,11 @@ pub struct SrdaConfig {
     /// timing comparisons (and ours in `repro_*`) are single-threaded.
     /// Only affects the [`SrdaSolver::Lsqr`] paths.
     pub parallel_responses: bool,
+    /// Execution backend for the hot kernels inside a fit (Gram builds,
+    /// matrix products, operator applications). Defaults to
+    /// [`ExecPolicy::from_env`], so setting `SRDA_THREADS=N` threads an
+    /// otherwise-unchanged program; all backends are bitwise identical.
+    pub exec: ExecPolicy,
 }
 
 impl Default for SrdaConfig {
@@ -75,6 +80,7 @@ impl Default for SrdaConfig {
             solver: SrdaSolver::NormalEquations,
             memory_budget_bytes: None,
             parallel_responses: false,
+            exec: ExecPolicy::from_env(),
         }
     }
 }
@@ -91,6 +97,7 @@ impl SrdaConfig {
             },
             memory_budget_bytes: None,
             parallel_responses: false,
+            exec: ExecPolicy::from_env(),
         }
     }
 }
@@ -130,6 +137,11 @@ impl Srda {
         &self.config
     }
 
+    /// The kernel executor this fit will run on.
+    fn executor(&self) -> Executor {
+        Executor::new(self.config.exec)
+    }
+
     /// Fit on dense data (`x`: samples as rows) with labels `y`.
     pub fn fit_dense(&self, x: &Mat, y: &[usize]) -> Result<SrdaModel> {
         if x.nrows() != y.len() {
@@ -153,12 +165,14 @@ impl Srda {
                 // jittered retries → damped LSQR) instead of propagating
                 // a Singular/NotPositiveDefinite error to the caller
                 let (w_aug, rep) =
-                    RobustRidge::default().solve(&x_aug, &ybar, self.config.alpha)?;
+                    RobustRidge::with_executor(RobustConfig::default(), self.executor())
+                        .solve(&x_aug, &ybar, self.config.alpha)?;
                 let report = FitReport::from_robust(&rep, ybar.ncols());
                 Ok(self.finish(w_aug, n, index.n_classes(), 0, report))
             }
             SrdaSolver::Lsqr { max_iter, tol } => {
-                let op = AugmentedOp::new(x);
+                let inner = ExecDense::new(x, self.executor());
+                let op = AugmentedOp::new(&inner);
                 let (w_aug, iters, report) = solve_lsqr_responses(
                     &op,
                     &ybar,
@@ -189,101 +203,94 @@ impl Srda {
             SrdaSolver::NormalEquations => {
                 // Dual normal equations: K = X̃X̃ᵀ + αI is m × m and is
                 // built from sparse row intersections — X̃ = [X | 1] adds
-                // +1 to every Gram entry.
+                // +1 to every Gram entry. A declined memory budget is a
+                // recovery (matrix-free LSQR), not a fatal error: the
+                // warning records exactly why the dense Gram was refused.
                 let m = x.nrows();
+                let exec = self.executor();
                 let budget = self.config.memory_budget_bytes.unwrap_or(usize::MAX);
-                let mut k = x.gram_t_dense_bounded(budget).ok_or(
-                    SrdaError::MemoryBudgetExceeded {
-                        needed_bytes: m * m * 8,
-                        budget_bytes: budget,
-                        context: "sparse dual Gram matrix",
-                    },
-                )?;
-                for i in 0..m {
-                    for j in 0..m {
-                        k[(i, j)] += 1.0; // the bias column's contribution
-                    }
-                }
-                k.add_to_diag(self.config.alpha);
-
-                // same recovery ladder as the dense path, inlined because
-                // the dual Gram matrix is built from sparse rows and
-                // RobustRidge only speaks dense `Mat`: factor → escalating
-                // jitter → matrix-free LSQR fallback
                 let mut report = FitReport::default();
-                let mut chol = None;
-                match srda_linalg::Cholesky::factor(&k) {
-                    Ok(c) => chol = Some((c, 0.0)),
-                    Err(e) if factor_retryable(&e) => report.warnings.push(format!(
-                        "sparse dual factorization failed (α = {:e}): {e}",
-                        self.config.alpha
-                    )),
-                    Err(e) => return Err(e.into()),
-                }
-                if chol.is_none() {
-                    let base = if self.config.alpha > 0.0 {
-                        self.config.alpha * 10.0
+                let gram = match x.gram_t_dense_checked_exec(budget, &exec) {
+                    Ok(k) => Some(k),
+                    Err(decline) => {
+                        report.warnings.push(format!(
+                            "sparse dual Gram declined: {decline}; \
+                             falling back to matrix-free LSQR"
+                        ));
+                        None
+                    }
+                };
+                if let Some(mut k) = gram {
+                    for i in 0..m {
+                        for j in 0..m {
+                            k[(i, j)] += 1.0; // the bias column's contribution
+                        }
+                    }
+                    k.add_to_diag(self.config.alpha);
+
+                    // the same ladder RobustRidge walks on dense data,
+                    // shared via `factor_ladder` (the dual Gram matrix is
+                    // built from sparse rows, so the factor step differs):
+                    // factor → escalating jitter → matrix-free LSQR
+                    let alpha = self.config.alpha;
+                    let base = if alpha > 0.0 {
+                        alpha * 10.0
                     } else {
                         1e-10 * k.max_abs().max(1.0)
                     };
                     let mut applied = 0.0;
-                    for attempt in 1..=3 {
-                        let jitter = base * 10f64.powi(attempt - 1);
-                        k.add_to_diag(jitter - applied);
-                        applied = jitter;
-                        report
-                            .recoveries
-                            .push(RecoveryAction::JitterRetry { jitter });
-                        match srda_linalg::Cholesky::factor(&k) {
-                            Ok(c) => {
-                                report.warnings.push(format!(
-                                    "recovered with diagonal jitter {jitter:e} on retry {attempt}"
-                                ));
-                                chol = Some((c, jitter));
-                                break;
+                    let outcome = factor_ladder(
+                        alpha,
+                        base,
+                        3,
+                        10.0,
+                        "sparse dual factorization",
+                        |jitter| {
+                            k.add_to_diag(jitter - applied);
+                            applied = jitter;
+                            srda_linalg::Cholesky::factor(&k)
+                        },
+                    )?;
+                    report.warnings.extend(outcome.warnings);
+                    report.recoveries.extend(outcome.actions);
+                    if let Some((chol, jitter)) = outcome.value {
+                        let u = chol.solve_mat(&ybar)?;
+                        // w̃ = X̃ᵀ u : feature part via sparse transpose-multiply,
+                        // bias part via column sums of u
+                        let c1 = ybar.ncols();
+                        let mut w_aug = Mat::zeros(n + 1, c1);
+                        for j in 0..c1 {
+                            let uj = u.col(j);
+                            let wj = x.matvec_t_exec(&uj, &exec)?;
+                            for (i, &v) in wj.iter().enumerate() {
+                                w_aug[(i, j)] = v;
                             }
-                            Err(e) if factor_retryable(&e) => report.warnings.push(format!(
-                                "jitter retry {attempt} (jitter {jitter:e}) failed: {e}"
-                            )),
-                            Err(e) => return Err(e.into()),
+                            w_aug[(n, j)] = uj.iter().sum();
                         }
-                    }
-                }
-                if let Some((chol, jitter)) = chol {
-                    let u = chol.solve_mat(&ybar)?;
-                    // w̃ = X̃ᵀ u : feature part via sparse transpose-multiply,
-                    // bias part via column sums of u
-                    let c1 = ybar.ncols();
-                    let mut w_aug = Mat::zeros(n + 1, c1);
-                    for j in 0..c1 {
-                        let uj = u.col(j);
-                        let wj = x.matvec_t(&uj)?;
-                        for (i, &v) in wj.iter().enumerate() {
-                            w_aug[(i, j)] = v;
+                        if w_aug.as_slice().iter().all(|v| v.is_finite()) {
+                            report.condition_estimate = Some(chol.condition_estimate());
+                            let solver = if jitter > 0.0 {
+                                ResponseSolver::DirectJittered { jitter }
+                            } else {
+                                ResponseSolver::Direct
+                            };
+                            report.responses = vec![solver; c1];
+                            return Ok(self.finish(w_aug, n, index.n_classes(), 0, report));
                         }
-                        w_aug[(n, j)] = uj.iter().sum();
-                    }
-                    if w_aug.as_slice().iter().all(|v| v.is_finite()) {
-                        report.condition_estimate = Some(chol.condition_estimate());
-                        let solver = if jitter > 0.0 {
-                            ResponseSolver::DirectJittered { jitter }
-                        } else {
-                            ResponseSolver::Direct
-                        };
-                        report.responses = vec![solver; c1];
-                        return Ok(self.finish(w_aug, n, index.n_classes(), 0, report));
+                        report
+                            .warnings
+                            .push("sparse dual solve produced non-finite weights".into());
                     }
                     report
                         .warnings
-                        .push("sparse dual solve produced non-finite weights".into());
+                        .push("all factorizations failed; weights computed by damped LSQR".into());
                 }
-                // every factorization failed (or poisoned the weights):
-                // solve matrix-free, which never forms the Gram matrix
+                // every factorization failed, poisoned the weights, or was
+                // declined by the budget: solve matrix-free, which never
+                // forms the Gram matrix
                 report.recoveries.push(RecoveryAction::LsqrFallback);
-                report
-                    .warnings
-                    .push("all factorizations failed; weights computed by damped LSQR".into());
-                let op = AugmentedOp::new(x);
+                let inner = ExecCsr::new(x, exec);
+                let op = AugmentedOp::new(&inner);
                 let (w_aug, iters, mut fb) = solve_lsqr_responses(
                     &op,
                     &ybar,
@@ -297,7 +304,8 @@ impl Srda {
                 Ok(self.finish(w_aug, n, index.n_classes(), iters, report))
             }
             SrdaSolver::Lsqr { max_iter, tol } => {
-                let op = AugmentedOp::new(x);
+                let inner = ExecCsr::new(x, self.executor());
+                let op = AugmentedOp::new(&inner);
                 let (w_aug, iters, report) = solve_lsqr_responses(
                     &op,
                     &ybar,
@@ -396,7 +404,8 @@ impl Srda {
         }
         let ybar = responses::generate(&index);
         let n = x.ncols();
-        let op = AugmentedOp::new(x);
+        let inner = ExecCsr::new(x, self.executor());
+        let op = AugmentedOp::new(&inner);
         let cfg = srda_solvers::lsqr::LsqrConfig {
             damp: self.config.alpha.sqrt(),
             max_iter,
@@ -453,17 +462,6 @@ impl Srda {
             fit_report,
         }
     }
-}
-
-/// Can a failed Cholesky factorization plausibly be fixed by more
-/// diagonal loading?
-fn factor_retryable(e: &LinalgError) -> bool {
-    matches!(
-        e,
-        LinalgError::NotPositiveDefinite { .. }
-            | LinalgError::Singular { .. }
-            | LinalgError::NonFinite { .. }
-    )
 }
 
 /// Fold one LSQR response outcome into the fit report. A diverged solve
@@ -789,16 +787,73 @@ mod tests {
             memory_budget_bytes: Some(16),
             ..SrdaConfig::default()
         };
-        assert!(matches!(
-            Srda::new(cfg).fit_sparse(&xs, &y),
-            Err(SrdaError::MemoryBudgetExceeded { .. })
-        ));
-        // LSQR path needs no dense scratch, so the same budget is fine
+        // the 8×8 dual Gram needs 512 bytes; a 16-byte budget declines it
+        // and the fit recovers matrix-free, recording exactly why
+        let model = Srda::new(cfg).fit_sparse(&xs, &y).unwrap();
+        let rep = model.fit_report();
+        assert!(!rep.clean());
+        assert!(rep.recoveries.contains(&RecoveryAction::LsqrFallback));
+        assert!(
+            rep.warnings
+                .iter()
+                .any(|w| w.contains("512 bytes") && w.contains("16 bytes")),
+            "decline warning must name needed vs budget bytes: {:?}",
+            rep.warnings
+        );
+        assert!(rep
+            .responses
+            .iter()
+            .all(|s| *s == ResponseSolver::LsqrFallback));
+        // the recovered model must still separate the blobs
+        let z = model.embedding().transform_dense(&x).unwrap();
+        let (within, between) = class_compactness(&z, &y);
+        assert!(between > 10.0 * within, "within {within}, between {between}");
+        // LSQR path needs no dense scratch, so the same budget is clean
         let cfg2 = SrdaConfig {
             memory_budget_bytes: Some(16),
             ..SrdaConfig::lsqr_default()
         };
-        assert!(Srda::new(cfg2).fit_sparse(&xs, &y).is_ok());
+        let m2 = Srda::new(cfg2).fit_sparse(&xs, &y).unwrap();
+        assert!(m2.fit_report().clean());
+    }
+
+    #[test]
+    fn threaded_exec_matches_serial_bitwise() {
+        // the executor refactor's contract: any backend / thread count
+        // produces bit-identical models
+        let (x, y) = three_blobs();
+        let xs = CsrMatrix::from_dense(&x, 0.0);
+        for solver in [
+            SrdaSolver::NormalEquations,
+            SrdaSolver::Lsqr {
+                max_iter: 60,
+                tol: 0.0,
+            },
+        ] {
+            let serial = SrdaConfig {
+                solver,
+                exec: ExecPolicy::serial(),
+                ..SrdaConfig::default()
+            };
+            let threaded = SrdaConfig {
+                solver,
+                exec: ExecPolicy::threaded(4),
+                ..SrdaConfig::default()
+            };
+            let md_s = Srda::new(serial.clone()).fit_dense(&x, &y).unwrap();
+            let md_t = Srda::new(threaded.clone()).fit_dense(&x, &y).unwrap();
+            assert!(md_s
+                .embedding()
+                .weights()
+                .approx_eq(md_t.embedding().weights(), 0.0));
+            assert_eq!(md_s.embedding().bias(), md_t.embedding().bias());
+            let ms_s = Srda::new(serial).fit_sparse(&xs, &y).unwrap();
+            let ms_t = Srda::new(threaded).fit_sparse(&xs, &y).unwrap();
+            assert!(ms_s
+                .embedding()
+                .weights()
+                .approx_eq(ms_t.embedding().weights(), 0.0));
+        }
     }
 
     #[test]

@@ -1,0 +1,379 @@
+//! Blocked dense kernels over row-major `&[f64]` slices.
+//!
+//! Conventions: a matrix argument is a slice of length `rows * cols` in
+//! row-major order, with the dimensions passed explicitly. Output slices
+//! must be sized by the caller and are fully overwritten (they do not need
+//! to be zeroed unless documented otherwise).
+//!
+//! Per-element summation order is pinned down in each kernel's docs; it is
+//! identical across backends and matches the historical serial loops in
+//! `srda_linalg::ops`, which is what makes the executor refactor invisible
+//! to existing bit-level regression tests.
+
+use crate::Executor;
+
+/// Column-tile width for the `p` (inner/shared) dimension of [`gemm`].
+/// Per-element addition order stays `p`-ascending for every tile size, so
+/// this is purely a cache-locality knob.
+const GEMM_P_TILE: usize = 64;
+
+/// `c = a * b` where `a` is `m x k`, `b` is `k x n`, `c` is `m x n`.
+///
+/// Row-parallel over `c` with a tiled sweep of the shared dimension.
+/// Each `c[i][j]` accumulates `a[i][p] * b[p][j]` for `p` ascending,
+/// skipping `a[i][p] == 0.0` — the exact order of the classic ikj loop.
+/// `c` need not be zeroed.
+pub fn gemm(exec: &Executor, a: &[f64], m: usize, k: usize, b: &[f64], n: usize, c: &mut [f64]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    exec.for_each_row_block(c, n.max(1), |first, block| {
+        block.fill(0.0);
+        let mut pt = 0;
+        while pt < k {
+            let pe = (pt + GEMM_P_TILE).min(k);
+            for (r, crow) in block.chunks_mut(n.max(1)).enumerate() {
+                let arow = &a[(first + r) * k..(first + r + 1) * k];
+                for (p, &aip) in arow.iter().enumerate().take(pe).skip(pt) {
+                    if aip == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[p * n..(p + 1) * n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += aip * bv;
+                    }
+                }
+            }
+            pt = pe;
+        }
+    });
+}
+
+/// `c = a^T * b` where `a` is `m x k`, `b` is `m x n`, `c` is `k x n`.
+///
+/// Row-parallel over `c` (i.e. over columns of `a`); each chunk sweeps the
+/// shared `m` dimension once. `c[i][j]` accumulates `a[r][i] * b[r][j]`
+/// for `r` ascending, skipping `a[r][i] == 0.0` — matching the historical
+/// outer-product loop.
+pub fn gemm_transa(
+    exec: &Executor,
+    a: &[f64],
+    m: usize,
+    k: usize,
+    b: &[f64],
+    n: usize,
+    c: &mut [f64],
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), m * n);
+    debug_assert_eq!(c.len(), k * n);
+    exec.for_each_row_block(c, n.max(1), |first, block| {
+        block.fill(0.0);
+        for r in 0..m {
+            let arow = &a[r * k..(r + 1) * k];
+            let brow = &b[r * n..(r + 1) * n];
+            for (off, crow) in block.chunks_mut(n.max(1)).enumerate() {
+                let ari = arow[first + off];
+                if ari == 0.0 {
+                    continue;
+                }
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += ari * bv;
+                }
+            }
+        }
+    });
+}
+
+/// `c = a * b^T` where `a` is `m x k`, `b` is `n x k`, `c` is `m x n`.
+///
+/// Row-parallel over `c`; each element is a single-accumulator dot product
+/// over `p` ascending, matching the historical row-dot loop.
+pub fn gemm_transb(
+    exec: &Executor,
+    a: &[f64],
+    m: usize,
+    k: usize,
+    b: &[f64],
+    n: usize,
+    c: &mut [f64],
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    exec.for_each_row_block(c, n.max(1), |first, block| {
+        for (off, crow) in block.chunks_mut(n.max(1)).enumerate() {
+            let arow = &a[(first + off) * k..(first + off + 1) * k];
+            for (j, cv) in crow.iter_mut().enumerate() {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for (&av, &bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                *cv = acc;
+            }
+        }
+    });
+}
+
+/// Gram matrix `g = a^T * a` where `a` is `m x n`, `g` is `n x n`.
+///
+/// The upper triangle is computed row-block-parallel: each block of `g`
+/// rows sweeps all `m` data rows once, so the working set per sweep is
+/// `block_rows * n` output values (the cache-blocking win over the naive
+/// whole-triangle sweep). `g[i][j]` (`j >= i`) accumulates
+/// `a[r][i] * a[r][j]` for `r` ascending, skipping `a[r][i] == 0.0` —
+/// the historical order. The lower triangle is mirrored afterwards.
+pub fn gram(exec: &Executor, a: &[f64], m: usize, n: usize, g: &mut [f64]) {
+    debug_assert_eq!(a.len(), m * n);
+    debug_assert_eq!(g.len(), n * n);
+    exec.for_each_row_block(g, n.max(1), |first, block| {
+        block.fill(0.0);
+        for r in 0..m {
+            let arow = &a[r * n..(r + 1) * n];
+            for (off, grow) in block.chunks_mut(n.max(1)).enumerate() {
+                let i = first + off;
+                let ari = arow[i];
+                if ari == 0.0 {
+                    continue;
+                }
+                for (gv, &av) in grow[i..].iter_mut().zip(&arow[i..]) {
+                    *gv += ari * av;
+                }
+            }
+        }
+    });
+    mirror_upper(g, n);
+}
+
+/// Outer Gram matrix `g = a * a^T` where `a` is `m x n`, `g` is `m x m`.
+///
+/// Row-block-parallel over the upper triangle; each element is a
+/// single-accumulator dot product of two data rows (the historical
+/// order). The lower triangle is mirrored afterwards.
+pub fn gram_t(exec: &Executor, a: &[f64], m: usize, n: usize, g: &mut [f64]) {
+    debug_assert_eq!(a.len(), m * n);
+    debug_assert_eq!(g.len(), m * m);
+    exec.for_each_row_block(g, m.max(1), |first, block| {
+        for (off, grow) in block.chunks_mut(m.max(1)).enumerate() {
+            let i = first + off;
+            let arow = &a[i * n..(i + 1) * n];
+            for (j, gv) in grow.iter_mut().enumerate().skip(i) {
+                let brow = &a[j * n..(j + 1) * n];
+                let mut acc = 0.0;
+                for (&av, &bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                *gv = acc;
+            }
+        }
+    });
+    mirror_upper(g, m);
+}
+
+/// `y = a * x` where `a` is `m x n`; row-parallel single-accumulator dots.
+pub fn matvec(exec: &Executor, a: &[f64], m: usize, n: usize, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(a.len(), m * n);
+    debug_assert_eq!(x.len(), n);
+    debug_assert_eq!(y.len(), m);
+    exec.for_each_row_block(y, 1, |first, block| {
+        for (off, yv) in block.iter_mut().enumerate() {
+            let arow = &a[(first + off) * n..(first + off + 1) * n];
+            let mut acc = 0.0;
+            for (&av, &xv) in arow.iter().zip(x) {
+                acc += av * xv;
+            }
+            *yv = acc;
+        }
+    });
+}
+
+/// `y = a^T * x` where `a` is `m x n`.
+///
+/// This is a reduction over the `m` data rows, executed via
+/// [`Executor::reduce_row_blocks`]: rows are grouped into fixed blocks of
+/// [`crate::REDUCE_BLOCK_ROWS`] whose partials are summed in ascending
+/// block order on every backend. Rows with `x[i] == 0.0` are skipped, as
+/// in the historical scatter loop.
+pub fn matvec_t(exec: &Executor, a: &[f64], m: usize, n: usize, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(a.len(), m * n);
+    debug_assert_eq!(x.len(), m);
+    debug_assert_eq!(y.len(), n);
+    y.fill(0.0);
+    exec.reduce_row_blocks(m, y, |start, len, partial| {
+        for i in start..start + len {
+            let xi = x[i];
+            if xi == 0.0 {
+                continue;
+            }
+            let arow = &a[i * n..(i + 1) * n];
+            for (pv, &av) in partial.iter_mut().zip(arow) {
+                *pv += xi * av;
+            }
+        }
+    });
+}
+
+/// Copy the upper triangle of an `n x n` row-major matrix into the lower.
+fn mirror_upper(g: &mut [f64], n: usize) {
+    for i in 1..n {
+        for j in 0..i {
+            g[i * n + j] = g[j * n + i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_gemm(a: &[f64], m: usize, k: usize, b: &[f64], n: usize) -> Vec<f64> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                for j in 0..n {
+                    c[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn mat(m: usize, n: usize, seed: u64) -> Vec<f64> {
+        // Deterministic pseudo-random fill with some exact zeros so the
+        // zero-skip paths are exercised.
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+        (0..m * n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let v = (state % 2000) as f64 / 100.0 - 10.0;
+                if state % 11 == 0 {
+                    0.0
+                } else {
+                    v
+                }
+            })
+            .collect()
+    }
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() <= tol, "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn gemm_matches_naive_and_is_backend_invariant() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (17, 9, 13), (70, 65, 67)] {
+            let a = mat(m, k, 1);
+            let b = mat(k, n, 2);
+            let naive = naive_gemm(&a, m, k, &b, n);
+            let mut serial = vec![0.0; m * n];
+            gemm(&Executor::serial(), &a, m, k, &b, n, &mut serial);
+            assert_close(&serial, &naive, 1e-12);
+            for &t in &[2usize, 4, 100] {
+                let mut th = vec![0.0; m * n];
+                gemm(&Executor::threaded(t), &a, m, k, &b, n, &mut th);
+                assert_eq!(serial, th, "m={m} k={k} n={n} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_products_match_naive() {
+        let (m, k, n) = (23, 11, 17);
+        let a = mat(m, k, 3);
+        let b = mat(m, n, 4);
+        let mut c = vec![0.0; k * n];
+        gemm_transa(&Executor::threaded(3), &a, m, k, &b, n, &mut c);
+        let mut naive = vec![0.0; k * n];
+        for r in 0..m {
+            for i in 0..k {
+                for j in 0..n {
+                    naive[i * n + j] += a[r * k + i] * b[r * n + j];
+                }
+            }
+        }
+        assert_close(&c, &naive, 1e-12);
+
+        let bt = mat(n, k, 5);
+        let mut c2 = vec![0.0; m * n];
+        gemm_transb(&Executor::threaded(3), &a, m, k, &bt, n, &mut c2);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a[i * k + p] * bt[j * k + p];
+                }
+                assert!((c2[i * n + j] - acc).abs() <= 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn gram_kernels_match_naive_and_are_symmetric() {
+        let (m, n) = (29, 21);
+        let a = mat(m, n, 6);
+        let mut g = vec![0.0; n * n];
+        gram(&Executor::threaded(4), &a, m, n, &mut g);
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for r in 0..m {
+                    acc += a[r * n + i] * a[r * n + j];
+                }
+                assert!((g[i * n + j] - acc).abs() <= 1e-10, "({i},{j})");
+                assert_eq!(g[i * n + j], g[j * n + i]);
+            }
+        }
+        let mut gt = vec![0.0; m * m];
+        gram_t(&Executor::threaded(4), &a, m, n, &mut gt);
+        for i in 0..m {
+            for j in 0..m {
+                let mut acc = 0.0;
+                for p in 0..n {
+                    acc += a[i * n + p] * a[j * n + p];
+                }
+                assert!((gt[i * m + j] - acc).abs() <= 1e-10, "({i},{j})");
+                assert_eq!(gt[i * m + j], gt[j * m + i]);
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_pair_matches_naive_across_reduce_blocks() {
+        // m spans one and several REDUCE_BLOCK_ROWS blocks.
+        for &m in &[7usize, 1024, 1025, 2600] {
+            let n = 19;
+            let a = mat(m, n, 7);
+            let x = mat(n, 1, 8);
+            let xt = mat(m, 1, 9);
+            let mut y = vec![0.0; m];
+            matvec(&Executor::threaded(4), &a, m, n, &x, &mut y);
+            for i in 0..m {
+                let mut acc = 0.0;
+                for j in 0..n {
+                    acc += a[i * n + j] * x[j];
+                }
+                assert!((y[i] - acc).abs() <= 1e-9 * acc.abs().max(1.0));
+            }
+            let mut yt_serial = vec![0.0; n];
+            matvec_t(&Executor::serial(), &a, m, n, &xt, &mut yt_serial);
+            let mut naive = vec![0.0; n];
+            for i in 0..m {
+                for j in 0..n {
+                    naive[j] += xt[i] * a[i * n + j];
+                }
+            }
+            assert_close(&yt_serial, &naive, 1e-7);
+            for &t in &[2usize, 3, 8, 5000] {
+                let mut yt = vec![0.0; n];
+                matvec_t(&Executor::threaded(t), &a, m, n, &xt, &mut yt);
+                assert_eq!(yt_serial, yt, "m={m} t={t}");
+            }
+        }
+    }
+}

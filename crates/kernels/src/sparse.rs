@@ -1,0 +1,225 @@
+//! Blocked CSR kernels over raw index/value slices.
+//!
+//! `srda-sparse` owns the validated `CsrMatrix` type; this module only sees
+//! the raw triple (`indptr`, `indices`, `values`) through a borrowed
+//! [`CsrView`], so the kernels stay dependency-free while the structural
+//! invariants (sorted, in-bounds column indices) are enforced upstream.
+
+use crate::Executor;
+
+/// Borrowed view of a CSR matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct CsrView<'a> {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row pointers, length `rows + 1`.
+    pub indptr: &'a [usize],
+    /// Column indices, sorted strictly increasing within each row.
+    pub indices: &'a [usize],
+    /// Non-zero values, parallel to `indices`.
+    pub values: &'a [f64],
+}
+
+/// `y = A·x`: row-parallel gather, one pass over the non-zeros.
+///
+/// Per-row accumulation order is the stored (ascending-column) order, same
+/// as the historical serial loop, so results are backend-invariant.
+pub fn csr_matvec(exec: &Executor, a: CsrView<'_>, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), a.cols);
+    debug_assert_eq!(y.len(), a.rows);
+    debug_assert_eq!(a.indptr.len(), a.rows + 1);
+    exec.for_each_row_block(y, 1, |first, block| {
+        for (off, yv) in block.iter_mut().enumerate() {
+            let i = first + off;
+            let mut acc = 0.0;
+            for k in a.indptr[i]..a.indptr[i + 1] {
+                acc += a.values[k] * x[a.indices[k]];
+            }
+            *yv = acc;
+        }
+    });
+}
+
+/// `y = Aᵀ·x`: scatter form, executed as a deterministic block reduction.
+///
+/// Rows are grouped into fixed blocks of [`crate::REDUCE_BLOCK_ROWS`]
+/// (shared with the dense `matvec_t`, so sparse-vs-dense equality tests
+/// stay exact) and per-block partials are summed in ascending block order
+/// on every backend. Rows with `x[i] == 0.0` are skipped.
+pub fn csr_matvec_t(exec: &Executor, a: CsrView<'_>, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), a.rows);
+    debug_assert_eq!(y.len(), a.cols);
+    debug_assert_eq!(a.indptr.len(), a.rows + 1);
+    y.fill(0.0);
+    exec.reduce_row_blocks(a.rows, y, |start, len, partial| {
+        for (i, &xi) in x.iter().enumerate().take(start + len).skip(start) {
+            if xi == 0.0 {
+                continue;
+            }
+            for k in a.indptr[i]..a.indptr[i + 1] {
+                partial[a.indices[k]] += a.values[k] * xi;
+            }
+        }
+    });
+}
+
+/// Dense product `C = A·B` with `A` sparse (`m × n`) and `B` dense row-major
+/// (`n × p`); row-parallel over `C`.
+pub fn csr_matmul_dense(exec: &Executor, a: CsrView<'_>, b: &[f64], p: usize, c: &mut [f64]) {
+    debug_assert_eq!(b.len(), a.cols * p);
+    debug_assert_eq!(c.len(), a.rows * p);
+    exec.for_each_row_block(c, p.max(1), |first, block| {
+        block.fill(0.0);
+        for (off, crow) in block.chunks_mut(p.max(1)).enumerate() {
+            let i = first + off;
+            for k in a.indptr[i]..a.indptr[i + 1] {
+                let v = a.values[k];
+                let brow = &b[a.indices[k] * p..(a.indices[k] + 1) * p];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += v * bv;
+                }
+            }
+        }
+    });
+}
+
+/// Dense outer Gram `G = A·Aᵀ` (`m × m`) by sorted-merge row dots,
+/// row-block-parallel over the upper triangle (mirrored afterwards).
+///
+/// Each `g[i][j]` is a single-accumulator merge of the two sorted index
+/// lists — identical numerics to the historical serial merge.
+pub fn csr_gram_t(exec: &Executor, a: CsrView<'_>, g: &mut [f64]) {
+    let m = a.rows;
+    debug_assert_eq!(g.len(), m * m);
+    exec.for_each_row_block(g, m.max(1), |first, block| {
+        for (off, grow) in block.chunks_mut(m.max(1)).enumerate() {
+            let i = first + off;
+            for (j, gv) in grow.iter_mut().enumerate().skip(i) {
+                let (mut p, endp) = (a.indptr[i], a.indptr[i + 1]);
+                let (mut q, endq) = (a.indptr[j], a.indptr[j + 1]);
+                let mut acc = 0.0;
+                while p < endp && q < endq {
+                    match a.indices[p].cmp(&a.indices[q]) {
+                        std::cmp::Ordering::Less => p += 1,
+                        std::cmp::Ordering::Greater => q += 1,
+                        std::cmp::Ordering::Equal => {
+                            acc += a.values[p] * a.values[q];
+                            p += 1;
+                            q += 1;
+                        }
+                    }
+                }
+                *gv = acc;
+            }
+        }
+    });
+    for i in 1..m {
+        for j in 0..i {
+            g[i * m + j] = g[j * m + i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Random-ish CSR plus its dense image, for oracle checks.
+    fn sample(rows: usize, cols: usize, seed: u64) -> (Vec<usize>, Vec<usize>, Vec<f64>, Vec<f64>) {
+        let mut state = seed.wrapping_mul(0x2545_f491_4f6c_dd1d).max(1);
+        let mut indptr = vec![0usize];
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        let mut dense = vec![0.0; rows * cols];
+        for i in 0..rows {
+            for j in 0..cols {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                if state % 3 == 0 {
+                    let v = (state % 100) as f64 / 10.0 - 5.0;
+                    indices.push(j);
+                    values.push(v);
+                    dense[i * cols + j] = v;
+                }
+            }
+            indptr.push(indices.len());
+        }
+        (indptr, indices, values, dense)
+    }
+
+    #[test]
+    fn csr_matvec_pair_matches_dense_kernels() {
+        for &rows in &[5usize, 1024, 1500] {
+            let cols = 13;
+            let (indptr, indices, values, dense) = sample(rows, cols, rows as u64);
+            let view = CsrView {
+                rows,
+                cols,
+                indptr: &indptr,
+                indices: &indices,
+                values: &values,
+            };
+            let x: Vec<f64> = (0..cols).map(|j| j as f64 - 4.0).collect();
+            let xt: Vec<f64> = (0..rows)
+                .map(|i| if i % 7 == 0 { 0.0 } else { i as f64 * 0.01 })
+                .collect();
+            for &t in &[1usize, 2, 4, 4096] {
+                let exec = Executor::threaded(t);
+                let mut y = vec![0.0; rows];
+                csr_matvec(&exec, view, &x, &mut y);
+                let mut yd = vec![0.0; rows];
+                crate::dense::matvec(&Executor::serial(), &dense, rows, cols, &x, &mut yd);
+                assert_eq!(y, yd, "matvec rows={rows} t={t}");
+
+                let mut yt = vec![0.0; cols];
+                csr_matvec_t(&exec, view, &xt, &mut yt);
+                let mut ytd = vec![0.0; cols];
+                crate::dense::matvec_t(&Executor::serial(), &dense, rows, cols, &xt, &mut ytd);
+                assert_eq!(yt, ytd, "matvec_t rows={rows} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn csr_gram_t_and_matmul_dense_match_oracles() {
+        let (rows, cols, p) = (17, 11, 5);
+        let (indptr, indices, values, dense) = sample(rows, cols, 42);
+        let view = CsrView {
+            rows,
+            cols,
+            indptr: &indptr,
+            indices: &indices,
+            values: &values,
+        };
+        let b: Vec<f64> = (0..cols * p).map(|i| (i as f64 * 0.3).cos()).collect();
+        let serial = {
+            let mut g = vec![0.0; rows * rows];
+            csr_gram_t(&Executor::serial(), view, &mut g);
+            let mut c = vec![0.0; rows * p];
+            csr_matmul_dense(&Executor::serial(), view, &b, p, &mut c);
+            (g, c)
+        };
+        // oracle: dense gram_t
+        for i in 0..rows {
+            for j in 0..rows {
+                let mut acc = 0.0;
+                for k in 0..cols {
+                    acc += dense[i * cols + k] * dense[j * cols + k];
+                }
+                assert!((serial.0[i * rows + j] - acc).abs() <= 1e-10);
+            }
+        }
+        for &t in &[2usize, 3, 64] {
+            let exec = Executor::threaded(t);
+            let mut g = vec![0.0; rows * rows];
+            csr_gram_t(&exec, view, &mut g);
+            assert_eq!(g, serial.0, "gram_t t={t}");
+            let mut c = vec![0.0; rows * p];
+            csr_matmul_dense(&exec, view, &b, p, &mut c);
+            assert_eq!(c, serial.1, "matmul_dense t={t}");
+        }
+    }
+}

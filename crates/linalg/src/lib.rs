@@ -67,5 +67,9 @@ pub use matrix::Mat;
 pub use qr::Qr;
 pub use svd::Svd;
 
+// Execution backend: re-exported so downstream crates (solvers, core, cli)
+// can name policies without depending on srda-kernels directly.
+pub use srda_kernels::{Backend, ExecPolicy, Executor};
+
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,18 +1,28 @@
 //! Matrix products and matrix-vector kernels.
 //!
-//! All kernels are single-threaded on purpose: the paper's timing
-//! comparisons (Tables IV/VI/VIII/X) are between *algorithms*, and keeping
-//! every algorithm on the same single-threaded substrate keeps those
-//! comparisons fair. The loops are ordered for row-major storage (`ikj` for
-//! general products, row-dot for `ABᵀ`) so the inner loop is always a
-//! contiguous, autovectorizable sweep.
+//! Since the execution-backend refactor these are thin shims over
+//! [`srda_kernels`]: each product has an `*_exec` variant taking an
+//! [`Executor`], and the historical free functions delegate to it with the
+//! serial executor, so existing callers keep bit-identical results. The
+//! kernels are blocked for cache locality and — under
+//! [`srda_kernels::Backend::Threaded`] — row-partitioned across scoped
+//! threads with a fixed deterministic reduction order, so the backend
+//! choice never changes the numbers, only the wall-clock. `flam`
+//! accounting stays here in the shims, unchanged from the serial era, so
+//! operation counts measure *algorithm* cost, not backend shape.
 
 use crate::error::LinalgError;
 use crate::matrix::Mat;
 use crate::{flam, Result};
+use srda_kernels::{dense, Executor};
 
 /// General product `C = A·B`.
 pub fn matmul(a: &Mat, b: &Mat) -> Result<Mat> {
+    matmul_exec(a, b, &Executor::serial())
+}
+
+/// General product `C = A·B` on the given executor.
+pub fn matmul_exec(a: &Mat, b: &Mat, exec: &Executor) -> Result<Mat> {
     if a.ncols() != b.nrows() {
         return Err(LinalgError::ShapeMismatch {
             op: "matmul",
@@ -23,24 +33,17 @@ pub fn matmul(a: &Mat, b: &Mat) -> Result<Mat> {
     let (m, k, n) = (a.nrows(), a.ncols(), b.ncols());
     flam::add((m * k * n) as u64);
     let mut c = Mat::zeros(m, n);
-    for i in 0..m {
-        let arow = a.row(i);
-        let crow = c.row_mut(i);
-        for (p, &aip) in arow.iter().enumerate() {
-            if aip == 0.0 {
-                continue;
-            }
-            let brow = b.row(p);
-            for (cij, &bpj) in crow.iter_mut().zip(brow) {
-                *cij += aip * bpj;
-            }
-        }
-    }
+    dense::gemm(exec, a.as_slice(), m, k, b.as_slice(), n, c.as_mut_slice());
     Ok(c)
 }
 
 /// Product with the left operand transposed: `C = Aᵀ·B` without forming `Aᵀ`.
 pub fn matmul_transa(a: &Mat, b: &Mat) -> Result<Mat> {
+    matmul_transa_exec(a, b, &Executor::serial())
+}
+
+/// `C = Aᵀ·B` on the given executor.
+pub fn matmul_transa_exec(a: &Mat, b: &Mat, exec: &Executor) -> Result<Mat> {
     if a.nrows() != b.nrows() {
         return Err(LinalgError::ShapeMismatch {
             op: "matmul_transa",
@@ -51,26 +54,17 @@ pub fn matmul_transa(a: &Mat, b: &Mat) -> Result<Mat> {
     let (m, k, n) = (a.nrows(), a.ncols(), b.ncols());
     flam::add((m * k * n) as u64);
     let mut c = Mat::zeros(k, n);
-    // C += a_rowᵀ ⊗ b_row, accumulated row by row: outer-product update
-    // keeps both reads contiguous.
-    for r in 0..m {
-        let arow = a.row(r);
-        let brow = b.row(r);
-        for (i, &ari) in arow.iter().enumerate() {
-            if ari == 0.0 {
-                continue;
-            }
-            let crow = c.row_mut(i);
-            for (cij, &brj) in crow.iter_mut().zip(brow) {
-                *cij += ari * brj;
-            }
-        }
-    }
+    dense::gemm_transa(exec, a.as_slice(), m, k, b.as_slice(), n, c.as_mut_slice());
     Ok(c)
 }
 
 /// Product with the right operand transposed: `C = A·Bᵀ` without forming `Bᵀ`.
 pub fn matmul_transb(a: &Mat, b: &Mat) -> Result<Mat> {
+    matmul_transb_exec(a, b, &Executor::serial())
+}
+
+/// `C = A·Bᵀ` on the given executor.
+pub fn matmul_transb_exec(a: &Mat, b: &Mat, exec: &Executor) -> Result<Mat> {
     if a.ncols() != b.ncols() {
         return Err(LinalgError::ShapeMismatch {
             op: "matmul_transb",
@@ -81,74 +75,46 @@ pub fn matmul_transb(a: &Mat, b: &Mat) -> Result<Mat> {
     let (m, k, n) = (a.nrows(), a.ncols(), b.nrows());
     flam::add((m * k * n) as u64);
     let mut c = Mat::zeros(m, n);
-    for i in 0..m {
-        let arow = a.row(i);
-        let crow = c.row_mut(i);
-        for (j, cij) in crow.iter_mut().enumerate() {
-            let brow = b.row(j);
-            let mut acc = 0.0;
-            for (x, y) in arow.iter().zip(brow) {
-                acc += x * y;
-            }
-            *cij = acc;
-        }
-    }
+    dense::gemm_transb(exec, a.as_slice(), m, k, b.as_slice(), n, c.as_mut_slice());
     Ok(c)
 }
 
 /// Gram matrix `AᵀA` (`ncols × ncols`), exploiting symmetry: only the upper
 /// triangle is computed, then mirrored.
 pub fn gram(a: &Mat) -> Mat {
+    gram_exec(a, &Executor::serial())
+}
+
+/// Gram matrix `AᵀA` on the given executor.
+pub fn gram_exec(a: &Mat, exec: &Executor) -> Mat {
     let (m, n) = a.shape();
     flam::add((m * n * (n + 1) / 2) as u64);
     let mut g = Mat::zeros(n, n);
-    for r in 0..m {
-        let row = a.row(r);
-        for i in 0..n {
-            let ari = row[i];
-            if ari == 0.0 {
-                continue;
-            }
-            let grow = g.row_mut(i);
-            for j in i..n {
-                grow[j] += ari * row[j];
-            }
-        }
-    }
-    for i in 0..n {
-        for j in (i + 1)..n {
-            g[(j, i)] = g[(i, j)];
-        }
-    }
+    dense::gram(exec, a.as_slice(), m, n, g.as_mut_slice());
     g
 }
 
 /// Outer Gram matrix `AAᵀ` (`nrows × nrows`), exploiting symmetry.
 pub fn gram_t(a: &Mat) -> Mat {
+    gram_t_exec(a, &Executor::serial())
+}
+
+/// Outer Gram matrix `AAᵀ` on the given executor.
+pub fn gram_t_exec(a: &Mat, exec: &Executor) -> Mat {
     let (m, n) = a.shape();
     flam::add((n * m * (m + 1) / 2) as u64);
     let mut g = Mat::zeros(m, m);
-    for i in 0..m {
-        let ri = a.row(i);
-        for j in i..m {
-            let rj = a.row(j);
-            let mut acc = 0.0;
-            for (x, y) in ri.iter().zip(rj) {
-                acc += x * y;
-            }
-            g[(i, j)] = acc;
-        }
-    }
-    for i in 0..m {
-        for j in (i + 1)..m {
-            g[(j, i)] = g[(i, j)];
-        }
-    }
+    dense::gram_t(exec, a.as_slice(), m, n, g.as_mut_slice());
     g
 }
 
 /// Matrix-vector product `y = A·x`.
 pub fn matvec(a: &Mat, x: &[f64]) -> Result<Vec<f64>> {
+    matvec_exec(a, x, &Executor::serial())
+}
+
+/// Matrix-vector product `y = A·x` on the given executor.
+pub fn matvec_exec(a: &Mat, x: &[f64], exec: &Executor) -> Result<Vec<f64>> {
     if a.ncols() != x.len() {
         return Err(LinalgError::ShapeMismatch {
             op: "matvec",
@@ -157,20 +123,19 @@ pub fn matvec(a: &Mat, x: &[f64]) -> Result<Vec<f64>> {
         });
     }
     flam::add((a.nrows() * a.ncols()) as u64);
-    let mut y = Vec::with_capacity(a.nrows());
-    for i in 0..a.nrows() {
-        let mut acc = 0.0;
-        for (aij, xj) in a.row(i).iter().zip(x) {
-            acc += aij * xj;
-        }
-        y.push(acc);
-    }
+    let mut y = vec![0.0; a.nrows()];
+    dense::matvec(exec, a.as_slice(), a.nrows(), a.ncols(), x, &mut y);
     Ok(y)
 }
 
 /// Transposed matrix-vector product `y = Aᵀ·x`, computed without forming
 /// `Aᵀ` (accumulates `y += xᵢ · rowᵢ(A)`).
 pub fn matvec_t(a: &Mat, x: &[f64]) -> Result<Vec<f64>> {
+    matvec_t_exec(a, x, &Executor::serial())
+}
+
+/// Transposed matrix-vector product `y = Aᵀ·x` on the given executor.
+pub fn matvec_t_exec(a: &Mat, x: &[f64], exec: &Executor) -> Result<Vec<f64>> {
     if a.nrows() != x.len() {
         return Err(LinalgError::ShapeMismatch {
             op: "matvec_t",
@@ -180,15 +145,38 @@ pub fn matvec_t(a: &Mat, x: &[f64]) -> Result<Vec<f64>> {
     }
     flam::add((a.nrows() * a.ncols()) as u64);
     let mut y = vec![0.0; a.ncols()];
-    for (i, &xi) in x.iter().enumerate() {
-        if xi == 0.0 {
-            continue;
-        }
-        for (yj, aij) in y.iter_mut().zip(a.row(i)) {
-            *yj += xi * aij;
-        }
-    }
+    dense::matvec_t(exec, a.as_slice(), a.nrows(), a.ncols(), x, &mut y);
     Ok(y)
+}
+
+/// `y = A·x` into a caller-provided buffer (no allocation) on the given
+/// executor. `y.len()` must equal `a.nrows()`.
+pub fn matvec_into_exec(a: &Mat, x: &[f64], y: &mut [f64], exec: &Executor) -> Result<()> {
+    if a.ncols() != x.len() || a.nrows() != y.len() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "matvec_into",
+            lhs: a.shape(),
+            rhs: (x.len(), 1),
+        });
+    }
+    flam::add((a.nrows() * a.ncols()) as u64);
+    dense::matvec(exec, a.as_slice(), a.nrows(), a.ncols(), x, y);
+    Ok(())
+}
+
+/// `y = Aᵀ·x` into a caller-provided buffer (no allocation) on the given
+/// executor. `y.len()` must equal `a.ncols()`.
+pub fn matvec_t_into_exec(a: &Mat, x: &[f64], y: &mut [f64], exec: &Executor) -> Result<()> {
+    if a.nrows() != x.len() || a.ncols() != y.len() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "matvec_t_into",
+            lhs: a.shape(),
+            rhs: (x.len(), 1),
+        });
+    }
+    flam::add((a.nrows() * a.ncols()) as u64);
+    dense::matvec_t(exec, a.as_slice(), a.nrows(), a.ncols(), x, y);
+    Ok(())
 }
 
 /// Scale the columns of `a` in place by `d`: `A ← A·diag(d)`.
@@ -335,5 +323,37 @@ mod tests {
             let _ = matmul(&a, &b).unwrap();
         });
         assert_eq!(used, 10 * 20 * 30);
+    }
+
+    #[test]
+    fn exec_variants_match_serial_bitwise() {
+        // Shapes straddling the block size (64) and thread counts larger
+        // than the row count: every backend must agree exactly.
+        let a = Mat::from_fn(67, 33, |i, j| ((i * 31 + j * 17) % 13) as f64 - 6.0);
+        let b = Mat::from_fn(33, 70, |i, j| ((i * 5 + j * 11) % 9) as f64 - 4.0);
+        let bt = Mat::from_fn(70, 33, |i, j| ((i * 3 + j * 7) % 11) as f64 - 5.0);
+        let x: Vec<f64> = (0..33).map(|j| j as f64 * 0.25 - 4.0).collect();
+        let xt: Vec<f64> = (0..67)
+            .map(|i| if i % 5 == 0 { 0.0 } else { i as f64 * 0.125 })
+            .collect();
+        for &t in &[2usize, 3, 8, 1000] {
+            let exec = Executor::threaded(t);
+            assert!(matmul_exec(&a, &b, &exec)
+                .unwrap()
+                .approx_eq(&matmul(&a, &b).unwrap(), 0.0));
+            assert!(matmul_transa_exec(&a, &a, &exec)
+                .unwrap()
+                .approx_eq(&matmul_transa(&a, &a).unwrap(), 0.0));
+            assert!(matmul_transb_exec(&a, &bt, &exec)
+                .unwrap()
+                .approx_eq(&matmul_transb(&a, &bt).unwrap(), 0.0));
+            assert!(gram_exec(&a, &exec).approx_eq(&gram(&a), 0.0));
+            assert!(gram_t_exec(&a, &exec).approx_eq(&gram_t(&a), 0.0));
+            assert_eq!(matvec_exec(&a, &x, &exec).unwrap(), matvec(&a, &x).unwrap());
+            assert_eq!(
+                matvec_t_exec(&a, &xt, &exec).unwrap(),
+                matvec_t(&a, &xt).unwrap()
+            );
+        }
     }
 }

@@ -5,8 +5,11 @@
 //! factorization reconstruction, solver correctness against residuals.
 
 use proptest::prelude::*;
-use srda_linalg::ops::{gram, matmul, matmul_transa, matmul_transb, matvec, matvec_t};
-use srda_linalg::{Cholesky, Lu, Mat, Qr, SymmetricEigen};
+use srda_linalg::ops::{
+    gram, gram_exec, gram_t_exec, matmul, matmul_exec, matmul_transa, matmul_transa_exec,
+    matmul_transb, matmul_transb_exec, matvec, matvec_exec, matvec_t, matvec_t_exec,
+};
+use srda_linalg::{Cholesky, Executor, Lu, Mat, Qr, SymmetricEigen};
 
 /// Strategy: a matrix with dimensions in `[1, max_dim]` and entries in
 /// `[-10, 10]`.
@@ -217,6 +220,75 @@ proptest! {
         for svd in [&j, &g] {
             let recon = svd.reconstruct().unwrap();
             prop_assert!(recon.approx_eq(&a, 1e-8 * a.max_abs().max(1.0)));
+        }
+    }
+
+    #[test]
+    fn exec_backends_match_serial_oracle_bitwise(
+        a in mat_strategy(9),
+        b in mat_strategy(9),
+        threads in 2usize..9,
+    ) {
+        // every execution backend must produce bit-for-bit the serial
+        // result: row partitioning keeps per-element summation order
+        // identical, so `approx_eq(_, 0.0)` (exact equality) is the bar.
+        // `threads` routinely exceeds nrows here — small matrices are the
+        // interesting edge for the partitioner.
+        let ser = Executor::serial();
+        let par = Executor::threaded(threads);
+        prop_assert!(gram_exec(&a, &ser).approx_eq(&gram_exec(&a, &par), 0.0));
+        prop_assert!(gram_t_exec(&a, &ser).approx_eq(&gram_t_exec(&a, &par), 0.0));
+        prop_assert!(matmul_transa_exec(&a, &a, &ser).unwrap()
+            .approx_eq(&matmul_transa_exec(&a, &a, &par).unwrap(), 0.0));
+        prop_assert!(matmul_transb_exec(&a, &a, &ser).unwrap()
+            .approx_eq(&matmul_transb_exec(&a, &a, &par).unwrap(), 0.0));
+        if a.ncols() == b.nrows() {
+            prop_assert!(matmul_exec(&a, &b, &ser).unwrap()
+                .approx_eq(&matmul_exec(&a, &b, &par).unwrap(), 0.0));
+        }
+        let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.7).sin()).collect();
+        prop_assert_eq!(
+            matvec_exec(&a, &x, &ser).unwrap(),
+            matvec_exec(&a, &x, &par).unwrap()
+        );
+        let z: Vec<f64> = (0..a.nrows()).map(|i| (i as f64 * 1.3).cos()).collect();
+        prop_assert_eq!(
+            matvec_t_exec(&a, &z, &ser).unwrap(),
+            matvec_t_exec(&a, &z, &par).unwrap()
+        );
+    }
+
+    #[test]
+    fn exec_serial_matches_plain_ops(a in mat_strategy(9)) {
+        // the blocked serial backend must agree with the naive reference
+        // implementations up to floating-point reassociation
+        let ser = Executor::serial();
+        prop_assert!(gram_exec(&a, &ser).approx_eq(&gram(&a), 1e-9 * a.max_abs().max(1.0).powi(2) * a.nrows() as f64));
+        let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.7).sin()).collect();
+        let y_exec = matvec_exec(&a, &x, &ser).unwrap();
+        let y_ref = matvec(&a, &x).unwrap();
+        for (u, v) in y_exec.iter().zip(&y_ref) {
+            prop_assert!((u - v).abs() < 1e-9 * a.max_abs().max(1.0) * a.ncols() as f64);
+        }
+    }
+
+    #[test]
+    fn exec_block_edges_cover_non_divisible_shapes(
+        m in 1usize..70,
+        n in 1usize..6,
+        threads in 1usize..9,
+    ) {
+        // row counts straddling block/thread-chunk boundaries (the chunk
+        // size is ⌈m / threads⌉, so uneven trailing blocks are common):
+        // the full output must be written, no row skipped or doubled
+        let a = Mat::from_vec(m, n, (0..m * n).map(|k| k as f64 * 0.25 + 1.0).collect()).unwrap();
+        let x: Vec<f64> = (0..n).map(|j| 1.0 + j as f64).collect();
+        let ser = matvec_exec(&a, &x, &Executor::serial()).unwrap();
+        let par = matvec_exec(&a, &x, &Executor::threaded(threads)).unwrap();
+        prop_assert_eq!(&ser, &par);
+        for (i, v) in ser.iter().enumerate() {
+            let expect: f64 = (0..n).map(|j| a[(i, j)] * x[j]).sum();
+            prop_assert!((v - expect).abs() < 1e-9 * expect.abs().max(1.0), "row {i}");
         }
     }
 

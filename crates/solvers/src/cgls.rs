@@ -61,9 +61,11 @@ pub fn cgls<A: LinearOperator + ?Sized>(a: &A, b: &[f64], cfg: &CglsConfig) -> C
     }
 
     let mut iterations = 0;
+    // product buffer reused across iterations (see LinearOperator::apply_into)
+    let mut q = vec![0.0; a.nrows()];
     for iter in 0..cfg.max_iter {
         iterations = iter + 1;
-        let q = a.apply(&p);
+        a.apply_into(&p, &mut q);
         let delta = vector::dot(&q, &q) + cfg.alpha * vector::dot(&p, &p);
         if delta <= 0.0 {
             break; // p in the (numerical) null space; cannot progress
@@ -73,7 +75,7 @@ pub fn cgls<A: LinearOperator + ?Sized>(a: &A, b: &[f64], cfg: &CglsConfig) -> C
         vector::axpy(-step, &q, &mut r);
 
         // s = Aᵀr − αx
-        s = a.apply_t(&r);
+        a.apply_t_into(&r, &mut s);
         vector::axpy(-cfg.alpha, &x, &mut s);
 
         let gamma_new = vector::dot(&s, &s);

@@ -36,6 +36,9 @@ pub mod ridge;
 pub mod robust;
 
 pub use lsqr::{lsqr, lsqr_warm, LsqrConfig, LsqrResult, StopReason};
-pub use operator::{AugmentedOp, CenteredOp, LinearOperator};
+pub use operator::{AugmentedOp, CenteredOp, ExecCsr, ExecDense, LinearOperator};
 pub use ridge::{RidgeForm, RidgeSolver};
-pub use robust::{RecoveryAction, RobustConfig, RobustRidge, RobustSolveReport, SolverUsed};
+pub use robust::{
+    factor_ladder, LadderOutcome, RecoveryAction, RobustConfig, RobustRidge, RobustSolveReport,
+    SolverUsed,
+};

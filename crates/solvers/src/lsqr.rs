@@ -193,6 +193,11 @@ pub fn lsqr<A: LinearOperator + ?Sized>(a: &A, b: &[f64], cfg: &LsqrConfig) -> L
     // stagnation tracking (active only when tol > 0)
     let mut best_res = f64::INFINITY;
     let mut no_improve = 0usize;
+    // product buffers reused across iterations (apply_into avoids one
+    // allocation per matvec — measurable on the k·c small-product regime
+    // of SRDA's response loop)
+    let mut av = vec![0.0; a.nrows()];
+    let mut atu = vec![0.0; n];
 
     for iter in 0..cfg.max_iter {
         #[cfg(feature = "failpoints")]
@@ -205,7 +210,7 @@ pub fn lsqr<A: LinearOperator + ?Sized>(a: &A, b: &[f64], cfg: &LsqrConfig) -> L
         iterations = iter + 1;
 
         // continue the bidiagonalization: β·u = A·v − α·u
-        let av = a.apply(&v);
+        a.apply_into(&v, &mut av);
         if !av.iter().all(|t| t.is_finite()) {
             // a bad matvec (NaN/∞ from the operator) — stop before the
             // poison reaches x. Checked on the raw product because
@@ -228,7 +233,7 @@ pub fn lsqr<A: LinearOperator + ?Sized>(a: &A, b: &[f64], cfg: &LsqrConfig) -> L
             vector::scale(1.0 / beta, &mut u);
         }
         // α·v = Aᵀ·u − β·v
-        let atu = a.apply_t(&u);
+        a.apply_t_into(&u, &mut atu);
         if !atu.iter().all(|t| t.is_finite()) {
             stop = StopReason::Diverged;
             iterations = iter;
@@ -374,6 +379,20 @@ impl<A: LinearOperator + ?Sized> LinearOperator for DampedStackOp<'_, A> {
             *yi += self.damp * bi;
         }
         y
+    }
+    fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+        let (top, bottom) = y.split_at_mut(self.inner.nrows());
+        self.inner.apply_into(x, top);
+        for (bi, xi) in bottom.iter_mut().zip(x) {
+            *bi = self.damp * xi;
+        }
+    }
+    fn apply_t_into(&self, x: &[f64], y: &mut [f64]) {
+        let (top, bottom) = x.split_at(self.inner.nrows());
+        self.inner.apply_t_into(top, y);
+        for (yi, bi) in y.iter_mut().zip(bottom) {
+            *yi += self.damp * bi;
+        }
     }
 }
 

@@ -5,7 +5,7 @@
 //! out-of-core data "can still be applied with some reasonable disk I/O".
 //! Everything the SRDA core needs from a data matrix is captured here.
 
-use srda_linalg::Mat;
+use srda_linalg::{Executor, Mat};
 use srda_sparse::CsrMatrix;
 
 /// A linear operator `A : ℝⁿ → ℝᵐ` exposed through its two matrix-vector
@@ -19,6 +19,18 @@ pub trait LinearOperator {
     fn apply(&self, x: &[f64]) -> Vec<f64>;
     /// `y = Aᵀ·x` with `x.len() == nrows()`.
     fn apply_t(&self, x: &[f64]) -> Vec<f64>;
+    /// `y = A·x` into a caller-provided buffer (`y.len() == nrows()`).
+    ///
+    /// The default delegates to [`LinearOperator::apply`]; concrete
+    /// operators override it to skip the per-call allocation — this is
+    /// what the LSQR/CGLS inner loops call once per iteration.
+    fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+        y.copy_from_slice(&self.apply(x));
+    }
+    /// `y = Aᵀ·x` into a caller-provided buffer (`y.len() == ncols()`).
+    fn apply_t_into(&self, x: &[f64], y: &mut [f64]) {
+        y.copy_from_slice(&self.apply_t(x));
+    }
 }
 
 impl LinearOperator for Mat {
@@ -34,6 +46,14 @@ impl LinearOperator for Mat {
     fn apply_t(&self, x: &[f64]) -> Vec<f64> {
         srda_linalg::ops::matvec_t(self, x).expect("operator shape invariant")
     }
+    fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+        srda_linalg::ops::matvec_into_exec(self, x, y, &Executor::serial())
+            .expect("operator shape invariant");
+    }
+    fn apply_t_into(&self, x: &[f64], y: &mut [f64]) {
+        srda_linalg::ops::matvec_t_into_exec(self, x, y, &Executor::serial())
+            .expect("operator shape invariant");
+    }
 }
 
 impl LinearOperator for CsrMatrix {
@@ -48,6 +68,92 @@ impl LinearOperator for CsrMatrix {
     }
     fn apply_t(&self, x: &[f64]) -> Vec<f64> {
         self.matvec_t(x).expect("operator shape invariant")
+    }
+    fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+        self.matvec_into_exec(x, y, &Executor::serial())
+            .expect("operator shape invariant");
+    }
+    fn apply_t_into(&self, x: &[f64], y: &mut [f64]) {
+        self.matvec_t_into_exec(x, y, &Executor::serial())
+            .expect("operator shape invariant");
+    }
+}
+
+/// A dense matrix routed through a specific [`Executor`]: identical
+/// numerics to the `Mat` operator impl on every backend, with the products
+/// row-parallel under [`srda_linalg::Backend::Threaded`].
+pub struct ExecDense<'a> {
+    mat: &'a Mat,
+    exec: Executor,
+}
+
+impl<'a> ExecDense<'a> {
+    /// Wrap `mat` so its operator products run on `exec`.
+    pub fn new(mat: &'a Mat, exec: Executor) -> Self {
+        ExecDense { mat, exec }
+    }
+}
+
+impl LinearOperator for ExecDense<'_> {
+    fn nrows(&self) -> usize {
+        self.mat.nrows()
+    }
+    fn ncols(&self) -> usize {
+        self.mat.ncols()
+    }
+    fn apply(&self, x: &[f64]) -> Vec<f64> {
+        srda_linalg::ops::matvec_exec(self.mat, x, &self.exec).expect("operator shape invariant")
+    }
+    fn apply_t(&self, x: &[f64]) -> Vec<f64> {
+        srda_linalg::ops::matvec_t_exec(self.mat, x, &self.exec).expect("operator shape invariant")
+    }
+    fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+        srda_linalg::ops::matvec_into_exec(self.mat, x, y, &self.exec)
+            .expect("operator shape invariant");
+    }
+    fn apply_t_into(&self, x: &[f64], y: &mut [f64]) {
+        srda_linalg::ops::matvec_t_into_exec(self.mat, x, y, &self.exec)
+            .expect("operator shape invariant");
+    }
+}
+
+/// A CSR matrix routed through a specific [`Executor`]; see [`ExecDense`].
+pub struct ExecCsr<'a> {
+    csr: &'a CsrMatrix,
+    exec: Executor,
+}
+
+impl<'a> ExecCsr<'a> {
+    /// Wrap `csr` so its operator products run on `exec`.
+    pub fn new(csr: &'a CsrMatrix, exec: Executor) -> Self {
+        ExecCsr { csr, exec }
+    }
+}
+
+impl LinearOperator for ExecCsr<'_> {
+    fn nrows(&self) -> usize {
+        self.csr.nrows()
+    }
+    fn ncols(&self) -> usize {
+        self.csr.ncols()
+    }
+    fn apply(&self, x: &[f64]) -> Vec<f64> {
+        self.csr.matvec_exec(x, &self.exec).expect("operator shape invariant")
+    }
+    fn apply_t(&self, x: &[f64]) -> Vec<f64> {
+        self.csr
+            .matvec_t_exec(x, &self.exec)
+            .expect("operator shape invariant")
+    }
+    fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+        self.csr
+            .matvec_into_exec(x, y, &self.exec)
+            .expect("operator shape invariant");
+    }
+    fn apply_t_into(&self, x: &[f64], y: &mut [f64]) {
+        self.csr
+            .matvec_t_into_exec(x, y, &self.exec)
+            .expect("operator shape invariant");
     }
 }
 
@@ -119,6 +225,24 @@ impl<A: LinearOperator + ?Sized> LinearOperator for AugmentedOp<'_, A> {
         y.push(x.iter().sum());
         y
     }
+    fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.ncols());
+        let (head, bias) = x.split_at(x.len() - 1);
+        self.inner.apply_into(head, y);
+        let b = bias[0];
+        if b != 0.0 {
+            for yi in y.iter_mut() {
+                *yi += b;
+            }
+        }
+    }
+    fn apply_t_into(&self, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.nrows());
+        debug_assert_eq!(y.len(), self.ncols());
+        let (head, bias) = y.split_at_mut(self.inner.ncols());
+        self.inner.apply_t_into(x, head);
+        bias[0] = x.iter().sum();
+    }
 }
 
 /// Wraps an operator as the implicitly centered matrix `X − 1·μᵀ`.
@@ -161,6 +285,18 @@ impl<A: LinearOperator + ?Sized> LinearOperator for CenteredOp<'_, A> {
         let s: f64 = x.iter().sum();
         srda_linalg::vector::axpy(-s, &self.mu, &mut y);
         y
+    }
+    fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+        self.inner.apply_into(x, y);
+        let shift = srda_linalg::vector::dot(&self.mu, x);
+        for yi in y.iter_mut() {
+            *yi -= shift;
+        }
+    }
+    fn apply_t_into(&self, x: &[f64], y: &mut [f64]) {
+        self.inner.apply_t_into(x, y);
+        let s: f64 = x.iter().sum();
+        srda_linalg::vector::axpy(-s, &self.mu, y);
     }
 }
 
@@ -247,6 +383,52 @@ mod tests {
     fn centered_checks_mu_length() {
         let a = dense();
         let _ = CenteredOp::new(&a, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn apply_into_matches_apply_for_all_operators() {
+        let a = dense();
+        let mu = srda_linalg::stats::col_means(&a);
+        let mut b = CooBuilder::new(3, 2);
+        for i in 0..3 {
+            for j in 0..2 {
+                b.push(i, j, a[(i, j)]).unwrap();
+            }
+        }
+        let s = b.build();
+        let centered = CenteredOp::new(&a, mu);
+        let aug = AugmentedOp::new(&a);
+        let exec_d = ExecDense::new(&a, Executor::threaded(3));
+        let exec_s = ExecCsr::new(&s, Executor::threaded(3));
+
+        fn check<A: LinearOperator + ?Sized>(op: &A, label: &str) {
+            let x: Vec<f64> = (0..op.ncols()).map(|j| j as f64 * 0.5 - 1.0).collect();
+            let u: Vec<f64> = (0..op.nrows()).map(|i| 1.5 - i as f64).collect();
+            let mut y = vec![f64::NAN; op.nrows()];
+            op.apply_into(&x, &mut y);
+            assert_eq!(y, op.apply(&x), "{label} apply_into");
+            let mut yt = vec![f64::NAN; op.ncols()];
+            op.apply_t_into(&u, &mut yt);
+            assert_eq!(yt, op.apply_t(&u), "{label} apply_t_into");
+        }
+        check(&a, "dense");
+        check(&s, "sparse");
+        check(&centered, "centered");
+        check(&aug, "augmented");
+        check(&exec_d, "exec-dense");
+        check(&exec_s, "exec-sparse");
+    }
+
+    #[test]
+    fn exec_operators_match_plain_operators() {
+        let a = dense();
+        let x = [0.5, -2.0];
+        let u = [1.0, 2.0, 3.0];
+        for &t in &[1usize, 2, 8] {
+            let op = ExecDense::new(&a, Executor::threaded(t));
+            assert_eq!(op.apply(&x), LinearOperator::apply(&a, &x));
+            assert_eq!(op.apply_t(&u), LinearOperator::apply_t(&a, &u));
+        }
     }
 
     #[test]

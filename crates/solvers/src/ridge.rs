@@ -15,8 +15,8 @@
 //! all `c − 1` SRDA responses, so the per-response cost is only the
 //! triangular solves.
 
-use srda_linalg::ops::{gram, gram_t, matmul_transa};
-use srda_linalg::{Cholesky, Mat, Result};
+use srda_linalg::ops::{gram_exec, gram_t_exec, matmul_transa_exec};
+use srda_linalg::{Cholesky, Executor, Mat, Result};
 
 /// Which normal-equation form a [`RidgeSolver`] factored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,37 +33,57 @@ pub struct RidgeSolver {
     chol: Cholesky,
     form: RidgeForm,
     alpha: f64,
+    exec: Executor,
 }
 
 impl RidgeSolver {
     /// Factor the primal normal equations `XᵀX + αI`.
     pub fn primal(x: &Mat, alpha: f64) -> Result<Self> {
-        let mut g = gram(x);
+        Self::primal_exec(x, alpha, Executor::serial())
+    }
+
+    /// [`RidgeSolver::primal`] with an explicit execution backend; the
+    /// Gram build and every later [`RidgeSolver::solve`] product run on
+    /// `exec`.
+    pub fn primal_exec(x: &Mat, alpha: f64, exec: Executor) -> Result<Self> {
+        let mut g = gram_exec(x, &exec);
         g.add_to_diag(alpha);
         Ok(RidgeSolver {
             chol: Cholesky::factor(&g)?,
             form: RidgeForm::Primal,
             alpha,
+            exec,
         })
     }
 
     /// Factor the dual normal equations `XXᵀ + αI` (paper Eqn 21).
     pub fn dual(x: &Mat, alpha: f64) -> Result<Self> {
-        let mut k = gram_t(x);
+        Self::dual_exec(x, alpha, Executor::serial())
+    }
+
+    /// [`RidgeSolver::dual`] with an explicit execution backend.
+    pub fn dual_exec(x: &Mat, alpha: f64, exec: Executor) -> Result<Self> {
+        let mut k = gram_t_exec(x, &exec);
         k.add_to_diag(alpha);
         Ok(RidgeSolver {
             chol: Cholesky::factor(&k)?,
             form: RidgeForm::Dual,
             alpha,
+            exec,
         })
     }
 
     /// Factor whichever form is smaller (`n ≤ m` → primal, else dual).
     pub fn auto(x: &Mat, alpha: f64) -> Result<Self> {
+        Self::auto_exec(x, alpha, Executor::serial())
+    }
+
+    /// [`RidgeSolver::auto`] with an explicit execution backend.
+    pub fn auto_exec(x: &Mat, alpha: f64, exec: Executor) -> Result<Self> {
         if x.ncols() <= x.nrows() {
-            Self::primal(x, alpha)
+            Self::primal_exec(x, alpha, exec)
         } else {
-            Self::dual(x, alpha)
+            Self::dual_exec(x, alpha, exec)
         }
     }
 
@@ -95,13 +115,13 @@ impl RidgeSolver {
         match self.form {
             RidgeForm::Primal => {
                 // W = (XᵀX + αI)⁻¹ Xᵀ Y
-                let xty = matmul_transa(x, y)?;
+                let xty = matmul_transa_exec(x, y, &self.exec)?;
                 self.chol.solve_mat(&xty)
             }
             RidgeForm::Dual => {
                 // U = (XXᵀ + αI)⁻¹ Y ; W = Xᵀ U
                 let u = self.chol.solve_mat(y)?;
-                matmul_transa(x, &u)
+                matmul_transa_exec(x, &u, &self.exec)
             }
         }
     }
@@ -117,7 +137,7 @@ impl RidgeSolver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use srda_linalg::ops::matvec;
+    use srda_linalg::ops::{gram, matvec};
 
     fn noise_mat(m: usize, n: usize) -> Mat {
         Mat::from_fn(m, n, |i, j| {

@@ -28,8 +28,9 @@
 //! invalid dimensions) propagate immediately.
 
 use crate::lsqr::{lsqr, LsqrConfig, StopReason};
+use crate::operator::ExecDense;
 use crate::ridge::{RidgeForm, RidgeSolver};
-use srda_linalg::{LinalgError, Mat, Result};
+use srda_linalg::{Executor, LinalgError, Mat, Result};
 
 /// Knobs for the [`RobustRidge`] recovery chain.
 #[derive(Debug, Clone)]
@@ -116,10 +117,12 @@ impl RobustSolveReport {
 #[derive(Debug, Clone, Default)]
 pub struct RobustRidge {
     cfg: RobustConfig,
+    exec: Executor,
 }
 
-/// Is this an error the jitter/fallback ladder can plausibly fix?
-fn retryable(e: &LinalgError) -> bool {
+/// Is this an error the jitter/fallback ladder can plausibly fix with
+/// more diagonal loading?
+pub fn retryable(e: &LinalgError) -> bool {
     matches!(
         e,
         LinalgError::NotPositiveDefinite { .. }
@@ -128,17 +131,88 @@ fn retryable(e: &LinalgError) -> bool {
     )
 }
 
+/// Outcome of one [`factor_ladder`] walk: the surviving attempt (if any)
+/// plus the paper trail accumulated along the way.
+#[derive(Debug, Clone)]
+pub struct LadderOutcome<T> {
+    /// The successful attempt's value and the extra diagonal loading that
+    /// made it succeed (`0.0` for the plain direct attempt); `None` when
+    /// every attempt broke down retryably.
+    pub value: Option<(T, f64)>,
+    /// One [`RecoveryAction::JitterRetry`] per jittered attempt, in order.
+    pub actions: Vec<RecoveryAction>,
+    /// Human-readable breakdown/recovery descriptions, in order.
+    pub warnings: Vec<String>,
+}
+
+/// Walk the direct → escalating-jitter factorization ladder shared by
+/// [`RobustRidge::solve`] (dense data) and srda-core's sparse dual path,
+/// so both produce byte-identical diagnostics.
+///
+/// `attempt` receives the **total** extra diagonal loading to apply:
+/// `0.0` for the direct try, then `base_jitter * jitter_factor^(k−1)` for
+/// retry `k ∈ 1..=max_retries`. Retryable breakdowns (see [`retryable`])
+/// are recorded and escalated; any other error propagates immediately.
+pub fn factor_ladder<T>(
+    alpha: f64,
+    base_jitter: f64,
+    max_retries: usize,
+    jitter_factor: f64,
+    what: &str,
+    mut attempt: impl FnMut(f64) -> Result<T>,
+) -> Result<LadderOutcome<T>> {
+    let mut out = LadderOutcome {
+        value: None,
+        actions: Vec::new(),
+        warnings: Vec::new(),
+    };
+    match attempt(0.0) {
+        Ok(v) => {
+            out.value = Some((v, 0.0));
+            return Ok(out);
+        }
+        Err(e) if retryable(&e) => out
+            .warnings
+            .push(format!("{what} failed (α = {alpha:e}): {e}")),
+        Err(e) => return Err(e),
+    }
+    for retry in 1..=max_retries {
+        let jitter = base_jitter * jitter_factor.powi(retry as i32 - 1);
+        out.actions.push(RecoveryAction::JitterRetry { jitter });
+        match attempt(jitter) {
+            Ok(v) => {
+                out.warnings.push(format!(
+                    "recovered with diagonal jitter {jitter:e} on retry {retry}"
+                ));
+                out.value = Some((v, jitter));
+                return Ok(out);
+            }
+            Err(e) if retryable(&e) => out
+                .warnings
+                .push(format!("jitter retry {retry} (jitter {jitter:e}) failed: {e}")),
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(out)
+}
+
 impl RobustRidge {
     /// Build a chain with the given configuration.
     pub fn new(cfg: RobustConfig) -> Self {
-        RobustRidge { cfg }
+        Self::with_executor(cfg, Executor::serial())
+    }
+
+    /// Build a chain whose direct solves and LSQR fallback products run
+    /// on the given execution backend.
+    pub fn with_executor(cfg: RobustConfig, exec: Executor) -> Self {
+        RobustRidge { cfg, exec }
     }
 
     /// Factor `x` with ridge `alpha_eff`, solve for all responses, and
     /// verify the result is finite. Any retryable breakdown comes back
     /// as `Err`.
     fn try_direct(&self, x: &Mat, y: &Mat, alpha_eff: f64) -> Result<(Mat, RidgeForm, f64)> {
-        let solver = RidgeSolver::auto(x, alpha_eff)?;
+        let solver = RidgeSolver::auto_exec(x, alpha_eff, self.exec)?;
         let w = solver.solve(x, y)?;
         if !w.as_slice().iter().all(|v| v.is_finite()) {
             return Err(LinalgError::NonFinite {
@@ -179,42 +253,25 @@ impl RobustRidge {
             form: None,
         };
 
-        // Rung 1: plain direct solve.
-        match self.try_direct(x, y, alpha) {
-            Ok((w, form, cond)) => {
-                report.condition_estimate = Some(cond);
-                report.form = Some(form);
-                return Ok((w, report));
+        // Rungs 1 + 2: the shared direct → escalating-jitter ladder
+        // (also used by srda-core's sparse dual path).
+        let outcome = factor_ladder(
+            alpha,
+            self.jitter_for(x, alpha, 1),
+            self.cfg.max_jitter_retries,
+            self.cfg.jitter_factor,
+            "direct solve",
+            |jitter| self.try_direct(x, y, alpha + jitter),
+        )?;
+        report.actions = outcome.actions;
+        report.warnings = outcome.warnings;
+        if let Some(((w, form, cond), jitter)) = outcome.value {
+            if jitter > 0.0 {
+                report.solver = SolverUsed::DirectJittered { jitter };
             }
-            Err(e) if retryable(&e) => {
-                report
-                    .warnings
-                    .push(format!("direct solve failed (α = {alpha:e}): {e}"));
-            }
-            Err(e) => return Err(e),
-        }
-
-        // Rung 2: bounded escalating jitter.
-        for attempt in 1..=self.cfg.max_jitter_retries {
-            let jitter = self.jitter_for(x, alpha, attempt);
-            report.actions.push(RecoveryAction::JitterRetry { jitter });
-            match self.try_direct(x, y, alpha + jitter) {
-                Ok((w, form, cond)) => {
-                    report.warnings.push(format!(
-                        "recovered with diagonal jitter {jitter:e} on retry {attempt}"
-                    ));
-                    report.solver = SolverUsed::DirectJittered { jitter };
-                    report.condition_estimate = Some(cond);
-                    report.form = Some(form);
-                    return Ok((w, report));
-                }
-                Err(e) if retryable(&e) => {
-                    report
-                        .warnings
-                        .push(format!("jitter retry {attempt} (jitter {jitter:e}) failed: {e}"));
-                }
-                Err(e) => return Err(e),
-            }
+            report.condition_estimate = Some(cond);
+            report.form = Some(form);
+            return Ok((w, report));
         }
 
         // Rung 3: damped LSQR, one response column at a time. Never
@@ -227,9 +284,10 @@ impl RobustRidge {
             max_iter: self.cfg.fallback_max_iter,
             tol: self.cfg.fallback_tol,
         };
+        let op = ExecDense::new(x, self.exec);
         let mut w = Mat::zeros(x.ncols(), y.ncols());
         for j in 0..y.ncols() {
-            let r = lsqr(x, &y.col(j), &cfg);
+            let r = lsqr(&op, &y.col(j), &cfg);
             match r.stop {
                 StopReason::Diverged => {
                     return Err(LinalgError::NonFinite {
@@ -314,6 +372,66 @@ mod tests {
         assert!((j3 / j2 - 10.0).abs() < 1e-9);
         // α = 0 uses a data-scaled base instead
         assert!(chain.jitter_for(&x, 0.0, 1) > 0.0);
+    }
+
+    #[test]
+    fn ladder_escalates_and_records_schedule() {
+        let mut calls = Vec::new();
+        let out = factor_ladder(0.5, 2.0, 3, 10.0, "unit factor", |j| {
+            calls.push(j);
+            if j < 100.0 {
+                Err(LinalgError::Singular { pivot: 0 })
+            } else {
+                Ok(j)
+            }
+        })
+        .unwrap();
+        // total jitter per attempt: direct, then base · factor^(k−1)
+        assert_eq!(calls, vec![0.0, 2.0, 20.0, 200.0]);
+        assert_eq!(out.value, Some((200.0, 200.0)));
+        assert_eq!(out.actions.len(), 3);
+        assert_eq!(out.warnings.len(), 4); // direct fail + 2 retry fails + recovery
+        assert!(out.warnings[0].starts_with("unit factor failed (α = 5e-1)"));
+        assert!(out.warnings.last().unwrap().contains("on retry 3"));
+    }
+
+    #[test]
+    fn ladder_exhaustion_returns_no_value() {
+        let out = factor_ladder(1.0, 10.0, 2, 10.0, "unit factor", |_| {
+            Err::<(), _>(LinalgError::Singular { pivot: 1 })
+        })
+        .unwrap();
+        assert!(out.value.is_none());
+        assert_eq!(out.actions.len(), 2);
+        assert_eq!(out.warnings.len(), 3);
+    }
+
+    #[test]
+    fn ladder_propagates_non_retryable_errors() {
+        let err = factor_ladder(1.0, 10.0, 3, 10.0, "unit factor", |_| {
+            Err::<(), _>(LinalgError::ShapeMismatch {
+                op: "unit",
+                lhs: (1, 1),
+                rhs: (2, 2),
+            })
+        })
+        .unwrap_err();
+        assert!(matches!(err, LinalgError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn threaded_executor_matches_serial_bitwise() {
+        let x = noise_mat(40, 17);
+        let y = Mat::from_fn(40, 3, |i, j| ((i + 3 * j) as f64 * 0.21).sin());
+        let (ws, _) = RobustRidge::default().solve(&x, &y, 0.3).unwrap();
+        for t in [2, 4, 9] {
+            let exec = Executor::threaded(t);
+            let (wt, rep) = RobustRidge::with_executor(RobustConfig::default(), exec)
+                .solve(&x, &y, 0.3)
+                .unwrap();
+            assert!(rep.clean());
+            assert!(ws.approx_eq(&wt, 0.0), "threads = {t}");
+        }
     }
 
     #[test]

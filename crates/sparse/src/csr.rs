@@ -1,7 +1,37 @@
 //! Compressed sparse row storage and the `O(nnz)` kernels SRDA relies on.
 
 use crate::{Result, SparseError};
+use srda_kernels::sparse::CsrView;
+use srda_kernels::Executor;
 use srda_linalg::{flam, Mat};
+
+/// Why a budgeted densification (e.g. [`CsrMatrix::gram_t_dense_checked`])
+/// declined: the dense output would need more bytes than the budget allows.
+///
+/// Carried as an error value (rather than a bare `None`) so fit pipelines
+/// can surface the exact numbers in their reports when they fall back to an
+/// iterative solver — the paper's "LDA cannot be applied due to the memory
+/// limit" dashes, made auditable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GramBudgetExceeded {
+    /// Bytes the dense output would occupy (`u128`: cannot overflow even
+    /// for absurd shapes).
+    pub needed_bytes: u128,
+    /// The configured budget in bytes.
+    pub budget_bytes: usize,
+}
+
+impl std::fmt::Display for GramBudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "dense Gram matrix needs {} bytes but the memory budget is {} bytes",
+            self.needed_bytes, self.budget_bytes
+        )
+    }
+}
+
+impl std::error::Error for GramBudgetExceeded {}
 
 /// A compressed-sparse-row matrix of `f64`.
 ///
@@ -181,8 +211,25 @@ impl CsrMatrix {
         }
     }
 
+    /// Borrowed raw-slice view for the `srda-kernels` layer.
+    fn view(&self) -> CsrView<'_> {
+        CsrView {
+            rows: self.rows,
+            cols: self.cols,
+            indptr: &self.indptr,
+            indices: &self.indices,
+            values: &self.values,
+        }
+    }
+
     /// `y = A·x` in one pass over the non-zeros.
     pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        self.matvec_exec(x, &Executor::serial())
+    }
+
+    /// `y = A·x` on the given executor (row-parallel under the threaded
+    /// backend; results are identical on every backend).
+    pub fn matvec_exec(&self, x: &[f64], exec: &Executor) -> Result<Vec<f64>> {
         if x.len() != self.cols {
             return Err(SparseError::ShapeMismatch {
                 op: "matvec",
@@ -191,20 +238,51 @@ impl CsrMatrix {
             });
         }
         flam::add(self.nnz() as u64);
-        let mut y = Vec::with_capacity(self.rows);
-        for i in 0..self.rows {
-            let mut acc = 0.0;
-            for k in self.indptr[i]..self.indptr[i + 1] {
-                acc += self.values[k] * x[self.indices[k]];
-            }
-            y.push(acc);
-        }
+        let mut y = vec![0.0; self.rows];
+        srda_kernels::sparse::csr_matvec(exec, self.view(), x, &mut y);
         Ok(y)
+    }
+
+    /// `y = A·x` into a caller-provided buffer (no allocation) on the
+    /// given executor. `y.len()` must equal `nrows()`.
+    pub fn matvec_into_exec(&self, x: &[f64], y: &mut [f64], exec: &Executor) -> Result<()> {
+        if x.len() != self.cols || y.len() != self.rows {
+            return Err(SparseError::ShapeMismatch {
+                op: "matvec_into",
+                lhs: self.shape(),
+                rhs: (x.len(), 1),
+            });
+        }
+        flam::add(self.nnz() as u64);
+        srda_kernels::sparse::csr_matvec(exec, self.view(), x, y);
+        Ok(())
     }
 
     /// `y = Aᵀ·x` in one pass over the non-zeros (scatter form; no
     /// transposed copy is materialized).
     pub fn matvec_t(&self, x: &[f64]) -> Result<Vec<f64>> {
+        self.matvec_t_exec(x, &Executor::serial())
+    }
+
+    /// `y = Aᵀ·x` into a caller-provided buffer (no allocation) on the
+    /// given executor. `y.len()` must equal `ncols()`.
+    pub fn matvec_t_into_exec(&self, x: &[f64], y: &mut [f64], exec: &Executor) -> Result<()> {
+        if x.len() != self.rows || y.len() != self.cols {
+            return Err(SparseError::ShapeMismatch {
+                op: "matvec_t_into",
+                lhs: self.shape(),
+                rhs: (x.len(), 1),
+            });
+        }
+        flam::add(self.nnz() as u64);
+        srda_kernels::sparse::csr_matvec_t(exec, self.view(), x, y);
+        Ok(())
+    }
+
+    /// `y = Aᵀ·x` on the given executor. Executed as a deterministic block
+    /// reduction (fixed block size shared with the dense kernel), so the
+    /// result is identical for every backend and thread count.
+    pub fn matvec_t_exec(&self, x: &[f64], exec: &Executor) -> Result<Vec<f64>> {
         if x.len() != self.rows {
             return Err(SparseError::ShapeMismatch {
                 op: "matvec_t",
@@ -214,20 +292,18 @@ impl CsrMatrix {
         }
         flam::add(self.nnz() as u64);
         let mut y = vec![0.0; self.cols];
-        for (i, &xi) in x.iter().enumerate() {
-            if xi == 0.0 {
-                continue;
-            }
-            for k in self.indptr[i]..self.indptr[i + 1] {
-                y[self.indices[k]] += self.values[k] * xi;
-            }
-        }
+        srda_kernels::sparse::csr_matvec_t(exec, self.view(), x, &mut y);
         Ok(y)
     }
 
     /// Dense `m × p` product `A·B` (used when projecting sparse data through
     /// a learned dense embedding; cost `O(nnz · p)`).
     pub fn matmul_dense(&self, b: &Mat) -> Result<Mat> {
+        self.matmul_dense_exec(b, &Executor::serial())
+    }
+
+    /// Dense product `A·B` on the given executor (row-parallel).
+    pub fn matmul_dense_exec(&self, b: &Mat, exec: &Executor) -> Result<Mat> {
         if self.cols != b.nrows() {
             return Err(SparseError::ShapeMismatch {
                 op: "matmul_dense",
@@ -238,16 +314,7 @@ impl CsrMatrix {
         let p = b.ncols();
         flam::add((self.nnz() * p) as u64);
         let mut out = Mat::zeros(self.rows, p);
-        for i in 0..self.rows {
-            let orow = out.row_mut(i);
-            for k in self.indptr[i]..self.indptr[i + 1] {
-                let v = self.values[k];
-                let brow = b.row(self.indices[k]);
-                for (o, &bj) in orow.iter_mut().zip(brow) {
-                    *o += v * bj;
-                }
-            }
-        }
+        srda_kernels::sparse::csr_matmul_dense(exec, self.view(), b.as_slice(), p, out.as_mut_slice());
         Ok(out)
     }
 
@@ -393,35 +460,41 @@ impl CsrMatrix {
     /// Dense outer Gram matrix `A·Aᵀ` (`m × m`), computed by merging sorted
     /// row index lists — `O(m² · s)` with `s` the average row nnz, never
     /// densifying `A`. Returns `None` if the `m × m` output would exceed
-    /// `budget_bytes` (the Tables IX/X memory guard).
+    /// `budget_bytes` (the Tables IX/X memory guard). Prefer
+    /// [`CsrMatrix::gram_t_dense_checked`], which reports the decline
+    /// reason instead of swallowing it.
     pub fn gram_t_dense_bounded(&self, budget_bytes: usize) -> Option<Mat> {
-        let need = self.rows.checked_mul(self.rows)?.checked_mul(8)?;
-        if need > budget_bytes {
-            return None;
+        self.gram_t_dense_checked(budget_bytes).ok()
+    }
+
+    /// Like [`CsrMatrix::gram_t_dense_bounded`], but a decline carries the
+    /// exact needed-vs-budget byte counts for fit-report surfacing.
+    pub fn gram_t_dense_checked(
+        &self,
+        budget_bytes: usize,
+    ) -> std::result::Result<Mat, GramBudgetExceeded> {
+        self.gram_t_dense_checked_exec(budget_bytes, &Executor::serial())
+    }
+
+    /// Budgeted dense outer Gram on the given executor: the upper triangle
+    /// of row dots is row-block-parallel under the threaded backend, with
+    /// identical numerics on every backend.
+    pub fn gram_t_dense_checked_exec(
+        &self,
+        budget_bytes: usize,
+        exec: &Executor,
+    ) -> std::result::Result<Mat, GramBudgetExceeded> {
+        let need = self.rows as u128 * self.rows as u128 * 8;
+        if need > budget_bytes as u128 {
+            return Err(GramBudgetExceeded {
+                needed_bytes: need,
+                budget_bytes,
+            });
         }
         flam::add((self.rows * self.nnz().max(1)) as u64 / 2);
         let mut g = Mat::zeros(self.rows, self.rows);
-        for i in 0..self.rows {
-            for j in i..self.rows {
-                let (mut a, enda) = (self.indptr[i], self.indptr[i + 1]);
-                let (mut b, endb) = (self.indptr[j], self.indptr[j + 1]);
-                let mut acc = 0.0;
-                while a < enda && b < endb {
-                    match self.indices[a].cmp(&self.indices[b]) {
-                        std::cmp::Ordering::Less => a += 1,
-                        std::cmp::Ordering::Greater => b += 1,
-                        std::cmp::Ordering::Equal => {
-                            acc += self.values[a] * self.values[b];
-                            a += 1;
-                            b += 1;
-                        }
-                    }
-                }
-                g[(i, j)] = acc;
-                g[(j, i)] = acc;
-            }
-        }
-        Some(g)
+        srda_kernels::sparse::csr_gram_t(exec, self.view(), g.as_mut_slice());
+        Ok(g)
     }
 
     /// Estimated memory footprint in bytes of the CSR arrays.
@@ -592,6 +665,56 @@ mod tests {
         assert!(g.approx_eq(&expect, 1e-14));
         // budget guard
         assert!(a.gram_t_dense_bounded(8).is_none());
+    }
+
+    #[test]
+    fn gram_t_checked_reports_decline_reason() {
+        let a = sample(); // 3x3 -> dense Gram needs 3*3*8 = 72 bytes
+        let err = a.gram_t_dense_checked(8).unwrap_err();
+        assert_eq!(err.needed_bytes, 72);
+        assert_eq!(err.budget_bytes, 8);
+        let msg = err.to_string();
+        assert!(msg.contains("72 bytes") && msg.contains("8 bytes"), "{msg}");
+        assert!(a.gram_t_dense_checked(72).is_ok());
+    }
+
+    #[test]
+    fn exec_products_match_serial_bitwise() {
+        // Large enough to straddle block boundaries; thread counts beyond
+        // the row count must also agree exactly.
+        let d = Mat::from_fn(130, 37, |i, j| {
+            if (i * 13 + j * 7) % 3 == 0 {
+                ((i * 5 + j) % 17) as f64 - 8.0
+            } else {
+                0.0
+            }
+        });
+        let a = CsrMatrix::from_dense(&d, 0.0);
+        let x: Vec<f64> = (0..37).map(|j| j as f64 * 0.5 - 9.0).collect();
+        let xt: Vec<f64> = (0..130)
+            .map(|i| if i % 4 == 0 { 0.0 } else { i as f64 * 0.01 })
+            .collect();
+        let b = Mat::from_fn(37, 6, |i, j| (i as f64 - j as f64) * 0.25);
+        let serial = srda_kernels::Executor::serial();
+        for &t in &[2usize, 4, 512] {
+            let exec = srda_kernels::Executor::threaded(t);
+            assert_eq!(
+                a.matvec_exec(&x, &exec).unwrap(),
+                a.matvec_exec(&x, &serial).unwrap()
+            );
+            assert_eq!(
+                a.matvec_t_exec(&xt, &exec).unwrap(),
+                a.matvec_t_exec(&xt, &serial).unwrap()
+            );
+            assert!(a
+                .matmul_dense_exec(&b, &exec)
+                .unwrap()
+                .approx_eq(&a.matmul_dense_exec(&b, &serial).unwrap(), 0.0));
+            assert!(a
+                .gram_t_dense_checked_exec(usize::MAX, &exec)
+                .unwrap()
+                .approx_eq(&a.gram_t_dense_checked_exec(usize::MAX, &serial).unwrap(), 0.0));
+        }
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod disk;
 pub mod io;
 
 pub use coo::CooBuilder;
-pub use csr::CsrMatrix;
+pub use csr::{CsrMatrix, GramBudgetExceeded};
 pub use disk::DiskCsr;
 
 /// Errors produced by sparse-matrix construction and kernels.

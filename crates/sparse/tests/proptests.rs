@@ -51,6 +51,26 @@ proptest! {
     }
 
     #[test]
+    fn exec_backends_match_serial_bitwise((m, n, ts) in coo_strategy(), threads in 2usize..12) {
+        // threaded CSR kernels must be bit-identical to serial — same
+        // per-row summation order, rows merely partitioned across threads
+        // (threads > nrows is common here and must degrade gracefully)
+        let s = build(m, n, &ts);
+        let ser = srda_linalg::Executor::serial();
+        let par = srda_linalg::Executor::threaded(threads);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.91).sin()).collect();
+        prop_assert_eq!(s.matvec_exec(&x, &ser).unwrap(), s.matvec_exec(&x, &par).unwrap());
+        let xt: Vec<f64> = (0..m).map(|i| (i as f64 * 0.37).cos()).collect();
+        prop_assert_eq!(s.matvec_t_exec(&xt, &ser).unwrap(), s.matvec_t_exec(&xt, &par).unwrap());
+        let b = srda_linalg::Mat::from_vec(n, 2, (0..2 * n).map(|k| (k as f64 * 0.11).sin()).collect()).unwrap();
+        prop_assert!(s.matmul_dense_exec(&b, &ser).unwrap()
+            .approx_eq(&s.matmul_dense_exec(&b, &par).unwrap(), 0.0));
+        let g_ser = s.gram_t_dense_checked_exec(usize::MAX, &ser).unwrap();
+        let g_par = s.gram_t_dense_checked_exec(usize::MAX, &par).unwrap();
+        prop_assert!(g_ser.approx_eq(&g_par, 0.0));
+    }
+
+    #[test]
     fn transpose_is_involution_and_matches_dense((m, n, ts) in coo_strategy()) {
         let s = build(m, n, &ts);
         let t = s.transpose();

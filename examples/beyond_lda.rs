@@ -112,7 +112,11 @@ fn main() {
         ("linear kernel", Kernel::Linear),
         ("RBF kernel (gamma = 0.5)", Kernel::Rbf { gamma: 0.5 }),
     ] {
-        let model = KernelSrda::new(KernelSrdaConfig { kernel, alpha: 0.1 })
+        let model = KernelSrda::new(KernelSrdaConfig {
+            kernel,
+            alpha: 0.1,
+            ..KernelSrdaConfig::default()
+        })
             .fit_dense(&x, &y)
             .unwrap();
         let z = model.transform_dense(&x).unwrap();

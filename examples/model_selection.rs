@@ -67,6 +67,7 @@ fn main() {
                 },
                 memory_budget_bytes: None,
                 parallel_responses: false,
+                ..SrdaConfig::default()
             }),
             &train.x,
             &train.labels,

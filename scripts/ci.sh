@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints, and the full test suite.
+# Local CI gate: formatting, lints, the full test suite under both
+# execution backends, and a kernel-benchmark smoke run.
 # Usage: scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -10,7 +11,21 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo test"
-cargo test --workspace -q
+# Every test must pass under the serial backend AND a thread-
+# oversubscribed one: results are required to be bitwise identical, so
+# nothing may rely on the default ExecPolicy resolving to serial.
+echo "==> cargo test (SRDA_THREADS=1, serial backend)"
+SRDA_THREADS=1 cargo test --workspace -q
+
+echo "==> cargo test (SRDA_THREADS=4, threaded backend)"
+SRDA_THREADS=4 cargo test --workspace -q
+
+# Bench smoke: tiny scale, still exercises all four kernels and the
+# serial-vs-threaded bitwise check (bench_kernels exits nonzero on any
+# divergence). The full-scale BENCH_kernels.json is produced manually.
+echo "==> bench smoke (bench_kernels, reduced scale)"
+SRDA_BENCH_SCALE=0.05 SRDA_BENCH_THREADS=4 \
+    cargo run -q --release -p srda-bench --bin bench_kernels \
+    -- target/BENCH_kernels.smoke.json
 
 echo "CI OK"

@@ -52,6 +52,7 @@ fn kernel_srda_with_linear_kernel_tracks_linear_srda() {
     let kern = KernelSrda::new(KernelSrdaConfig {
         kernel: Kernel::Linear,
         alpha: 1.0,
+        ..KernelSrdaConfig::default()
     })
     .fit_dense(&tr.x, &tr.labels)
     .unwrap();
