@@ -90,12 +90,25 @@ USAGE:
   srda train     --data FILE --features N --model OUT.json
                  [--alpha 1.0] [--solver ne|lsqr] [--iters 15]
                  [--threads N]   (default: SRDA_THREADS, else serial)
+                 [--time-budget SECS] [--iter-budget N]
+                 [--checkpoint-dir DIR] [--checkpoint-every 25]
+                 [--sanitize off|reject|drop|impute] [--strict true]
+  srda resume    --data FILE --checkpoint FILE.ckpt --model OUT.json
+                 [--threads N] [--time-budget SECS] [--iter-budget N]
   srda eval      --data FILE --model MODEL.json
   srda transform --data FILE --model MODEL.json [--out FILE.csv]
   srda generate  --dataset pie|isolet|mnist|news --out FILE
                  [--scale 0.1] [--seed 42]
   srda tune      --data FILE [--grid 0.01,0.1,1,10,100]
                  [--folds 5] [--iters 15] [--seed 0]
+
+Budgets: when --time-budget or --iter-budget runs out mid-fit, the run
+stops with exit code 3; with --checkpoint-dir set, a resumable
+checkpoint (srda-fit.ckpt) is written, and `srda resume` continues it
+to a bitwise-identical model. --sanitize quarantines degenerate input
+(NaN/Inf cells, duplicate rows, under-sized classes, constant
+features); --strict true fails the run when the fit ledger is not
+clean.
 
 Data files use the LIBSVM text format with 0-based feature indices:
   <label> <idx>:<val> <idx>:<val> ...

@@ -3,11 +3,16 @@
 
 use crate::args::ParsedArgs;
 use crate::model_file::{SavedModel, FORMAT_VERSION};
-use crate::{CliError, Result};
-use srda::{Srda, SrdaConfig, SrdaSolver};
+use crate::{CliError, Result, EXIT_INTERRUPTED};
+use srda::{
+    CheckpointPolicy, FitCheckpoint, FitOutcome, QuarantineSummary, RunBudget, RunGovernor,
+    Srda, SrdaConfig, SrdaSolver,
+};
+use srda_data::sanitize::{sanitize_sparse, NonFinitePolicy, SanitizeConfig, SanitizeReport};
 use srda_eval::ConfusionMatrix;
 use srda_sparse::io::LabeledSparse;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 fn load_data(path: &str, n_features: Option<usize>) -> Result<LabeledSparse> {
     let text = std::fs::read_to_string(path)?;
@@ -36,26 +41,157 @@ fn infer_features(text: &str) -> Result<usize> {
     Ok(max_idx)
 }
 
-/// `srda train`.
-pub fn train(args: &ParsedArgs) -> Result<String> {
-    args.ensure_only(&["data", "features", "model", "alpha", "solver", "iters", "threads"])?;
-    let data_path = args.required("data")?;
-    let model_path = args.required("model")?.to_string();
-    let n_features = args.optional("features").map(|_| args.parse_required("features")).transpose()?;
-    let alpha: f64 = args.parse_or("alpha", 1.0)?;
-    let iters: usize = args.parse_or("iters", 15)?;
-    // --threads N picks the execution backend for the hot kernels;
-    // omitted, it defers to SRDA_THREADS (srda::ExecPolicy::from_env)
-    let exec = match args.optional("threads") {
-        None => srda::ExecPolicy::from_env(),
+/// Parse `--threads` into an execution policy (defers to `SRDA_THREADS`
+/// when omitted).
+fn exec_policy(args: &ParsedArgs) -> Result<srda::ExecPolicy> {
+    match args.optional("threads") {
+        None => Ok(srda::ExecPolicy::from_env()),
         Some(_) => {
             let n: usize = args.parse_required("threads")?;
             if n == 0 {
                 return Err(CliError::new("--threads must be >= 1"));
             }
-            srda::ExecPolicy::threaded(n)
+            Ok(srda::ExecPolicy::threaded(n))
+        }
+    }
+}
+
+/// Parse the governor (`--time-budget SECS`, `--iter-budget N`) and
+/// checkpoint (`--checkpoint-dir DIR`, `--checkpoint-every N`) flags
+/// shared by `train` and `resume`.
+fn governance(
+    args: &ParsedArgs,
+) -> Result<(Option<RunGovernor>, Option<CheckpointPolicy>)> {
+    let max_wall = match args.optional("time-budget") {
+        None => None,
+        Some(_) => {
+            let secs: f64 = args.parse_required("time-budget")?;
+            if !(secs > 0.0) {
+                return Err(CliError::new("--time-budget must be > 0 seconds"));
+            }
+            Some(Duration::from_secs_f64(secs))
         }
     };
+    let iter_cap = args
+        .optional("iter-budget")
+        .map(|_| args.parse_required::<usize>("iter-budget"))
+        .transpose()?;
+    let governor = if max_wall.is_some() || iter_cap.is_some() {
+        Some(RunGovernor::with_budget(RunBudget {
+            deadline: None,
+            max_wall,
+            iter_cap,
+        }))
+    } else {
+        None
+    };
+    let checkpoint = args
+        .optional("checkpoint-dir")
+        .map(|d| -> Result<CheckpointPolicy> {
+            Ok(CheckpointPolicy {
+                dir: PathBuf::from(d),
+                every: args.parse_or("checkpoint-every", 25)?,
+            })
+        })
+        .transpose()?;
+    if checkpoint.is_none() && args.optional("checkpoint-every").is_some() {
+        return Err(CliError::new(
+            "--checkpoint-every needs --checkpoint-dir",
+        ));
+    }
+    Ok((governor, checkpoint))
+}
+
+/// Run the `--sanitize` quarantine pass, returning the (possibly
+/// repaired) data plus its summary and human-readable notes.
+fn sanitize_pass(
+    mode: &str,
+    data: LabeledSparse,
+) -> Result<(LabeledSparse, Option<QuarantineSummary>, Vec<String>)> {
+    let non_finite = match mode {
+        "off" => return Ok((data, None, Vec::new())),
+        "reject" => NonFinitePolicy::Reject,
+        "drop" => NonFinitePolicy::QuarantineRow,
+        "impute" => NonFinitePolicy::Impute,
+        other => {
+            return Err(CliError::new(format!(
+                "unknown --sanitize {other:?} (off|reject|drop|impute)"
+            )))
+        }
+    };
+    let cfg = SanitizeConfig {
+        non_finite,
+        drop_duplicate_rows: true,
+        min_class_size: 2,
+        drop_constant_features: true,
+    };
+    let s = sanitize_sparse(&data.x, &data.labels, &cfg)
+        .map_err(|e| CliError::new(format!("sanitize: {e}")))?;
+    let notes = sanitize_notes(&s.report);
+    let summary = QuarantineSummary {
+        non_finite_rows: s.report.non_finite_rows.len(),
+        imputed_cells: s.report.imputed_cells,
+        duplicate_rows: s.report.duplicate_rows.len(),
+        small_class_rows: s.report.small_class_rows.len(),
+        dropped_classes: s.report.dropped_classes.len(),
+        constant_features: s.report.constant_features.len(),
+    };
+    Ok((
+        LabeledSparse {
+            x: s.x,
+            labels: s.labels,
+        },
+        Some(summary),
+        notes,
+    ))
+}
+
+/// Human-readable lines for everything a quarantine pass did.
+fn sanitize_notes(r: &SanitizeReport) -> Vec<String> {
+    let mut notes = Vec::new();
+    let mut count = |n: usize, what: &str| {
+        if n > 0 {
+            notes.push(format!("quarantine: {n} {what}"));
+        }
+    };
+    count(r.non_finite_rows.len(), "row(s) dropped for NaN/Inf cells");
+    count(r.imputed_cells, "non-finite cell(s) imputed");
+    count(r.duplicate_rows.len(), "duplicate row(s) dropped");
+    count(
+        r.small_class_rows.len(),
+        "row(s) dropped from under-sized classes",
+    );
+    count(r.dropped_classes.len(), "class(es) dropped");
+    count(r.constant_features.len(), "constant feature(s) dropped");
+    notes.extend(r.warnings.iter().map(|w| format!("quarantine: {w}")));
+    notes
+}
+
+/// `srda train`.
+pub fn train(args: &ParsedArgs) -> Result<String> {
+    args.ensure_only(&[
+        "data",
+        "features",
+        "model",
+        "alpha",
+        "solver",
+        "iters",
+        "threads",
+        "time-budget",
+        "iter-budget",
+        "checkpoint-dir",
+        "checkpoint-every",
+        "strict",
+        "sanitize",
+    ])?;
+    let data_path = args.required("data")?;
+    let model_path = args.required("model")?.to_string();
+    let n_features = args.optional("features").map(|_| args.parse_required("features")).transpose()?;
+    let alpha: f64 = args.parse_or("alpha", 1.0)?;
+    let iters: usize = args.parse_or("iters", 15)?;
+    let strict: bool = args.parse_or("strict", false)?;
+    let exec = exec_policy(args)?;
+    let (governor, checkpoint) = governance(args)?;
     let solver = match args.optional("solver").unwrap_or("lsqr") {
         "ne" => SrdaSolver::NormalEquations,
         "lsqr" => SrdaSolver::Lsqr {
@@ -66,22 +202,122 @@ pub fn train(args: &ParsedArgs) -> Result<String> {
     };
 
     let data = load_data(data_path, n_features)?;
+    let (data, quarantine, notes) =
+        sanitize_pass(args.optional("sanitize").unwrap_or("off"), data)?;
+    for note in &notes {
+        eprintln!("warning: {note}");
+    }
+
+    let config = SrdaConfig {
+        alpha,
+        solver,
+        exec,
+        governor,
+        checkpoint,
+        ..SrdaConfig::default()
+    };
+    fit_and_save(config, data, &model_path, quarantine, notes, strict)
+}
+
+/// `srda resume`: continue an interrupted LSQR fit from its checkpoint.
+/// The solver configuration (α, iteration cap, tolerance) is read back
+/// from the checkpoint's fingerprint, so only the data and destination
+/// need to be re-specified.
+pub fn resume(args: &ParsedArgs) -> Result<String> {
+    args.ensure_only(&[
+        "data",
+        "features",
+        "model",
+        "checkpoint",
+        "threads",
+        "time-budget",
+        "iter-budget",
+        "checkpoint-dir",
+        "checkpoint-every",
+        "strict",
+    ])?;
+    let data_path = args.required("data")?;
+    let model_path = args.required("model")?.to_string();
+    let ckpt_path = PathBuf::from(args.required("checkpoint")?);
+    let n_features = args.optional("features").map(|_| args.parse_required("features")).transpose()?;
+    let strict: bool = args.parse_or("strict", false)?;
+    let exec = exec_policy(args)?;
+    let (governor, mut checkpoint) = governance(args)?;
+
+    let ckpt = FitCheckpoint::read(&ckpt_path)
+        .map_err(|e| CliError::new(format!("checkpoint: {e}")))?;
+    let fp = &ckpt.fingerprint;
+    // keep refreshing the same checkpoint file by default, so a resumed
+    // run that is itself interrupted stays resumable
+    if checkpoint.is_none() {
+        checkpoint = ckpt_path.parent().map(|dir| CheckpointPolicy {
+            dir: dir.to_path_buf(),
+            every: 25,
+        });
+    }
+
+    let data = load_data(data_path, n_features)?;
+    let config = SrdaConfig {
+        alpha: fp.alpha(),
+        solver: SrdaSolver::Lsqr {
+            max_iter: fp.max_iter as usize,
+            tol: fp.tol(),
+        },
+        exec,
+        governor,
+        checkpoint,
+        resume_from: Some(ckpt_path),
+        ..SrdaConfig::default()
+    };
+    fit_and_save(config, data, &model_path, None, Vec::new(), strict)
+}
+
+/// Shared tail of `train` and `resume`: fit, handle interrupts, save the
+/// model, and render/emit the robustness ledger.
+fn fit_and_save(
+    config: SrdaConfig,
+    data: LabeledSparse,
+    model_path: &str,
+    quarantine: Option<QuarantineSummary>,
+    mut warned: Vec<String>,
+    strict: bool,
+) -> Result<String> {
     let n_classes = data
         .labels
         .iter()
         .max()
         .map(|&m| m + 1)
         .ok_or_else(|| CliError::new("empty data file"))?;
+    let alpha = config.alpha;
 
     let start = std::time::Instant::now();
-    let model = Srda::new(SrdaConfig {
-        alpha,
-        solver,
-        exec,
-        ..SrdaConfig::default()
-    })
-    .fit_sparse(&data.x, &data.labels)?;
+    let outcome = Srda::new(config).fit_sparse_outcome(&data.x, &data.labels)?;
     let secs = start.elapsed().as_secs_f64();
+
+    let mut model = match outcome {
+        FitOutcome::Complete(m) => m,
+        FitOutcome::Interrupted(i) => {
+            for w in &i.report.warnings {
+                eprintln!("warning: {w}");
+            }
+            let mut msg = format!(
+                "fit interrupted ({}) after {}/{} responses, {} iterations, {:.3}s",
+                i.reason, i.responses_completed, i.total_responses, i.iterations, secs
+            );
+            match &i.checkpoint {
+                Some(p) => msg.push_str(&format!(
+                    "\nresumable checkpoint written to {}\ncontinue with: srda resume --checkpoint {} --data <FILE> --model <OUT>",
+                    p.display(),
+                    p.display()
+                )),
+                None => msg.push_str("\nno checkpoint written (use --checkpoint-dir to make interrupted runs resumable)"),
+            }
+            return Err(CliError::with_code(msg, EXIT_INTERRUPTED));
+        }
+    };
+    if let Some(q) = quarantine {
+        model.attach_quarantine(q);
+    }
 
     // centroids in embedded space, for data-free prediction later
     let z = model.embedding().transform_sparse(&data.x)?;
@@ -95,9 +331,9 @@ pub fn train(args: &ParsedArgs) -> Result<String> {
         embedding: model.embedding().clone(),
         centroids,
     };
-    saved.save(Path::new(&model_path))?;
+    saved.save(Path::new(model_path))?;
 
-    let mut out = format!(
+    let out = format!(
         "trained on {} samples x {} features ({} classes) in {:.3}s\n\
          embedding: {} -> {} dims; model written to {}",
         data.x.nrows(),
@@ -108,12 +344,25 @@ pub fn train(args: &ParsedArgs) -> Result<String> {
         saved.embedding.n_components(),
         model_path
     );
-    // surface the fit's robustness ledger: a degraded fit (jittered
-    // ridge, LSQR fallback, stagnation) must be visible, not silent
+    // surface the fit's robustness ledger on stderr: a degraded fit
+    // (jittered ridge, LSQR fallback, quarantined data) must be
+    // visible, not silent — and fatal under --strict
     let report = model.fit_report();
     if !report.clean() {
         for w in &report.warnings {
-            out.push_str(&format!("\nwarning: {w}"));
+            eprintln!("warning: {w}");
+            warned.push(w.clone());
+        }
+        for r in &report.recoveries {
+            eprintln!("warning: recovery taken: {r:?}");
+            warned.push(format!("recovery taken: {r:?}"));
+        }
+        if strict {
+            return Err(CliError::new(format!(
+                "--strict: fit completed but is not clean ({} warning(s); model written to {})",
+                warned.len().max(1),
+                model_path
+            )));
         }
     }
     Ok(out)
@@ -252,6 +501,7 @@ pub fn tune(args: &ParsedArgs) -> Result<String> {
 pub fn run(args: &ParsedArgs) -> Result<String> {
     match args.command.as_str() {
         "train" => train(args),
+        "resume" => resume(args),
         "eval" => eval(args),
         "transform" => transform(args),
         "generate" => generate(args),
@@ -462,6 +712,160 @@ mod tests {
     fn infer_features_from_file() {
         assert_eq!(infer_features("0 3:1 7:2\n1 5:1\n").unwrap(), 8);
         assert!(infer_features("0\n1\n").is_err());
+    }
+
+    #[test]
+    fn interrupted_train_exits_3_and_resume_matches_baseline() {
+        let dir = tmpdir("resume");
+        let data = dir.join("data.svm");
+        run(&sv(&[
+            "generate",
+            "--dataset",
+            "news",
+            "--scale",
+            "0.02",
+            "--seed",
+            "11",
+            "--out",
+            data.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        // uninterrupted baseline
+        let baseline = dir.join("baseline.json");
+        run(&sv(&[
+            "train",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            baseline.to_str().unwrap(),
+            "--solver",
+            "lsqr",
+            "--iters",
+            "8",
+        ]))
+        .unwrap();
+
+        // budget-limited run: must stop with the resume exit code and
+        // leave a checkpoint behind
+        let model = dir.join("resumed.json");
+        let ckpt_dir = dir.join("ckpt");
+        let err = run(&sv(&[
+            "train",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+            "--solver",
+            "lsqr",
+            "--iters",
+            "8",
+            "--iter-budget",
+            "20",
+            "--checkpoint-dir",
+            ckpt_dir.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code, EXIT_INTERRUPTED, "{}", err.message);
+        assert!(err.message.contains("srda resume"), "{}", err.message);
+        let ckpt = ckpt_dir.join(srda::FIT_CHECKPOINT_FILE);
+        assert!(ckpt.exists());
+        assert!(!model.exists(), "an interrupted run must not write a model");
+
+        // resume to completion: the serialized models (full float
+        // formatting) must match the uninterrupted baseline exactly
+        let msg = run(&sv(&[
+            "resume",
+            "--data",
+            data.to_str().unwrap(),
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(msg.contains("trained"), "{msg}");
+        assert_eq!(
+            std::fs::read_to_string(&baseline).unwrap(),
+            std::fs::read_to_string(&model).unwrap(),
+            "resumed model must be bitwise identical to the baseline"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sanitize_and_strict_flags() {
+        let dir = tmpdir("sanitize");
+        let data = dir.join("dirty.svm");
+        // row 2 duplicates row 1; class 2 is a singleton; feature 3 is
+        // constant over surviving rows
+        std::fs::write(
+            &data,
+            "0 0:1 3:5\n0 0:1 3:5\n0 0:2 3:5\n1 1:1 3:5\n1 1:2 3:5\n2 2:9 3:5\n",
+        )
+        .unwrap();
+        let model = dir.join("m.json");
+
+        // strict + quarantined data → the model is written but the run
+        // fails loudly
+        let err = run(&sv(&[
+            "train",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+            "--solver",
+            "ne",
+            "--sanitize",
+            "drop",
+            "--strict",
+            "true",
+        ]))
+        .unwrap_err();
+        assert!(err.message.contains("--strict"), "{}", err.message);
+        assert!(model.exists());
+
+        // same run without --strict succeeds
+        let msg = run(&sv(&[
+            "train",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+            "--solver",
+            "ne",
+            "--sanitize",
+            "drop",
+        ]))
+        .unwrap();
+        // 6 rows → dup + singleton-class row quarantined → 4 survive
+        assert!(msg.contains("trained on 4 samples"), "{msg}");
+
+        // bad mode is a parse-style failure
+        assert!(run(&sv(&[
+            "train",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+            "--sanitize",
+            "zebra",
+        ]))
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn governance_flag_validation() {
+        let p = |extra: &[&str]| {
+            let mut v = vec!["train", "--data", "x.svm", "--model", "m.json"];
+            v.extend_from_slice(extra);
+            sv(&v)
+        };
+        assert!(train(&p(&["--time-budget", "0"])).is_err());
+        assert!(train(&p(&["--time-budget", "-1"])).is_err());
+        assert!(train(&p(&["--checkpoint-every", "5"])).is_err()); // needs dir
+        assert!(train(&p(&["--strict", "zebra"])).is_err());
     }
 
     #[test]

@@ -24,11 +24,22 @@ pub mod args;
 pub mod commands;
 pub mod model_file;
 
+/// Exit code for ordinary command failures.
+pub const EXIT_FAILURE: i32 = 1;
+/// Exit code for argument-parse errors.
+pub const EXIT_USAGE: i32 = 2;
+/// Exit code for a budget-interrupted fit: not a failure — the partial
+/// state was checkpointed (when `--checkpoint-dir` was given) and the
+/// run can be continued with `srda resume`.
+pub const EXIT_INTERRUPTED: i32 = 3;
+
 /// CLI error type: a message destined for stderr plus an exit code.
 #[derive(Debug)]
 pub struct CliError {
     /// Message printed to stderr.
     pub message: String,
+    /// Process exit code (`EXIT_FAILURE` unless stated otherwise).
+    pub code: i32,
 }
 
 impl std::fmt::Display for CliError {
@@ -40,10 +51,19 @@ impl std::fmt::Display for CliError {
 impl std::error::Error for CliError {}
 
 impl CliError {
-    /// Build from anything printable.
+    /// Build from anything printable, with the generic failure code.
     pub fn new(message: impl Into<String>) -> Self {
         CliError {
             message: message.into(),
+            code: EXIT_FAILURE,
+        }
+    }
+
+    /// Build with an explicit exit code.
+    pub fn with_code(message: impl Into<String>, code: i32) -> Self {
+        CliError {
+            message: message.into(),
+            code,
         }
     }
 }

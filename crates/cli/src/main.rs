@@ -6,14 +6,14 @@ fn main() {
         Ok(p) => p,
         Err(e) => {
             eprintln!("{e}");
-            std::process::exit(2);
+            std::process::exit(srda_cli::EXIT_USAGE);
         }
     };
     match srda_cli::commands::run(&parsed) {
         Ok(report) => println!("{report}"),
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(1);
+            std::process::exit(e.code);
         }
     }
 }

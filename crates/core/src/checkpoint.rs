@@ -1,0 +1,529 @@
+//! Fit-level checkpoint: resume an interrupted multi-response SRDA fit.
+//!
+//! The solver-level [`LsqrCheckpoint`] captures one response solve; an
+//! SRDA fit is `c − 1` of them in sequence. A [`FitCheckpoint`] records
+//! the fully-solved response columns (weights, iteration counts, stop
+//! reasons, accumulated warnings) plus the in-flight solver state of the
+//! response that was interrupted mid-solve, so `Srda` can resume and
+//! produce a **bitwise-identical** model to the uninterrupted run.
+//!
+//! The file format mirrors `srda-solvers`' checkpoint format: a magic
+//! header (`SRDAFCK1`), a little-endian payload, and a CRC-32 trailer,
+//! written via atomic rename so a crash mid-write never leaves a torn
+//! checkpoint behind. The fingerprint binds the state to the exact
+//! problem — data shape, response count, `α`, iteration cap, tolerance,
+//! and a CRC of the labels — and also lets the CLI `resume` subcommand
+//! reconstruct the training configuration without re-specifying it.
+
+use srda_solvers::checkpoint::{CheckpointError, LsqrCheckpoint};
+use srda_solvers::StopReason;
+use srda_sparse::crc32::crc32;
+use std::io::Write;
+use std::path::Path;
+
+/// Magic bytes opening every fit-checkpoint file (version 1).
+pub const FIT_CHECKPOINT_MAGIC: &[u8; 8] = b"SRDAFCK1";
+
+/// File name a fit writes inside its configured checkpoint directory.
+pub const FIT_CHECKPOINT_FILE: &str = "srda-fit.ckpt";
+
+/// Identity of the fit a checkpoint belongs to. Resuming against data or
+/// a configuration that differs in any field is refused — silently mixing
+/// trajectories from two different problems would corrupt the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FitFingerprint {
+    /// Training samples `m`.
+    pub nrows: u64,
+    /// Raw feature count `n` (before bias augmentation).
+    pub ncols: u64,
+    /// Response columns `c − 1`.
+    pub n_responses: u64,
+    /// Bit pattern of the ridge parameter `α`.
+    pub alpha_bits: u64,
+    /// Per-response LSQR iteration cap.
+    pub max_iter: u64,
+    /// Bit pattern of the LSQR stopping tolerance.
+    pub tol_bits: u64,
+    /// CRC-32 over the label vector (little-endian `u64`s).
+    pub labels_crc: u32,
+}
+
+impl FitFingerprint {
+    /// Fingerprint the fit of `m × n` data with labels `y` under the
+    /// given LSQR configuration.
+    pub fn new(
+        nrows: usize,
+        ncols: usize,
+        n_responses: usize,
+        alpha: f64,
+        max_iter: usize,
+        tol: f64,
+        y: &[usize],
+    ) -> Self {
+        let mut label_bytes = Vec::with_capacity(y.len() * 8);
+        for &label in y {
+            label_bytes.extend_from_slice(&(label as u64).to_le_bytes());
+        }
+        FitFingerprint {
+            nrows: nrows as u64,
+            ncols: ncols as u64,
+            n_responses: n_responses as u64,
+            alpha_bits: alpha.to_bits(),
+            max_iter: max_iter as u64,
+            tol_bits: tol.to_bits(),
+            labels_crc: crc32(&label_bytes),
+        }
+    }
+
+    /// The ridge parameter the checkpointed fit was configured with.
+    pub fn alpha(&self) -> f64 {
+        f64::from_bits(self.alpha_bits)
+    }
+
+    /// The stopping tolerance the checkpointed fit was configured with.
+    pub fn tol(&self) -> f64 {
+        f64::from_bits(self.tol_bits)
+    }
+
+    /// Verify this (persisted) fingerprint matches the current problem.
+    pub fn ensure_matches(&self, current: &FitFingerprint) -> Result<(), CheckpointError> {
+        if self == current {
+            return Ok(());
+        }
+        let what = if (self.nrows, self.ncols) != (current.nrows, current.ncols) {
+            format!(
+                "data shape changed: checkpoint {}x{}, current {}x{}",
+                self.nrows, self.ncols, current.nrows, current.ncols
+            )
+        } else if self.labels_crc != current.labels_crc {
+            "label vector changed since the checkpoint was written".to_string()
+        } else if self.n_responses != current.n_responses {
+            format!(
+                "response count changed: checkpoint {}, current {}",
+                self.n_responses, current.n_responses
+            )
+        } else {
+            format!(
+                "fit configuration changed: checkpoint (alpha {}, max_iter {}, tol {}), \
+                 current (alpha {}, max_iter {}, tol {})",
+                self.alpha(),
+                self.max_iter,
+                self.tol(),
+                current.alpha(),
+                current.max_iter,
+                current.tol()
+            )
+        };
+        Err(CheckpointError::Mismatch(what))
+    }
+}
+
+/// One response column that was fully solved before the interrupt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletedResponse {
+    /// The solved augmented weight column (length `n + 1`).
+    pub x: Vec<f64>,
+    /// Iterations the solve consumed.
+    pub iterations: usize,
+    /// Why it stopped (never `Interrupted` — those go in `in_flight`).
+    pub stop: StopReason,
+}
+
+/// The resumable state of an interrupted SRDA fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitCheckpoint {
+    /// Which fit this state belongs to.
+    pub fingerprint: FitFingerprint,
+    /// Fully-solved response columns, in order (responses `0..len`).
+    pub completed: Vec<CompletedResponse>,
+    /// Mid-solve state of response `completed.len()`, when the interrupt
+    /// landed inside a solve rather than between two.
+    pub in_flight: Option<LsqrCheckpoint>,
+    /// Warnings accumulated before the interrupt, so the resumed fit's
+    /// report matches the uninterrupted run's exactly.
+    pub warnings: Vec<String>,
+}
+
+// ---------------------------------------------------------------------------
+// binary encoding (same discipline as srda-solvers' checkpoint module:
+// little-endian, length-prefixed, CRC-32 sealed, atomic-rename writes)
+// ---------------------------------------------------------------------------
+
+fn stop_code(stop: StopReason) -> u8 {
+    match stop {
+        StopReason::TrivialSolution => 0,
+        StopReason::Converged => 1,
+        StopReason::MaxIterations => 2,
+        StopReason::Diverged => 3,
+        StopReason::Stagnated => 4,
+        // interrupted responses are not "completed"; their state lives in
+        // `in_flight`. Encoding one would be a bug upstream.
+        StopReason::Interrupted(_) => {
+            unreachable!("interrupted responses must not be recorded as completed")
+        }
+    }
+}
+
+fn decode_stop(code: u8) -> Result<StopReason, CheckpointError> {
+    Ok(match code {
+        0 => StopReason::TrivialSolution,
+        1 => StopReason::Converged,
+        2 => StopReason::MaxIterations,
+        3 => StopReason::Diverged,
+        4 => StopReason::Stagnated,
+        other => {
+            return Err(CheckpointError::Corrupt(format!(
+                "unknown stop-reason code {other}"
+            )))
+        }
+    })
+}
+
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn new() -> Self {
+        Enc(Vec::with_capacity(256))
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn f64(&mut self, v: f64) {
+        self.0.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    fn vec(&mut self, v: &[f64]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.f64(x);
+        }
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        self.u64(b.len() as u64);
+        self.0.extend_from_slice(b);
+    }
+    fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+    /// Append the CRC of everything so far and return the buffer.
+    fn seal(mut self) -> Vec<u8> {
+        let crc = crc32(&self.0);
+        self.u32(crc);
+        self.0
+    }
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        if self.pos + n > self.buf.len() {
+            return Err(CheckpointError::Corrupt("truncated checkpoint".into()));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+    fn f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn len(&mut self, what: &str) -> Result<usize, CheckpointError> {
+        let n = self.u64()? as usize;
+        // any plausible length is bounded by the remaining payload
+        if n.saturating_mul(1) > self.buf.len() {
+            return Err(CheckpointError::Corrupt(format!(
+                "implausible {what} length {n}"
+            )));
+        }
+        Ok(n)
+    }
+    fn vec(&mut self, what: &str) -> Result<Vec<f64>, CheckpointError> {
+        let n = self.len(what)?;
+        if n.saturating_mul(8) > self.buf.len() {
+            return Err(CheckpointError::Corrupt(format!(
+                "implausible {what} length {n}"
+            )));
+        }
+        (0..n).map(|_| self.f64()).collect()
+    }
+    fn bytes(&mut self, what: &str) -> Result<&'a [u8], CheckpointError> {
+        let n = self.len(what)?;
+        self.take(n)
+    }
+    fn str(&mut self, what: &str) -> Result<String, CheckpointError> {
+        let b = self.bytes(what)?;
+        String::from_utf8(b.to_vec())
+            .map_err(|_| CheckpointError::Corrupt(format!("{what} is not valid UTF-8")))
+    }
+    fn done(&self) -> Result<(), CheckpointError> {
+        if self.pos != self.buf.len() {
+            return Err(CheckpointError::Corrupt(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl FitCheckpoint {
+    /// Serialize to the sealed `SRDAFCK1` byte format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.0.extend_from_slice(FIT_CHECKPOINT_MAGIC);
+        let fp = &self.fingerprint;
+        e.u64(fp.nrows);
+        e.u64(fp.ncols);
+        e.u64(fp.n_responses);
+        e.u64(fp.alpha_bits);
+        e.u64(fp.max_iter);
+        e.u64(fp.tol_bits);
+        e.u32(fp.labels_crc);
+        e.u64(self.completed.len() as u64);
+        for c in &self.completed {
+            e.vec(&c.x);
+            e.u64(c.iterations as u64);
+            e.u8(stop_code(c.stop));
+        }
+        match &self.in_flight {
+            Some(ckpt) => {
+                e.u8(1);
+                e.bytes(&ckpt.to_bytes());
+            }
+            None => e.u8(0),
+        }
+        e.u64(self.warnings.len() as u64);
+        for w in &self.warnings {
+            e.str(w);
+        }
+        e.seal()
+    }
+
+    /// Parse and CRC-verify the sealed byte format.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        if bytes.len() < FIT_CHECKPOINT_MAGIC.len() + 4 {
+            return Err(CheckpointError::Corrupt("file too short".into()));
+        }
+        if &bytes[..8] != FIT_CHECKPOINT_MAGIC {
+            return Err(CheckpointError::Corrupt(
+                "bad magic: not a fit-checkpoint file".into(),
+            ));
+        }
+        let (payload, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+        let actual = crc32(payload);
+        if stored != actual {
+            return Err(CheckpointError::Corrupt(format!(
+                "CRC mismatch: stored {stored:#010x}, computed {actual:#010x}"
+            )));
+        }
+        let mut d = Dec::new(&payload[8..]);
+        let fingerprint = FitFingerprint {
+            nrows: d.u64()?,
+            ncols: d.u64()?,
+            n_responses: d.u64()?,
+            alpha_bits: d.u64()?,
+            max_iter: d.u64()?,
+            tol_bits: d.u64()?,
+            labels_crc: u32::from_le_bytes(d.take(4)?.try_into().unwrap()),
+        };
+        let n_completed = d.len("completed-response count")?;
+        let mut completed = Vec::with_capacity(n_completed.min(1024));
+        for _ in 0..n_completed {
+            let x = d.vec("response weights")?;
+            let iterations = d.u64()? as usize;
+            let stop = decode_stop(d.u8()?)?;
+            completed.push(CompletedResponse { x, iterations, stop });
+        }
+        let in_flight = match d.u8()? {
+            0 => None,
+            1 => Some(LsqrCheckpoint::from_bytes(d.bytes("in-flight state")?)?),
+            other => {
+                return Err(CheckpointError::Corrupt(format!(
+                    "bad in-flight marker {other}"
+                )))
+            }
+        };
+        let n_warn = d.len("warning count")?;
+        let mut warnings = Vec::with_capacity(n_warn.min(1024));
+        for _ in 0..n_warn {
+            warnings.push(d.str("warning")?);
+        }
+        d.done()?;
+        Ok(FitCheckpoint {
+            fingerprint,
+            completed,
+            in_flight,
+            warnings,
+        })
+    }
+
+    /// Write to `path` atomically: the bytes go to a same-directory temp
+    /// file which is fsynced and renamed over the destination, so readers
+    /// only ever observe a complete, CRC-valid checkpoint.
+    pub fn write_atomic(&self, path: &Path) -> Result<(), CheckpointError> {
+        let bytes = self.to_bytes();
+        let dir = path.parent().unwrap_or_else(|| Path::new("."));
+        let file_name = path
+            .file_name()
+            .ok_or_else(|| CheckpointError::Io("checkpoint path has no file name".into()))?;
+        let tmp = dir.join(format!(
+            ".{}.tmp-{}",
+            file_name.to_string_lossy(),
+            std::process::id()
+        ));
+        let write = (|| -> std::io::Result<()> {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+            std::fs::rename(&tmp, path)
+        })();
+        if let Err(e) = write {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(CheckpointError::Io(format!(
+                "writing {}: {e}",
+                path.display()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Read and verify a checkpoint file.
+    pub fn read(path: &Path) -> Result<Self, CheckpointError> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| CheckpointError::Io(format!("reading {}: {e}", path.display())))?;
+        FitCheckpoint::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srda_solvers::checkpoint::ProblemFingerprint;
+
+    fn sample() -> FitCheckpoint {
+        let fp = FitFingerprint::new(20, 5, 2, 1.0, 30, 1e-8, &[0, 0, 1, 1, 2]);
+        let solver_fp = ProblemFingerprint::new(20, 6, 1.0, 1e-8, 30, &[1.0, -2.0, 0.5]);
+        FitCheckpoint {
+            fingerprint: fp,
+            completed: vec![CompletedResponse {
+                x: vec![1.0, -0.0, 3.5e-12, f64::MAX, 2.0, -7.0],
+                iterations: 17,
+                stop: StopReason::Converged,
+            }],
+            in_flight: Some(LsqrCheckpoint {
+                fingerprint: solver_fp,
+                iteration: 9,
+                x: vec![0.25; 6],
+                w: vec![-1.5; 6],
+                u: vec![0.125; 20],
+                v: vec![2.0; 6],
+                alpha: 0.75,
+                phibar: -0.5,
+                rhobar: 1.25,
+                anorm_sq: 42.0,
+                b_norm: 3.0,
+                best_res: 0.01,
+                no_improve: 2,
+                residual_trace: vec![1.0, 0.5, 0.1],
+            }),
+            warnings: vec!["response 0: LSQR stagnated after 17 iterations".into()],
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let c = sample();
+        let back = FitCheckpoint::from_bytes(&c.to_bytes()).unwrap();
+        assert_eq!(c, back);
+        // -0.0 must survive with its sign bit
+        assert_eq!(back.completed[0].x[1].to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn empty_checkpoint_roundtrips() {
+        let c = FitCheckpoint {
+            fingerprint: FitFingerprint::new(3, 2, 1, 0.5, 10, 0.0, &[0, 1, 1]),
+            completed: vec![],
+            in_flight: None,
+            warnings: vec![],
+        };
+        assert_eq!(FitCheckpoint::from_bytes(&c.to_bytes()).unwrap(), c);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut bytes = sample().to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert!(matches!(
+            FitCheckpoint::from_bytes(&bytes),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        let good = sample().to_bytes();
+        assert!(FitCheckpoint::from_bytes(&good[..good.len() - 1]).is_err());
+        assert!(FitCheckpoint::from_bytes(b"SRDACKP1nope").is_err());
+    }
+
+    #[test]
+    fn fingerprint_mismatch_names_the_difference() {
+        let a = FitFingerprint::new(20, 5, 2, 1.0, 30, 0.0, &[0, 1]);
+        let shape = FitFingerprint::new(21, 5, 2, 1.0, 30, 0.0, &[0, 1]);
+        let labels = FitFingerprint::new(20, 5, 2, 1.0, 30, 0.0, &[1, 0]);
+        let config = FitFingerprint::new(20, 5, 2, 2.0, 30, 0.0, &[0, 1]);
+        assert!(a.ensure_matches(&a).is_ok());
+        let msg = |e: CheckpointError| e.to_string();
+        assert!(msg(a.ensure_matches(&shape).unwrap_err()).contains("shape"));
+        assert!(msg(a.ensure_matches(&labels).unwrap_err()).contains("label"));
+        assert!(msg(a.ensure_matches(&config).unwrap_err()).contains("configuration"));
+    }
+
+    #[test]
+    fn atomic_write_and_read() {
+        let dir = std::env::temp_dir().join("srda_fit_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fit.ckpt");
+        let c = sample();
+        c.write_atomic(&path).unwrap();
+        assert_eq!(FitCheckpoint::read(&path).unwrap(), c);
+        // overwrite must also be atomic and leave no temp litter
+        c.write_atomic(&path).unwrap();
+        let litter: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .contains("tmp")
+            })
+            .collect();
+        assert!(litter.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn config_accessors_recover_floats() {
+        let fp = FitFingerprint::new(8, 3, 1, 0.125, 50, 1e-10, &[0, 1]);
+        assert_eq!(fp.alpha(), 0.125);
+        assert_eq!(fp.tol(), 1e-10);
+        assert_eq!(fp.max_iter, 50);
+    }
+}

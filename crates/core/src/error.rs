@@ -37,6 +37,34 @@ pub enum SrdaError {
     Linalg(srda_linalg::LinalgError),
     /// An underlying sparse-matrix routine failed.
     Sparse(srda_sparse::SparseError),
+    /// The fit's [`srda_solvers::RunGovernor`] stopped the run (deadline,
+    /// iteration budget, or cooperative cancellation) before it finished.
+    /// **Not a numerical failure**: when `checkpoint` is set the partial
+    /// state was persisted and the fit can be resumed to a
+    /// bitwise-identical trajectory. Callers that want the partial state
+    /// in-process should use the `fit_*_outcome` entry points instead.
+    Interrupted {
+        /// Which budget fired.
+        reason: srda_solvers::Interrupt,
+        /// Response columns fully solved before the interrupt.
+        responses_completed: usize,
+        /// Where the resumable fit checkpoint was written, if anywhere.
+        checkpoint: Option<std::path::PathBuf>,
+    },
+    /// A fit checkpoint could not be written, read, or applied (I/O
+    /// failure, corruption, or a fingerprint mismatch between the
+    /// checkpoint and the current data/configuration).
+    Checkpoint(srda_solvers::CheckpointError),
+    /// An input row handed to inference (`transform`/`predict`) contains
+    /// NaN or ±Inf. Embeddings are affine maps, so a non-finite input can
+    /// only produce a non-finite (garbage) output; it is rejected up
+    /// front instead.
+    NonFiniteInput {
+        /// Operation name.
+        op: &'static str,
+        /// Index of the first offending row.
+        row: usize,
+    },
 }
 
 impl fmt::Display for SrdaError {
@@ -56,6 +84,21 @@ impl fmt::Display for SrdaError {
             ),
             SrdaError::Linalg(e) => write!(f, "linear algebra error: {e}"),
             SrdaError::Sparse(e) => write!(f, "sparse matrix error: {e}"),
+            SrdaError::Interrupted {
+                reason,
+                responses_completed,
+                checkpoint,
+            } => {
+                write!(f, "fit interrupted ({reason}) after {responses_completed} completed responses")?;
+                match checkpoint {
+                    Some(p) => write!(f, "; resumable checkpoint at {}", p.display()),
+                    None => write!(f, "; no checkpoint written"),
+                }
+            }
+            SrdaError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            SrdaError::NonFiniteInput { op, row } => {
+                write!(f, "non-finite input to {op}: row {row} contains NaN or Inf")
+            }
         }
     }
 }
@@ -65,8 +108,15 @@ impl std::error::Error for SrdaError {
         match self {
             SrdaError::Linalg(e) => Some(e),
             SrdaError::Sparse(e) => Some(e),
+            SrdaError::Checkpoint(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<srda_solvers::CheckpointError> for SrdaError {
+    fn from(e: srda_solvers::CheckpointError) -> Self {
+        SrdaError::Checkpoint(e)
     }
 }
 
@@ -80,6 +130,23 @@ impl From<srda_sparse::SparseError> for SrdaError {
     fn from(e: srda_sparse::SparseError) -> Self {
         SrdaError::Sparse(e)
     }
+}
+
+/// Probe a fit's optional governor at a coarse stage boundary, turning a
+/// fired budget into [`SrdaError::Interrupted`]. Used by the eigen-based
+/// fits (LDA/RLDA/kernel/spectral regression), whose stages are not
+/// resumable — `checkpoint` is always `None` for them.
+pub(crate) fn check_governor(governor: Option<&srda_solvers::RunGovernor>) -> Result<(), SrdaError> {
+    if let Some(gov) = governor {
+        if let Some(reason) = gov.probe() {
+            return Err(SrdaError::Interrupted {
+                reason,
+                responses_completed: 0,
+                checkpoint: None,
+            });
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -98,6 +165,34 @@ mod tests {
             context: "centering",
         };
         assert!(m.to_string().contains("100"));
+    }
+
+    #[test]
+    fn interrupted_display_names_reason_and_checkpoint() {
+        let e = SrdaError::Interrupted {
+            reason: srda_solvers::Interrupt::DeadlineExceeded,
+            responses_completed: 2,
+            checkpoint: Some(std::path::PathBuf::from("/tmp/fit.ckpt")),
+        };
+        let s = e.to_string();
+        assert!(s.contains("wall-clock"), "{s}");
+        assert!(s.contains("2 completed responses"), "{s}");
+        assert!(s.contains("/tmp/fit.ckpt"), "{s}");
+        let none = SrdaError::Interrupted {
+            reason: srda_solvers::Interrupt::Cancelled,
+            responses_completed: 0,
+            checkpoint: None,
+        };
+        assert!(none.to_string().contains("no checkpoint"), "{none}");
+    }
+
+    #[test]
+    fn non_finite_input_display() {
+        let e = SrdaError::NonFiniteInput {
+            op: "transform_dense",
+            row: 7,
+        };
+        assert!(e.to_string().contains("row 7"));
     }
 
     #[test]

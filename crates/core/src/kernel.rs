@@ -225,6 +225,11 @@ pub struct KernelSrdaConfig {
     /// (defaults to [`ExecPolicy::from_env`], so `SRDA_THREADS=N` threads
     /// them; all backends are bitwise identical).
     pub exec: ExecPolicy,
+    /// Optional run governor, probed before the `m × m` Gram build and
+    /// before the Cholesky solve (the two expensive stages). Neither is
+    /// resumable, so an interrupt surfaces as [`SrdaError::Interrupted`]
+    /// with no checkpoint.
+    pub governor: Option<srda_solvers::RunGovernor>,
 }
 
 impl Default for KernelSrdaConfig {
@@ -233,6 +238,7 @@ impl Default for KernelSrdaConfig {
             kernel: Kernel::Rbf { gamma: 1.0 },
             alpha: 1.0,
             exec: ExecPolicy::from_env(),
+            governor: None,
         }
     }
 }
@@ -279,6 +285,7 @@ impl KernelSrda {
                 got: y.len(),
             });
         }
+        crate::error::check_governor(self.config.governor.as_ref())?;
         let gram = self
             .config
             .kernel
@@ -301,6 +308,7 @@ impl KernelSrda {
                 got: y.len(),
             });
         }
+        crate::error::check_governor(self.config.governor.as_ref())?;
         let gram = self
             .config
             .kernel
@@ -317,6 +325,7 @@ impl KernelSrda {
         let index = ClassIndex::new(y)?;
         let ybar = responses::generate(&index);
         k.add_to_diag(self.config.alpha);
+        crate::error::check_governor(self.config.governor.as_ref())?;
         let chol = Cholesky::factor(&k)?;
         let beta = chol.solve_mat(&ybar)?;
         Ok(KernelSrdaModel {
@@ -353,7 +362,8 @@ impl KernelSrdaModel {
         }
     }
 
-    /// Embed a dense batch: `Z = K(X, X_train)·β`.
+    /// Embed a dense batch: `Z = K(X, X_train)·β`. Rejects NaN/±Inf rows
+    /// with [`SrdaError::NonFiniteInput`].
     pub fn transform_dense(&self, x: &Mat) -> Result<Mat> {
         if x.ncols() != self.n_features() {
             return Err(SrdaError::ShapeMismatch {
@@ -361,6 +371,14 @@ impl KernelSrdaModel {
                 expected: self.n_features(),
                 got: x.ncols(),
             });
+        }
+        for i in 0..x.nrows() {
+            if !x.row(i).iter().all(|v| v.is_finite()) {
+                return Err(SrdaError::NonFiniteInput {
+                    op: "kernel srda transform",
+                    row: i,
+                });
+            }
         }
         let exec = Executor::new(self.exec);
         let k = match &self.train_x {
@@ -375,7 +393,8 @@ impl KernelSrdaModel {
         Ok(srda_linalg::ops::matmul_exec(&k, &self.beta, &exec)?)
     }
 
-    /// Embed a sparse batch.
+    /// Embed a sparse batch. Rejects NaN/±Inf rows with
+    /// [`SrdaError::NonFiniteInput`].
     pub fn transform_sparse(&self, x: &srda_sparse::CsrMatrix) -> Result<Mat> {
         if x.ncols() != self.n_features() {
             return Err(SrdaError::ShapeMismatch {
@@ -383,6 +402,14 @@ impl KernelSrdaModel {
                 expected: self.n_features(),
                 got: x.ncols(),
             });
+        }
+        for i in 0..x.nrows() {
+            if x.row_entries(i).any(|(_, v)| !v.is_finite()) {
+                return Err(SrdaError::NonFiniteInput {
+                    op: "kernel srda transform_sparse",
+                    row: i,
+                });
+            }
         }
         let exec = Executor::new(self.exec);
         let k = match &self.train_x {
@@ -488,6 +515,7 @@ mod tests {
             kernel: Kernel::Rbf { gamma: 0.5 },
             alpha: 0.1,
             exec: ExecPolicy::serial(),
+            governor: None,
         })
         .fit_dense(&x, &y)
         .unwrap();
@@ -506,6 +534,7 @@ mod tests {
             kernel: Kernel::Linear,
             alpha: 0.1,
             exec: ExecPolicy::serial(),
+            governor: None,
         })
         .fit_dense(&x, &y)
         .unwrap();
@@ -537,6 +566,7 @@ mod tests {
             kernel: Kernel::Linear,
             alpha: 1.0,
             exec: ExecPolicy::serial(),
+            governor: None,
         })
         .fit_dense(&x, &y)
         .unwrap();
@@ -552,6 +582,7 @@ mod tests {
             kernel: Kernel::Rbf { gamma: 0.5 },
             alpha: 0.1,
             exec: ExecPolicy::serial(),
+            governor: None,
         })
         .fit_dense(&x, &y)
         .unwrap();
@@ -575,6 +606,7 @@ mod tests {
                 kernel: Kernel::Rbf { gamma: 0.5 },
                 alpha,
                 exec: ExecPolicy::serial(),
+                governor: None,
             })
             .fit_dense(&x, &y)
             .unwrap()
@@ -621,6 +653,7 @@ mod tests {
             kernel: Kernel::Rbf { gamma: 0.5 },
             alpha: 0.2,
             exec: ExecPolicy::serial(),
+            governor: None,
         };
         let md = KernelSrda::new(cfg.clone()).fit_dense(&x, &y).unwrap();
         let ms = KernelSrda::new(cfg).fit_sparse(&xs, &y).unwrap();

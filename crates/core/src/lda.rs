@@ -64,6 +64,11 @@ pub struct LdaConfig {
     /// Execution backend for the dense back-projection products
     /// (defaults to [`ExecPolicy::from_env`]).
     pub exec: ExecPolicy,
+    /// Optional run governor, probed at the stage boundaries of the fit
+    /// (before the SVD and before the back-projection). LDA's stages are
+    /// not resumable, so an interrupt surfaces as
+    /// [`SrdaError::Interrupted`] with no checkpoint.
+    pub governor: Option<srda_solvers::RunGovernor>,
 }
 
 impl Default for LdaConfig {
@@ -74,6 +79,7 @@ impl Default for LdaConfig {
             eig_tol: 1e-9,
             memory_budget_bytes: None,
             exec: ExecPolicy::from_env(),
+            governor: None,
         }
     }
 }
@@ -119,6 +125,7 @@ impl Lda {
         }
 
         // Step 1 (§II-B): thin SVD of the centered data via cross-product.
+        crate::error::check_governor(self.config.governor.as_ref())?;
         let (xc, mu) = centered(x);
         let svd = self.config.svd_method.factor(&xc, self.config.rank_tol)?;
         let r = svd.rank();
@@ -135,6 +142,7 @@ impl Lda {
         let (b, _lambdas) = recover_left_eigvecs(&h, self.config.eig_tol)?;
 
         // Step 3: map back, A = V Σ⁻¹ B (n × q).
+        crate::error::check_governor(self.config.governor.as_ref())?;
         let exec = Executor::new(self.config.exec);
         let mut sb = b;
         let inv_s: Vec<f64> = svd.s.iter().map(|v| 1.0 / v).collect();

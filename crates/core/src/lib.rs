@@ -50,6 +50,7 @@
 // index-based loops are the clearest way to write the numeric kernels here
 #![allow(clippy::needless_range_loop)]
 
+pub mod checkpoint;
 pub mod error;
 pub mod graph;
 pub mod idr_qr;
@@ -64,8 +65,10 @@ pub mod rlda;
 pub mod spectral_regression;
 pub mod srda;
 
+pub use checkpoint::{CompletedResponse, FitCheckpoint, FitFingerprint, FIT_CHECKPOINT_FILE};
 pub use error::SrdaError;
 pub use srda_linalg::{Backend, ExecPolicy, Executor};
+pub use srda_solvers::{CancelToken, CheckpointError, Interrupt, RunBudget, RunGovernor};
 pub use graph::{AffinityGraph, EdgeWeight};
 pub use idr_qr::{IdrQr, IdrQrConfig};
 pub use kernel::{Kernel, KernelSrda, KernelSrdaConfig, KernelSrdaModel};
@@ -73,10 +76,12 @@ pub use labels::ClassIndex;
 pub use lda::{Lda, LdaConfig, SvdMethod};
 pub use model::Embedding;
 pub use pca::{Fisherfaces, FisherfacesConfig, Pca, PcaConfig, PcaModel};
-pub use report::{FitReport, RecoveryAction, ResponseSolver};
+pub use report::{FitReport, QuarantineSummary, RecoveryAction, ResponseSolver};
 pub use rlda::{Rlda, RldaConfig};
 pub use spectral_regression::{GraphEigensolver, SpectralRegression, SpectralRegressionConfig};
-pub use srda::{Srda, SrdaConfig, SrdaModel, SrdaSolver};
+pub use srda::{
+    CheckpointPolicy, FitOutcome, InterruptedFit, Srda, SrdaConfig, SrdaModel, SrdaSolver,
+};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, SrdaError>;

@@ -52,13 +52,21 @@ impl Embedding {
         self.weights.ncols()
     }
 
-    /// Embed one sample.
+    /// Embed one sample. Rejects NaN/±Inf inputs with
+    /// [`SrdaError::NonFiniteInput`] — an affine map can only turn them
+    /// into garbage outputs.
     pub fn transform_row(&self, x: &[f64]) -> Result<Vec<f64>> {
         if x.len() != self.n_features() {
             return Err(SrdaError::ShapeMismatch {
                 op: "transform_row",
                 expected: self.n_features(),
                 got: x.len(),
+            });
+        }
+        if !x.iter().all(|v| v.is_finite()) {
+            return Err(SrdaError::NonFiniteInput {
+                op: "transform_row",
+                row: 0,
             });
         }
         let mut z = srda_linalg::ops::matvec_t(&self.weights, x)?;
@@ -69,6 +77,8 @@ impl Embedding {
     }
 
     /// Embed a dense batch (samples as rows) → `m × n_components`.
+    /// Rejects batches containing NaN/±Inf rows with
+    /// [`SrdaError::NonFiniteInput`] naming the first offending row.
     pub fn transform_dense(&self, x: &Mat) -> Result<Mat> {
         if x.ncols() != self.n_features() {
             return Err(SrdaError::ShapeMismatch {
@@ -76,6 +86,14 @@ impl Embedding {
                 expected: self.n_features(),
                 got: x.ncols(),
             });
+        }
+        for i in 0..x.nrows() {
+            if !x.row(i).iter().all(|v| v.is_finite()) {
+                return Err(SrdaError::NonFiniteInput {
+                    op: "transform_dense",
+                    row: i,
+                });
+            }
         }
         let mut z = srda_linalg::ops::matmul(x, &self.weights)?;
         for i in 0..z.nrows() {
@@ -87,7 +105,9 @@ impl Embedding {
     }
 
     /// Embed a sparse batch without densifying the input —
-    /// `O(nnz · n_components)`.
+    /// `O(nnz · n_components)`. Rejects batches containing NaN/±Inf
+    /// entries with [`SrdaError::NonFiniteInput`] naming the first
+    /// offending row.
     pub fn transform_sparse(&self, x: &CsrMatrix) -> Result<Mat> {
         if x.ncols() != self.n_features() {
             return Err(SrdaError::ShapeMismatch {
@@ -95,6 +115,14 @@ impl Embedding {
                 expected: self.n_features(),
                 got: x.ncols(),
             });
+        }
+        for i in 0..x.nrows() {
+            if x.row_entries(i).any(|(_, v)| !v.is_finite()) {
+                return Err(SrdaError::NonFiniteInput {
+                    op: "transform_sparse",
+                    row: i,
+                });
+            }
         }
         let mut z = x.matmul_dense(&self.weights)?;
         for i in 0..z.nrows() {
@@ -160,6 +188,37 @@ mod tests {
         assert!(e
             .transform_sparse(&CsrMatrix::zeros(1, 5))
             .is_err());
+    }
+
+    #[test]
+    fn non_finite_inputs_rejected_with_typed_error() {
+        let e = simple();
+        assert!(matches!(
+            e.transform_row(&[f64::NAN, 1.0]),
+            Err(SrdaError::NonFiniteInput {
+                op: "transform_row",
+                ..
+            })
+        ));
+        let xd =
+            Mat::from_rows(&[vec![1.0, 2.0], vec![3.0, f64::INFINITY], vec![0.0, 0.0]]).unwrap();
+        assert!(matches!(
+            e.transform_dense(&xd),
+            Err(SrdaError::NonFiniteInput {
+                op: "transform_dense",
+                row: 1,
+            })
+        ));
+        let mut dense = Mat::zeros(2, 2);
+        dense[(1, 1)] = f64::NEG_INFINITY;
+        let xs = CsrMatrix::from_dense(&dense, 0.0);
+        assert!(matches!(
+            e.transform_sparse(&xs),
+            Err(SrdaError::NonFiniteInput {
+                op: "transform_sparse",
+                row: 1,
+            })
+        ));
     }
 
     #[cfg(feature = "serde")]

@@ -10,7 +10,7 @@
 
 pub use srda_solvers::robust::RecoveryAction;
 use srda_solvers::robust::{RobustSolveReport, SolverUsed};
-use srda_solvers::StopReason;
+use srda_solvers::{Interrupt, StopReason};
 
 /// How one response (one column of `Ȳ`) was solved.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,12 +50,56 @@ pub struct FitReport {
     /// ratio of extreme Cholesky diagonal entries); `None` when no
     /// factorization succeeded (pure LSQR fits and fallbacks).
     pub condition_estimate: Option<f64>,
+    /// Set when the fit's `RunGovernor` stopped the run early — the
+    /// report then describes the *partial* fit (see
+    /// `Srda::fit_*_outcome`). `None` for a run-to-completion fit.
+    pub interrupt: Option<Interrupt>,
+    /// What the input-sanitization pass quarantined before the fit saw
+    /// the data, when one ran (see `srda-data`'s `sanitize` module; the
+    /// CLI `train` pipeline fills this in). `None` when no sanitization
+    /// ran.
+    pub quarantine: Option<QuarantineSummary>,
+}
+
+/// Counts of what a pre-fit sanitization pass removed or repaired. The
+/// full row/column lists live in `srda-data`'s `SanitizeReport`; this is
+/// the summary that travels with the fitted model.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuarantineSummary {
+    /// Rows dropped for containing NaN/±Inf cells.
+    pub non_finite_rows: usize,
+    /// NaN/±Inf cells overwritten with 0 (impute policy).
+    pub imputed_cells: usize,
+    /// Exact-duplicate rows dropped (first occurrence kept).
+    pub duplicate_rows: usize,
+    /// Rows dropped because their class fell below the size floor.
+    pub small_class_rows: usize,
+    /// Classes removed entirely (empty or below the size floor).
+    pub dropped_classes: usize,
+    /// Constant (zero-variance) feature columns dropped.
+    pub constant_features: usize,
+}
+
+impl QuarantineSummary {
+    /// `true` when sanitization ran but found nothing to quarantine.
+    pub fn is_noop(&self) -> bool {
+        self.non_finite_rows == 0
+            && self.imputed_cells == 0
+            && self.duplicate_rows == 0
+            && self.small_class_rows == 0
+            && self.dropped_classes == 0
+            && self.constant_features == 0
+    }
 }
 
 impl FitReport {
-    /// `true` when the fit needed no recovery and raised no warnings.
+    /// `true` when the fit needed no recovery, raised no warnings, ran to
+    /// completion, and (if sanitization ran) nothing was quarantined.
     pub fn clean(&self) -> bool {
-        self.warnings.is_empty() && self.recoveries.is_empty()
+        self.warnings.is_empty()
+            && self.recoveries.is_empty()
+            && self.interrupt.is_none()
+            && self.quarantine.as_ref().map_or(true, |q| q.is_noop())
     }
 
     /// Build a report from a [`RobustSolveReport`], fanning the single
@@ -71,6 +115,8 @@ impl FitReport {
             recoveries: rep.actions.clone(),
             responses: vec![per_response; k],
             condition_estimate: rep.condition_estimate,
+            interrupt: None,
+            quarantine: None,
         }
     }
 }
@@ -85,6 +131,34 @@ mod tests {
         assert!(r.clean());
         assert!(r.responses.is_empty());
         assert!(r.condition_estimate.is_none());
+        assert!(r.interrupt.is_none());
+        assert!(r.quarantine.is_none());
+    }
+
+    #[test]
+    fn interrupted_report_is_not_clean() {
+        let r = FitReport {
+            interrupt: Some(Interrupt::Cancelled),
+            ..FitReport::default()
+        };
+        assert!(!r.clean());
+    }
+
+    #[test]
+    fn quarantine_summary_affects_clean() {
+        let noop = FitReport {
+            quarantine: Some(QuarantineSummary::default()),
+            ..FitReport::default()
+        };
+        assert!(noop.clean(), "a no-op sanitize pass must stay clean");
+        let dirty = FitReport {
+            quarantine: Some(QuarantineSummary {
+                duplicate_rows: 3,
+                ..QuarantineSummary::default()
+            }),
+            ..FitReport::default()
+        };
+        assert!(!dirty.clean());
     }
 
     #[test]

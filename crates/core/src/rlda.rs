@@ -42,6 +42,11 @@ pub struct RldaConfig {
     /// Execution backend for the dense back-projection products
     /// (defaults to [`ExecPolicy::from_env`]).
     pub exec: ExecPolicy,
+    /// Optional run governor, probed at the fit's stage boundaries
+    /// (before the SVD and before the reduced eigenproblem). RLDA's
+    /// stages are not resumable, so an interrupt surfaces as
+    /// [`SrdaError::Interrupted`] with no checkpoint.
+    pub governor: Option<srda_solvers::RunGovernor>,
 }
 
 impl Default for RldaConfig {
@@ -53,6 +58,7 @@ impl Default for RldaConfig {
             eig_tol: 1e-9,
             memory_budget_bytes: None,
             exec: ExecPolicy::from_env(),
+            governor: None,
         }
     }
 }
@@ -94,6 +100,7 @@ impl Rlda {
             }
         }
 
+        crate::error::check_governor(self.config.governor.as_ref())?;
         let (xc, mu) = centered(x);
         let svd = self.config.svd_method.factor(&xc, self.config.rank_tol)?;
         let r = svd.rank();
@@ -102,6 +109,7 @@ impl Rlda {
         }
 
         // G = (Σ² + αI)^{-1/2} Σ H
+        crate::error::check_governor(self.config.governor.as_ref())?;
         let h = class_sum_matrix(&svd.u, &index);
         let damp: Vec<f64> = svd
             .s

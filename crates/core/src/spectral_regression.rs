@@ -23,7 +23,8 @@ use crate::graph::AffinityGraph;
 use crate::model::Embedding;
 use crate::{Result, SrdaError};
 use srda_linalg::{ExecPolicy, Executor, Mat, SymmetricEigen};
-use srda_solvers::lsqr::{lsqr, LsqrConfig};
+use srda_solvers::lsqr::{lsqr_controlled, LsqrConfig, SolveControls};
+use srda_solvers::StopReason;
 use srda_solvers::ridge::RidgeSolver;
 use srda_solvers::{AugmentedOp, ExecDense};
 
@@ -56,6 +57,12 @@ pub struct SpectralRegressionConfig {
     /// Execution backend for the regression step's products (defaults to
     /// [`ExecPolicy::from_env`]).
     pub exec: ExecPolicy,
+    /// Optional run governor, probed at the fit's stage boundaries
+    /// (before the spectral step and before the regression step) and
+    /// inside the LSQR regression loop. Interrupts surface as
+    /// [`SrdaError::Interrupted`] with no checkpoint — the spectral step
+    /// is not resumable.
+    pub governor: Option<srda_solvers::RunGovernor>,
 }
 
 impl Default for SpectralRegressionConfig {
@@ -66,6 +73,7 @@ impl Default for SpectralRegressionConfig {
             lsqr_iterations: None,
             eigensolver: GraphEigensolver::Dense,
             exec: ExecPolicy::from_env(),
+            governor: None,
         }
     }
 }
@@ -184,9 +192,11 @@ impl SpectralRegression {
                 got: x.nrows(),
             });
         }
+        crate::error::check_governor(self.config.governor.as_ref())?;
         let ybar = self.responses(graph)?;
         let n = x.ncols();
         let exec = Executor::new(self.config.exec);
+        crate::error::check_governor(self.config.governor.as_ref())?;
         let w_aug = match self.config.lsqr_iterations {
             None => {
                 let x_aug = x.append_constant_col(1.0);
@@ -203,7 +213,18 @@ impl SpectralRegression {
                 };
                 let mut w = Mat::zeros(n + 1, ybar.ncols());
                 for j in 0..ybar.ncols() {
-                    let r = lsqr(&op, &ybar.col(j), &cfg);
+                    let controls = SolveControls {
+                        governor: self.config.governor.as_ref(),
+                        ..SolveControls::default()
+                    };
+                    let r = lsqr_controlled(&op, &ybar.col(j), &cfg, &controls);
+                    if let StopReason::Interrupted(reason) = r.stop {
+                        return Err(SrdaError::Interrupted {
+                            reason,
+                            responses_completed: j,
+                            checkpoint: None,
+                        });
+                    }
                     w.set_col(j, &r.x);
                 }
                 w

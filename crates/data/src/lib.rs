@@ -23,6 +23,9 @@
 //! * [`split`] — seeded stratified train/test splitting (`l` samples per
 //!   class, or a global ratio), matching the paper's protocol of 20 random
 //!   splits per configuration.
+//! * [`sanitize`] — degenerate-data quarantine: NaN/Inf cells, duplicate
+//!   rows, too-small classes, and constant features are detected and
+//!   repaired (or rejected) before they reach a fit.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,10 +34,15 @@ pub mod datasets;
 pub mod idx;
 pub mod ingest;
 pub mod model;
+pub mod sanitize;
 pub mod split;
 pub mod text;
 
 pub use datasets::{isolet_like, mnist_like, newsgroups_like, pie_like};
+pub use sanitize::{
+    sanitize_dense, sanitize_sparse, NonFinitePolicy, SanitizeConfig, SanitizeError,
+    SanitizeReport, SanitizedDense, SanitizedSparse,
+};
 pub use split::{per_class_split, ratio_split, Split};
 
 use srda_linalg::Mat;

@@ -1,0 +1,671 @@
+//! Degenerate-data quarantine: a pre-fit `sanitize` pass that detects
+//! and (per policy) repairs the input pathologies that otherwise surface
+//! deep inside a fit as cryptic numerical failures — NaN/Inf cells,
+//! exact duplicate rows, classes too small to estimate, and constant
+//! features.
+//!
+//! The pass runs its checks in a fixed order chosen so that the output
+//! is a **fixed point**: sanitizing an already-sanitized dataset changes
+//! nothing (verified by the property tests in
+//! `tests/sanitize_proptests.rs`).
+//!
+//! 1. **Non-finite cells** — reject, quarantine the row, or impute.
+//! 2. **Duplicate rows** — later exact (bitwise) copies of an earlier
+//!    row with the same label are dropped. Duplicates carry no
+//!    information and bias the class statistics toward the copied point.
+//! 3. **Small classes** — classes left with fewer than
+//!    [`SanitizeConfig::min_class_size`] rows are dropped and the
+//!    surviving labels are remapped to a dense `0..c'` range (every
+//!    discriminant fit in `srda` requires dense labels).
+//! 4. **Constant features** — columns with a single value across all
+//!    surviving rows are dropped. SRDA's bias-augmentation (§III.B of
+//!    the paper) already spans the constant direction, so these columns
+//!    are pure redundancy that inflates the Gram condition number.
+//!
+//! Later steps cannot re-introduce earlier pathologies: dropping rows
+//! cannot create non-finite cells, dropping a constant column cannot
+//! make two rows collide (rows cannot differ *only* in a column where
+//! every row holds the same value), and the small-class check runs after
+//! every row drop that could shrink a class.
+
+use srda_linalg::Mat;
+use srda_sparse::CsrMatrix;
+use std::collections::HashMap;
+
+/// What to do with a NaN/±Inf cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NonFinitePolicy {
+    /// Fail fast with [`SanitizeError::NonFinite`] naming the first
+    /// offending cell (the default — data corruption should be loud).
+    #[default]
+    Reject,
+    /// Quarantine (drop) every row containing a non-finite cell and
+    /// record it in the report.
+    QuarantineRow,
+    /// Repair in place: dense cells become the column mean over the
+    /// finite cells of that column (0 when none exist); sparse cells
+    /// become 0, the natural "absent" value for sparse data.
+    Impute,
+}
+
+/// Configuration for the quarantine pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SanitizeConfig {
+    /// Policy for NaN/±Inf cells.
+    pub non_finite: NonFinitePolicy,
+    /// Drop later bitwise-identical copies of (row, label) pairs.
+    pub drop_duplicate_rows: bool,
+    /// Minimum surviving rows a class needs to be kept; smaller classes
+    /// are quarantined wholesale. `0` and `1` both keep singletons.
+    pub min_class_size: usize,
+    /// Drop columns that hold one single value across surviving rows.
+    pub drop_constant_features: bool,
+}
+
+impl Default for SanitizeConfig {
+    fn default() -> Self {
+        SanitizeConfig {
+            non_finite: NonFinitePolicy::Reject,
+            drop_duplicate_rows: true,
+            min_class_size: 1,
+            drop_constant_features: true,
+        }
+    }
+}
+
+/// Errors from the quarantine pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SanitizeError {
+    /// A non-finite cell under [`NonFinitePolicy::Reject`].
+    NonFinite {
+        /// Row of the first offending cell.
+        row: usize,
+        /// Column of the first offending cell.
+        col: usize,
+    },
+    /// `labels.len() != x.nrows()`.
+    LabelLength {
+        /// Rows in the data.
+        rows: usize,
+        /// Labels supplied.
+        labels: usize,
+    },
+}
+
+impl std::fmt::Display for SanitizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SanitizeError::NonFinite { row, col } => {
+                write!(f, "non-finite value at row {row}, column {col}")
+            }
+            SanitizeError::LabelLength { rows, labels } => {
+                write!(f, "label length mismatch: {rows} rows, {labels} labels")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SanitizeError {}
+
+/// What the quarantine pass found and did. All row/column indices refer
+/// to the **original** input.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SanitizeReport {
+    /// Rows quarantined for non-finite cells
+    /// ([`NonFinitePolicy::QuarantineRow`]).
+    pub non_finite_rows: Vec<usize>,
+    /// Cells repaired under [`NonFinitePolicy::Impute`].
+    pub imputed_cells: usize,
+    /// Rows dropped as later duplicates of an earlier (row, label) pair.
+    pub duplicate_rows: Vec<usize>,
+    /// Rows dropped because their class fell under the size floor.
+    pub small_class_rows: Vec<usize>,
+    /// Original class ids dropped by the size floor.
+    pub dropped_classes: Vec<usize>,
+    /// Original column indices dropped as constant.
+    pub constant_features: Vec<usize>,
+    /// Human-readable notes (e.g. "fewer than two classes remain").
+    pub warnings: Vec<String>,
+}
+
+impl SanitizeReport {
+    /// `true` when the pass changed nothing: the input was already clean.
+    pub fn is_noop(&self) -> bool {
+        self.non_finite_rows.is_empty()
+            && self.imputed_cells == 0
+            && self.duplicate_rows.is_empty()
+            && self.small_class_rows.is_empty()
+            && self.dropped_classes.is_empty()
+            && self.constant_features.is_empty()
+    }
+}
+
+/// A sanitized dense dataset plus the bookkeeping to map back.
+#[derive(Debug, Clone)]
+pub struct SanitizedDense {
+    /// The surviving data, `kept_rows.len() × kept_cols.len()`.
+    pub x: Mat,
+    /// Remapped labels, dense in `0..label_map-survivor-count`.
+    pub labels: Vec<usize>,
+    /// Original index of each surviving row, ascending.
+    pub kept_rows: Vec<usize>,
+    /// Original index of each surviving column, ascending.
+    pub kept_cols: Vec<usize>,
+    /// `label_map[old_class]` = new class id, `None` if dropped.
+    pub label_map: Vec<Option<usize>>,
+    /// What was found and done.
+    pub report: SanitizeReport,
+}
+
+/// A sanitized sparse dataset plus the bookkeeping to map back.
+#[derive(Debug, Clone)]
+pub struct SanitizedSparse {
+    /// The surviving data, CSR.
+    pub x: CsrMatrix,
+    /// Remapped labels.
+    pub labels: Vec<usize>,
+    /// Original index of each surviving row, ascending.
+    pub kept_rows: Vec<usize>,
+    /// Original index of each surviving column, ascending.
+    pub kept_cols: Vec<usize>,
+    /// `label_map[old_class]` = new class id, `None` if dropped.
+    pub label_map: Vec<Option<usize>>,
+    /// What was found and done.
+    pub report: SanitizeReport,
+}
+
+/// Shared row/label bookkeeping over an abstract row accessor. `key(i)`
+/// must return a canonical bitwise key for row `i` (dense: all cells;
+/// sparse: the nonzero pattern), rows being compared post-imputation.
+struct RowPass {
+    kept: Vec<usize>,
+    report: SanitizeReport,
+}
+
+fn quarantine_rows(
+    nrows: usize,
+    labels: &[usize],
+    cfg: &SanitizeConfig,
+    mut non_finite_row: impl FnMut(usize) -> bool,
+    mut key: impl FnMut(usize) -> Vec<u64>,
+) -> RowPass {
+    let mut report = SanitizeReport::default();
+    let mut kept: Vec<usize> = Vec::with_capacity(nrows);
+
+    // step 1 (quarantine flavor): drop rows with non-finite cells
+    for i in 0..nrows {
+        if cfg.non_finite == NonFinitePolicy::QuarantineRow && non_finite_row(i) {
+            report.non_finite_rows.push(i);
+        } else {
+            kept.push(i);
+        }
+    }
+
+    // step 2: drop later bitwise duplicates of the same (row, label)
+    if cfg.drop_duplicate_rows {
+        let mut seen: HashMap<(Vec<u64>, usize), usize> = HashMap::new();
+        let mut uniq = Vec::with_capacity(kept.len());
+        for &i in &kept {
+            match seen.entry((key(i), labels[i])) {
+                std::collections::hash_map::Entry::Occupied(_) => {
+                    report.duplicate_rows.push(i)
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(i);
+                    uniq.push(i);
+                }
+            }
+        }
+        kept = uniq;
+    }
+
+    // step 3: drop classes under the size floor
+    let n_classes = labels.iter().copied().max().map_or(0, |m| m + 1);
+    if cfg.min_class_size > 1 {
+        let mut counts = vec![0usize; n_classes];
+        for &i in &kept {
+            counts[labels[i]] += 1;
+        }
+        let drop: Vec<bool> = counts
+            .iter()
+            .map(|&c| c > 0 && c < cfg.min_class_size)
+            .collect();
+        for (k, &d) in drop.iter().enumerate() {
+            if d {
+                report.dropped_classes.push(k);
+            }
+        }
+        if !report.dropped_classes.is_empty() {
+            let mut survivors = Vec::with_capacity(kept.len());
+            for &i in &kept {
+                if drop[labels[i]] {
+                    report.small_class_rows.push(i);
+                } else {
+                    survivors.push(i);
+                }
+            }
+            kept = survivors;
+        }
+    }
+
+    let classes_left = {
+        let mut present = vec![false; n_classes];
+        for &i in &kept {
+            present[labels[i]] = true;
+        }
+        present.iter().filter(|&&p| p).count()
+    };
+    if classes_left < 2 {
+        report.warnings.push(format!(
+            "{classes_left} class(es) remain after quarantine; discriminant fits need at least 2"
+        ));
+    }
+    if kept.is_empty() {
+        report
+            .warnings
+            .push("no rows survive quarantine".to_string());
+    }
+
+    RowPass { kept, report }
+}
+
+/// Remap surviving labels to a dense `0..c'` range.
+fn remap_labels(kept: &[usize], labels: &[usize]) -> (Vec<usize>, Vec<Option<usize>>) {
+    let n_classes = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut present = vec![false; n_classes];
+    for &i in kept {
+        present[labels[i]] = true;
+    }
+    let mut map = vec![None; n_classes];
+    let mut next = 0usize;
+    for (k, &p) in present.iter().enumerate() {
+        if p {
+            map[k] = Some(next);
+            next += 1;
+        }
+    }
+    let new_labels = kept.iter().map(|&i| map[labels[i]].unwrap()).collect();
+    (new_labels, map)
+}
+
+/// Run the quarantine pass on a dense dataset. See the module docs for
+/// the check order and the fixed-point guarantee.
+pub fn sanitize_dense(
+    x: &Mat,
+    labels: &[usize],
+    cfg: &SanitizeConfig,
+) -> Result<SanitizedDense, SanitizeError> {
+    let (m, n) = x.shape();
+    if labels.len() != m {
+        return Err(SanitizeError::LabelLength {
+            rows: m,
+            labels: labels.len(),
+        });
+    }
+
+    // step 1, reject/impute flavors (quarantine happens in the row pass)
+    let mut data = x.clone();
+    let mut imputed = 0usize;
+    match cfg.non_finite {
+        NonFinitePolicy::Reject => {
+            for i in 0..m {
+                for (j, v) in data.row(i).iter().enumerate() {
+                    if !v.is_finite() {
+                        return Err(SanitizeError::NonFinite { row: i, col: j });
+                    }
+                }
+            }
+        }
+        NonFinitePolicy::Impute => {
+            for j in 0..n {
+                let (mut sum, mut cnt, mut bad) = (0.0f64, 0usize, false);
+                for i in 0..m {
+                    let v = data[(i, j)];
+                    if v.is_finite() {
+                        sum += v;
+                        cnt += 1;
+                    } else {
+                        bad = true;
+                    }
+                }
+                if bad {
+                    let fill = if cnt > 0 { sum / cnt as f64 } else { 0.0 };
+                    for i in 0..m {
+                        if !data[(i, j)].is_finite() {
+                            data[(i, j)] = fill;
+                            imputed += 1;
+                        }
+                    }
+                }
+            }
+        }
+        NonFinitePolicy::QuarantineRow => {}
+    }
+
+    let pass = quarantine_rows(
+        m,
+        labels,
+        cfg,
+        |i| data.row(i).iter().any(|v| !v.is_finite()),
+        |i| data.row(i).iter().map(|v| v.to_bits()).collect(),
+    );
+    let RowPass { kept, mut report } = pass;
+    report.imputed_cells = imputed;
+
+    // step 4: constant columns over the surviving rows
+    let kept_cols: Vec<usize> = if cfg.drop_constant_features && !kept.is_empty() {
+        (0..n)
+            .filter(|&j| {
+                let first = data[(kept[0], j)];
+                let constant = kept.iter().all(|&i| data[(i, j)] == first);
+                if constant {
+                    report.constant_features.push(j);
+                }
+                !constant
+            })
+            .collect()
+    } else {
+        (0..n).collect()
+    };
+    if kept_cols.is_empty() && !kept.is_empty() {
+        report
+            .warnings
+            .push("no informative features survive quarantine".to_string());
+    }
+
+    let mut out = Mat::zeros(kept.len(), kept_cols.len());
+    for (r, &i) in kept.iter().enumerate() {
+        for (c, &j) in kept_cols.iter().enumerate() {
+            out[(r, c)] = data[(i, j)];
+        }
+    }
+    let (new_labels, label_map) = remap_labels(&kept, labels);
+    Ok(SanitizedDense {
+        x: out,
+        labels: new_labels,
+        kept_rows: kept,
+        kept_cols,
+        label_map,
+        report,
+    })
+}
+
+/// Run the quarantine pass on a sparse dataset. Imputation replaces
+/// non-finite stored cells with 0 (they simply leave the pattern);
+/// constant-feature detection accounts for implicit zeros.
+pub fn sanitize_sparse(
+    x: &CsrMatrix,
+    labels: &[usize],
+    cfg: &SanitizeConfig,
+) -> Result<SanitizedSparse, SanitizeError> {
+    let (m, n) = x.shape();
+    if labels.len() != m {
+        return Err(SanitizeError::LabelLength {
+            rows: m,
+            labels: labels.len(),
+        });
+    }
+
+    // materialize the (possibly imputed) pattern once: per row, the
+    // surviving (col, value) pairs with value != 0
+    let mut rows_nz: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m);
+    let mut imputed = 0usize;
+    for i in 0..m {
+        let mut row = Vec::with_capacity(x.row_nnz(i));
+        for (j, v) in x.row_entries(i) {
+            if v.is_finite() {
+                if v != 0.0 {
+                    row.push((j, v));
+                }
+            } else {
+                match cfg.non_finite {
+                    NonFinitePolicy::Reject => {
+                        return Err(SanitizeError::NonFinite { row: i, col: j })
+                    }
+                    NonFinitePolicy::Impute => imputed += 1, // becomes 0
+                    NonFinitePolicy::QuarantineRow => row.push((j, v)),
+                }
+            }
+        }
+        rows_nz.push(row);
+    }
+
+    let pass = quarantine_rows(
+        m,
+        labels,
+        cfg,
+        |i| rows_nz[i].iter().any(|(_, v)| !v.is_finite()),
+        |i| {
+            rows_nz[i]
+                .iter()
+                .flat_map(|&(j, v)| [j as u64, v.to_bits()])
+                .collect()
+        },
+    );
+    let RowPass { kept, mut report } = pass;
+    report.imputed_cells = imputed;
+
+    // step 4: constant columns over surviving rows, implicit zeros
+    // included — a column is constant iff every surviving row holds one
+    // common value (nnz == kept.len() and all equal) or no value at all
+    let kept_cols: Vec<usize> = if cfg.drop_constant_features && !kept.is_empty() {
+        let mut nnz = vec![0usize; n];
+        let mut first = vec![0.0f64; n];
+        let mut uniform = vec![true; n];
+        for &i in &kept {
+            for &(j, v) in &rows_nz[i] {
+                if nnz[j] == 0 {
+                    first[j] = v;
+                } else if v != first[j] {
+                    uniform[j] = false;
+                }
+                nnz[j] += 1;
+            }
+        }
+        (0..n)
+            .filter(|&j| {
+                let constant = nnz[j] == 0 || (uniform[j] && nnz[j] == kept.len());
+                if constant {
+                    report.constant_features.push(j);
+                }
+                !constant
+            })
+            .collect()
+    } else {
+        (0..n).collect()
+    };
+    if kept_cols.is_empty() && !kept.is_empty() {
+        report
+            .warnings
+            .push("no informative features survive quarantine".to_string());
+    }
+
+    // rebuild the CSR with remapped column indices
+    let mut col_map = vec![usize::MAX; n];
+    for (c, &j) in kept_cols.iter().enumerate() {
+        col_map[j] = c;
+    }
+    let mut indptr = Vec::with_capacity(kept.len() + 1);
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
+    indptr.push(0);
+    for &i in &kept {
+        for &(j, v) in &rows_nz[i] {
+            if col_map[j] != usize::MAX {
+                indices.push(col_map[j]);
+                values.push(v);
+            }
+        }
+        indptr.push(indices.len());
+    }
+    let out = CsrMatrix::from_raw_parts(kept.len(), kept_cols.len(), indptr, indices, values)
+        .expect("sanitize preserves CSR invariants");
+
+    let (new_labels, label_map) = remap_labels(&kept, labels);
+    Ok(SanitizedSparse {
+        x: out,
+        labels: new_labels,
+        kept_rows: kept,
+        kept_cols,
+        label_map,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drop_policy() -> SanitizeConfig {
+        SanitizeConfig {
+            non_finite: NonFinitePolicy::QuarantineRow,
+            min_class_size: 2,
+            ..SanitizeConfig::default()
+        }
+    }
+
+    fn toy() -> (Mat, Vec<usize>) {
+        // rows: 0/3 clean class 0, 1 non-finite, 2 dup of 0, 4/5 clean
+        // class 1, 6 singleton class 2; col 2 is constant. Inf rather
+        // than NaN so `CsrMatrix::from_dense` keeps the cell stored.
+        let x = Mat::from_rows(&[
+            vec![1.0, 2.0, 7.0],
+            vec![f64::INFINITY, 2.0, 7.0],
+            vec![1.0, 2.0, 7.0],
+            vec![1.5, 2.5, 7.0],
+            vec![3.0, 4.0, 7.0],
+            vec![3.5, 4.5, 7.0],
+            vec![5.0, 6.0, 7.0],
+        ])
+        .unwrap();
+        (x, vec![0, 0, 0, 0, 1, 1, 2])
+    }
+
+    #[test]
+    fn reject_policy_names_the_cell() {
+        let (x, y) = toy();
+        let err = sanitize_dense(&x, &y, &SanitizeConfig::default());
+        assert!(
+            matches!(err, Err(SanitizeError::NonFinite { row: 1, col: 0 })),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn quarantine_drops_and_remaps() {
+        let (x, y) = toy();
+        let s = sanitize_dense(&x, &y, &drop_policy()).unwrap();
+        assert_eq!(s.report.non_finite_rows, vec![1]);
+        assert_eq!(s.report.duplicate_rows, vec![2]);
+        assert_eq!(s.report.small_class_rows, vec![6]);
+        assert_eq!(s.report.dropped_classes, vec![2]);
+        assert_eq!(s.report.constant_features, vec![2]);
+        assert_eq!(s.kept_rows, vec![0, 3, 4, 5]);
+        assert_eq!(s.kept_cols, vec![0, 1]);
+        assert_eq!(s.labels, vec![0, 0, 1, 1]);
+        assert_eq!(s.label_map, vec![Some(0), Some(1), None]);
+        assert_eq!(s.x.shape(), (4, 2));
+        assert_eq!(s.x.row(0), &[1.0, 2.0]);
+        assert_eq!(s.x.row(2), &[3.0, 4.0]);
+        assert!(!s.report.is_noop());
+    }
+
+    #[test]
+    fn impute_fills_with_column_mean() {
+        let (x, y) = toy();
+        let cfg = SanitizeConfig {
+            non_finite: NonFinitePolicy::Impute,
+            drop_duplicate_rows: false,
+            drop_constant_features: false,
+            min_class_size: 1,
+        };
+        let s = sanitize_dense(&x, &y, &cfg).unwrap();
+        assert_eq!(s.report.imputed_cells, 1);
+        // finite col-0 cells: 1, 1, 1.5, 3, 3.5, 5 → mean 2.5
+        assert_eq!(s.x[(1, 0)], 2.5);
+        assert_eq!(s.kept_rows.len(), 7);
+    }
+
+    #[test]
+    fn clean_input_is_a_noop() {
+        let x = Mat::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![2.0, 3.0],
+            vec![3.0, 2.0],
+        ])
+        .unwrap();
+        let y = vec![0, 1, 0, 1];
+        let s = sanitize_dense(&x, &y, &drop_policy()).unwrap();
+        assert!(s.report.is_noop(), "{:?}", s.report);
+        assert_eq!(s.x.as_slice(), x.as_slice());
+        assert_eq!(s.labels, y);
+    }
+
+    #[test]
+    fn sparse_matches_dense_semantics() {
+        let (xd, y) = toy();
+        let xs = CsrMatrix::from_dense(&xd, 0.0);
+        let sd = sanitize_dense(&xd, &y, &drop_policy()).unwrap();
+        let ss = sanitize_sparse(&xs, &y, &drop_policy()).unwrap();
+        assert_eq!(sd.kept_rows, ss.kept_rows);
+        assert_eq!(sd.kept_cols, ss.kept_cols);
+        assert_eq!(sd.labels, ss.labels);
+        assert_eq!(sd.report, ss.report);
+        assert!(sd.x.approx_eq(&ss.x.to_dense(), 0.0));
+    }
+
+    #[test]
+    fn sparse_implicit_zero_columns_are_constant() {
+        // col 1 never stored → all-zero → constant
+        let xd = Mat::from_rows(&[vec![1.0, 0.0], vec![2.0, 0.0]]).unwrap();
+        let xs = CsrMatrix::from_dense(&xd, 0.0);
+        let cfg = SanitizeConfig {
+            min_class_size: 1,
+            ..drop_policy()
+        };
+        let s = sanitize_sparse(&xs, &[0, 1], &cfg).unwrap();
+        assert_eq!(s.report.constant_features, vec![1]);
+        assert_eq!(s.x.shape(), (2, 1));
+    }
+
+    #[test]
+    fn all_duplicate_rows_leave_one_survivor_per_class() {
+        let x = Mat::from_rows(&vec![vec![1.0, 5.0]; 6]).unwrap();
+        let y = vec![0, 0, 0, 1, 1, 1];
+        let cfg = SanitizeConfig {
+            drop_constant_features: false,
+            ..drop_policy()
+        };
+        let s = sanitize_dense(&x, &y, &cfg).unwrap();
+        // one survivor per (row, label) key; classes then fall under the
+        // size-2 floor and are quarantined wholesale
+        assert_eq!(s.report.duplicate_rows.len(), 4);
+        assert_eq!(s.report.dropped_classes, vec![0, 1]);
+        assert!(s.kept_rows.is_empty());
+        assert!(!s.report.warnings.is_empty());
+    }
+
+    #[test]
+    fn zero_feature_input_is_handled() {
+        let x = Mat::zeros(3, 0);
+        let s = sanitize_dense(&x, &[0, 1, 0], &drop_policy());
+        // all rows are bitwise-equal empty rows → duplicates collapse
+        let s = s.unwrap();
+        assert_eq!(s.x.ncols(), 0);
+        assert!(s.report.duplicate_rows.contains(&2));
+    }
+
+    #[test]
+    fn label_length_mismatch_is_typed() {
+        let x = Mat::zeros(2, 2);
+        let err = sanitize_dense(&x, &[0], &SanitizeConfig::default());
+        assert!(
+            matches!(
+                err,
+                Err(SanitizeError::LabelLength { rows: 2, labels: 1 })
+            ),
+            "{err:?}"
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests of the quarantine pass: idempotence (sanitize is
+//! a fixed point), degenerate-shape handling, and dense/sparse agreement.
+
+use proptest::prelude::*;
+use srda_data::sanitize::{
+    sanitize_dense, sanitize_sparse, NonFinitePolicy, SanitizeConfig,
+};
+use srda_linalg::Mat;
+use srda_sparse::CsrMatrix;
+
+fn drop_all() -> SanitizeConfig {
+    SanitizeConfig {
+        non_finite: NonFinitePolicy::QuarantineRow,
+        drop_duplicate_rows: true,
+        min_class_size: 2,
+        drop_constant_features: true,
+    }
+}
+
+/// Strategy: a messy dataset — finite values on a coarse grid (so exact
+/// duplicates actually occur), a sprinkle of NaN/Inf cells, clumped
+/// labels (so both small and healthy classes occur).
+fn messy_dataset() -> impl Strategy<Value = (Mat, Vec<usize>)> {
+    (2usize..10, 1usize..6, 2usize..5).prop_flat_map(|(m, n, c)| {
+        let cell = prop_oneof![
+            4 => (-2i8..3).prop_map(|v| v as f64),
+            1 => Just(f64::NAN),
+            1 => Just(f64::INFINITY),
+        ];
+        (
+            proptest::collection::vec(cell, m * n),
+            proptest::collection::vec(0..c, m),
+            Just((m, n)),
+        )
+            .prop_map(|(d, l, (m, n))| (Mat::from_vec(m, n, d).unwrap(), l))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sanitize_is_idempotent((x, y) in messy_dataset()) {
+        let cfg = drop_all();
+        let first = sanitize_dense(&x, &y, &cfg).unwrap();
+        let second = sanitize_dense(&first.x, &first.labels, &cfg).unwrap();
+        prop_assert!(
+            second.report.is_noop(),
+            "second pass must change nothing: {:?}",
+            second.report
+        );
+        prop_assert_eq!(second.x.as_slice(), first.x.as_slice());
+        prop_assert_eq!(second.labels, first.labels);
+    }
+
+    #[test]
+    fn survivors_are_actually_clean((x, y) in messy_dataset()) {
+        let s = sanitize_dense(&x, &y, &drop_all()).unwrap();
+        // no non-finite cells survive
+        prop_assert!(s.x.as_slice().iter().all(|v| v.is_finite()));
+        // labels are dense 0..c'
+        if let Some(&max) = s.labels.iter().max() {
+            for k in 0..=max {
+                prop_assert!(s.labels.contains(&k), "label gap at {k}");
+            }
+        }
+        // every surviving class satisfies the size floor
+        let mut counts = std::collections::HashMap::new();
+        for &l in &s.labels {
+            *counts.entry(l).or_insert(0usize) += 1;
+        }
+        for (&l, &cnt) in &counts {
+            prop_assert!(cnt >= 2, "class {l} has {cnt} rows");
+        }
+        // no surviving duplicate (row, label) pairs
+        let mut seen = std::collections::HashSet::new();
+        for (i, &l) in s.labels.iter().enumerate() {
+            let key: (Vec<u64>, usize) =
+                (s.x.row(i).iter().map(|v| v.to_bits()).collect(), l);
+            prop_assert!(seen.insert(key), "duplicate survived at row {i}");
+        }
+        // bookkeeping is consistent
+        prop_assert_eq!(s.kept_rows.len(), s.x.nrows());
+        prop_assert_eq!(s.kept_cols.len(), s.x.ncols());
+        prop_assert_eq!(s.labels.len(), s.x.nrows());
+    }
+
+    #[test]
+    fn imputation_never_drops_rows((x, y) in messy_dataset()) {
+        let cfg = SanitizeConfig {
+            non_finite: NonFinitePolicy::Impute,
+            drop_duplicate_rows: false,
+            min_class_size: 1,
+            drop_constant_features: false,
+        };
+        let s = sanitize_dense(&x, &y, &cfg).unwrap();
+        prop_assert_eq!(s.x.nrows(), x.nrows());
+        prop_assert_eq!(s.x.ncols(), x.ncols());
+        prop_assert!(s.x.as_slice().iter().all(|v| v.is_finite()));
+        let non_finite = x.as_slice().iter().filter(|v| !v.is_finite()).count();
+        prop_assert_eq!(s.report.imputed_cells, non_finite);
+    }
+
+    #[test]
+    fn sparse_and_dense_agree_on_finite_data((x, y) in messy_dataset()) {
+        // replace non-finite cells with a sentinel so the CSR conversion
+        // (which drops NaN) cannot diverge from the dense path
+        let mut xf = x.clone();
+        for i in 0..xf.nrows() {
+            for j in 0..xf.ncols() {
+                if !xf[(i, j)].is_finite() {
+                    xf[(i, j)] = 9.0;
+                }
+            }
+        }
+        let xs = CsrMatrix::from_dense(&xf, 0.0);
+        let sd = sanitize_dense(&xf, &y, &drop_all()).unwrap();
+        let ss = sanitize_sparse(&xs, &y, &drop_all()).unwrap();
+        prop_assert_eq!(&sd.kept_rows, &ss.kept_rows);
+        prop_assert_eq!(&sd.kept_cols, &ss.kept_cols);
+        prop_assert_eq!(&sd.labels, &ss.labels);
+        prop_assert_eq!(&sd.report, &ss.report);
+        prop_assert!(sd.x.approx_eq(&ss.x.to_dense(), 0.0));
+    }
+}
+
+#[test]
+fn zero_feature_matrix_survives() {
+    let x = Mat::zeros(4, 0);
+    let s = sanitize_dense(&x, &[0, 0, 1, 1], &drop_all()).unwrap();
+    // all rows are identical empty rows → one survivor per class, which
+    // then falls under the size-2 floor
+    assert!(s.x.nrows() == 0);
+    assert_eq!(s.x.ncols(), 0);
+    assert!(!s.report.warnings.is_empty());
+}
+
+#[test]
+fn singleton_classes_are_quarantined() {
+    let x = Mat::from_rows(&[
+        vec![0.0, 1.0],
+        vec![0.5, 1.5],
+        vec![9.0, 3.0],
+        vec![1.0, 0.0],
+        vec![1.5, 0.5],
+    ])
+    .unwrap();
+    let y = vec![0, 0, 1, 2, 2];
+    let s = sanitize_dense(&x, &y, &drop_all()).unwrap();
+    assert_eq!(s.report.dropped_classes, vec![1]);
+    assert_eq!(s.report.small_class_rows, vec![2]);
+    assert_eq!(s.labels, vec![0, 0, 1, 1]);
+    assert_eq!(s.label_map, vec![Some(0), None, Some(1)]);
+}
+
+#[test]
+fn all_duplicate_dataset_collapses() {
+    let x = Mat::from_rows(&vec![vec![2.0, 3.0]; 8]).unwrap();
+    let y = vec![0; 8];
+    let cfg = SanitizeConfig {
+        min_class_size: 1,
+        drop_constant_features: false,
+        ..drop_all()
+    };
+    let s = sanitize_dense(&x, &y, &cfg).unwrap();
+    assert_eq!(s.x.nrows(), 1);
+    assert_eq!(s.report.duplicate_rows.len(), 7);
+    // one class left → warned, not erred
+    assert!(s.report.warnings.iter().any(|w| w.contains("class")));
+}

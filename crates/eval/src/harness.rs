@@ -114,6 +114,12 @@ pub fn run_dense(
         Err(SrdaError::MemoryBudgetExceeded { .. }) => {
             return RunOutcome::skipped("memory budget".into())
         }
+        // a governed arm whose budget ran out is a skip, not a failure:
+        // the comparison tables must distinguish "too slow for the
+        // budget" (the paper's dashes) from a numerical breakdown
+        Err(SrdaError::Interrupted { reason, .. }) => {
+            return RunOutcome::skipped(format!("interrupted: {reason}"))
+        }
         Err(e) => return RunOutcome::skipped(format!("failed: {e}")),
     };
 
@@ -155,6 +161,9 @@ pub fn run_sparse(
             Ok(m) => m,
             Err(SrdaError::MemoryBudgetExceeded { .. }) => {
                 return RunOutcome::skipped("memory budget".into())
+            }
+            Err(SrdaError::Interrupted { reason, .. }) => {
+                return RunOutcome::skipped(format!("interrupted: {reason}"))
             }
             Err(e) => return RunOutcome::skipped(format!("failed: {e}")),
         };
@@ -210,6 +219,9 @@ pub fn run_sparse(
         Ok(e) => e,
         Err(SrdaError::MemoryBudgetExceeded { .. }) => {
             return RunOutcome::skipped("memory budget".into())
+        }
+        Err(SrdaError::Interrupted { reason, .. }) => {
+            return RunOutcome::skipped(format!("interrupted: {reason}"))
         }
         Err(e) => return RunOutcome::skipped(format!("failed: {e}")),
     };

@@ -22,10 +22,18 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 
+#[derive(Default, Clone, Copy)]
+struct Armed {
+    /// Evaluations to let pass (returning `false`) before firing.
+    skip: usize,
+    /// Forced failures remaining once `skip` is exhausted.
+    times: usize,
+}
+
 #[derive(Default)]
 struct State {
     /// Remaining forced failures per failpoint name.
-    armed: HashMap<&'static str, usize>,
+    armed: HashMap<&'static str, Armed>,
     /// Total times each failpoint actually fired (for test assertions).
     fired: HashMap<&'static str, usize>,
 }
@@ -38,7 +46,17 @@ thread_local! {
 /// previous arming).
 pub fn arm(name: &'static str, times: usize) {
     STATE.with(|s| {
-        *s.borrow_mut().armed.entry(name).or_insert(0) += times;
+        s.borrow_mut().armed.entry(name).or_insert_with(Armed::default).times += times;
+    });
+}
+
+/// Arm `name` to let its next `skip` evaluations pass, then fail `times`
+/// times — a deterministic "kill at iteration k" for loops that evaluate
+/// the failpoint once per iteration (e.g. `"lsqr.interrupt"`). Replaces
+/// any previous arming of `name`.
+pub fn arm_after(name: &'static str, skip: usize, times: usize) {
+    STATE.with(|s| {
+        s.borrow_mut().armed.insert(name, Armed { skip, times });
     });
 }
 
@@ -63,9 +81,10 @@ pub fn fired(name: &'static str) -> usize {
     STATE.with(|s| s.borrow().fired.get(name).copied().unwrap_or(0))
 }
 
-/// Remaining forced failures armed for `name`.
+/// Remaining forced failures armed for `name` (not counting any skip
+/// prefix from [`arm_after`]).
 pub fn hits(name: &'static str) -> usize {
-    STATE.with(|s| s.borrow().armed.get(name).copied().unwrap_or(0))
+    STATE.with(|s| s.borrow().armed.get(name).map(|a| a.times).unwrap_or(0))
 }
 
 /// Evaluate the failpoint: returns `true` (and consumes one armed failure)
@@ -75,9 +94,13 @@ pub fn should_fail(name: &'static str) -> bool {
     STATE.with(|s| {
         let mut st = s.borrow_mut();
         match st.armed.get_mut(name) {
-            Some(n) if *n > 0 => {
-                *n -= 1;
-                if *n == 0 {
+            Some(a) if a.skip > 0 => {
+                a.skip -= 1;
+                false
+            }
+            Some(a) if a.times > 0 => {
+                a.times -= 1;
+                if a.times == 0 {
                     st.armed.remove(name);
                 }
                 *st.fired.entry(name).or_insert(0) += 1;
@@ -127,6 +150,29 @@ mod tests {
         arm("test.cumulative", 1);
         arm("test.cumulative", 1);
         assert_eq!(hits("test.cumulative"), 2);
+        reset();
+    }
+
+    #[test]
+    fn arm_after_skips_then_fires() {
+        reset();
+        arm_after("test.delayed", 3, 1);
+        assert!(!should_fail("test.delayed"));
+        assert!(!should_fail("test.delayed"));
+        assert!(!should_fail("test.delayed"));
+        assert!(should_fail("test.delayed"));
+        assert!(!should_fail("test.delayed"));
+        assert_eq!(fired("test.delayed"), 1);
+        reset();
+    }
+
+    #[test]
+    fn arm_after_zero_skip_behaves_like_arm() {
+        reset();
+        arm_after("test.delayed0", 0, 2);
+        assert!(should_fail("test.delayed0"));
+        assert!(should_fail("test.delayed0"));
+        assert!(!should_fail("test.delayed0"));
         reset();
     }
 }

@@ -7,6 +7,8 @@
 //! our default) uses LSQR. CGLS is kept as an independent cross-check and
 //! for the solver-ablation benchmark.
 
+use crate::checkpoint::{CglsCheckpoint, ProblemFingerprint};
+use crate::governor::{Interrupt, RunGovernor};
 use crate::operator::LinearOperator;
 use srda_linalg::vector;
 
@@ -40,30 +42,131 @@ pub struct CglsResult {
     pub iterations: usize,
     /// Final normal-equation residual norm `‖Aᵀ(b − Ax) − αx‖`.
     pub gradient_norm: f64,
+    /// `Some(reason)` when a [`RunGovernor`] stopped the run early; the
+    /// returned `x` is the last completed iterate and `checkpoint` carries
+    /// the resumable state.
+    pub interrupted: Option<Interrupt>,
+    /// Resumable solver state, populated only on interruption.
+    pub checkpoint: Option<Box<CglsCheckpoint>>,
+}
+
+/// Governance hooks for [`cgls_controlled`] (the CGLS analogue of
+/// [`crate::lsqr::SolveControls`]). Defaults to an ungoverned solve.
+#[derive(Clone, Copy, Default)]
+pub struct CglsControls<'a> {
+    /// Budget/cancellation authority, consulted every iteration.
+    pub governor: Option<&'a RunGovernor>,
+    /// Resume from a previously captured state (fingerprint must match;
+    /// mismatch panics — validate first with
+    /// [`ProblemFingerprint::ensure_matches`] for a typed error).
+    pub resume: Option<&'a CglsCheckpoint>,
+    /// Emit a checkpoint every N completed iterations (0 = never).
+    pub checkpoint_every: usize,
+    /// Periodic checkpoint sink.
+    pub on_checkpoint: Option<&'a (dyn Fn(&CglsCheckpoint) + Sync)>,
 }
 
 /// Run CGLS on `min ‖A·x − b‖² + α‖x‖²`.
 pub fn cgls<A: LinearOperator + ?Sized>(a: &A, b: &[f64], cfg: &CglsConfig) -> CglsResult {
+    cgls_controlled(a, b, cfg, &CglsControls::default())
+}
+
+/// [`cgls`] with run governance. Same determinism contract as
+/// [`crate::lsqr::lsqr_controlled`]: governance observes state between
+/// iterations without perturbing the float sequence, so interrupt +
+/// resume replays bitwise-identically.
+pub fn cgls_controlled<A: LinearOperator + ?Sized>(
+    a: &A,
+    b: &[f64],
+    cfg: &CglsConfig,
+    ctl: &CglsControls,
+) -> CglsResult {
     assert_eq!(b.len(), a.nrows(), "rhs length must equal operator rows");
     let n = a.ncols();
-    let mut x = vec![0.0; n];
-    let mut r = b.to_vec(); // residual b − A·x (x = 0 initially)
-    let mut s = a.apply_t(&r); // gradient direction Aᵀr − αx (x = 0)
-    let mut p = s.clone();
-    let mut gamma = vector::dot(&s, &s);
-    let gamma0 = gamma;
-    if gamma0 == 0.0 {
-        return CglsResult {
-            x,
-            iterations: 0,
-            gradient_norm: 0.0,
-        };
+
+    let fingerprint = if ctl.resume.is_some()
+        || ctl.governor.is_some()
+        || (ctl.checkpoint_every > 0 && ctl.on_checkpoint.is_some())
+    {
+        // alpha rides in the fingerprint's damp slot
+        Some(ProblemFingerprint::new(
+            a.nrows(),
+            n,
+            cfg.alpha,
+            cfg.tol,
+            cfg.max_iter,
+            b,
+        ))
+    } else {
+        None
+    };
+
+    let mut x;
+    let mut r;
+    let mut p;
+    let mut gamma;
+    let gamma0;
+    let start_iter;
+    let mut s = vec![0.0; n];
+    if let Some(ckpt) = ctl.resume {
+        if let Err(e) = ckpt
+            .fingerprint
+            .ensure_matches(fingerprint.as_ref().expect("fingerprint computed for resume"))
+        {
+            panic!("cgls resume: {e}");
+        }
+        assert_eq!(ckpt.x.len(), n, "checkpoint x length");
+        assert_eq!(ckpt.r.len(), a.nrows(), "checkpoint r length");
+        assert_eq!(ckpt.p.len(), n, "checkpoint p length");
+        x = ckpt.x.clone();
+        r = ckpt.r.clone();
+        p = ckpt.p.clone();
+        gamma = ckpt.gamma;
+        gamma0 = ckpt.gamma0;
+        start_iter = ckpt.iteration;
+    } else {
+        x = vec![0.0; n];
+        r = b.to_vec(); // residual b − A·x (x = 0 initially)
+        s = a.apply_t(&r); // gradient direction Aᵀr − αx (x = 0)
+        p = s.clone();
+        gamma = vector::dot(&s, &s);
+        gamma0 = gamma;
+        if gamma0 == 0.0 {
+            return CglsResult {
+                x,
+                iterations: 0,
+                gradient_norm: 0.0,
+                interrupted: None,
+                checkpoint: None,
+            };
+        }
+        start_iter = 0;
     }
 
-    let mut iterations = 0;
+    let snapshot = |iteration: usize, x: &[f64], r: &[f64], p: &[f64], gamma: f64| {
+        CglsCheckpoint {
+            fingerprint: fingerprint.expect("snapshot only taken when fingerprinted"),
+            iteration,
+            x: x.to_vec(),
+            r: r.to_vec(),
+            p: p.to_vec(),
+            gamma,
+            gamma0,
+        }
+    };
+
+    let mut iterations = start_iter;
+    let mut interrupted = None;
+    let mut interrupted_ckpt: Option<Box<CglsCheckpoint>> = None;
     // product buffer reused across iterations (see LinearOperator::apply_into)
     let mut q = vec![0.0; a.nrows()];
-    for iter in 0..cfg.max_iter {
+    for iter in start_iter..cfg.max_iter {
+        if let Some(reason) = ctl.governor.and_then(|g| g.tick()) {
+            interrupted = Some(reason);
+            iterations = iter;
+            interrupted_ckpt = Some(Box::new(snapshot(iter, &x, &r, &p, gamma)));
+            break;
+        }
         iterations = iter + 1;
         a.apply_into(&p, &mut q);
         let delta = vector::dot(&q, &q) + cfg.alpha * vector::dot(&p, &p);
@@ -88,12 +191,20 @@ pub fn cgls<A: LinearOperator + ?Sized>(a: &A, b: &[f64], cfg: &CglsConfig) -> C
             *pi = si + beta * *pi;
         }
         gamma = gamma_new;
+        // periodic checkpoint after the full iteration has landed
+        if ctl.checkpoint_every > 0 && (iter + 1) % ctl.checkpoint_every == 0 {
+            if let Some(cb) = ctl.on_checkpoint {
+                cb(&snapshot(iter + 1, &x, &r, &p, gamma));
+            }
+        }
     }
 
     CglsResult {
         x,
         iterations,
         gradient_norm: gamma.sqrt(),
+        interrupted,
+        checkpoint: interrupted_ckpt,
     }
 }
 
@@ -216,5 +327,119 @@ mod tests {
     fn rhs_checked() {
         let a = noise_mat(4, 3);
         let _ = cgls(&a, &[1.0; 5], &CglsConfig::default());
+    }
+
+    #[test]
+    fn governed_interrupt_then_resume_is_bitwise_identical() {
+        use crate::governor::{RunBudget, RunGovernor};
+        let a = noise_mat(22, 9);
+        let b: Vec<f64> = (0..22).map(|i| (i as f64 * 0.31).sin()).collect();
+        let cfg = CglsConfig {
+            alpha: 0.2,
+            max_iter: 30,
+            tol: 0.0,
+        };
+        let full = cgls(&a, &b, &cfg);
+        for k in [1usize, 4, 9] {
+            let g = RunGovernor::with_budget(RunBudget::with_iter_cap(k));
+            let partial = cgls_controlled(
+                &a,
+                &b,
+                &cfg,
+                &CglsControls {
+                    governor: Some(&g),
+                    ..Default::default()
+                },
+            );
+            assert_eq!(partial.interrupted, Some(Interrupt::IterBudgetExhausted));
+            assert_eq!(partial.iterations, k);
+            let ckpt = partial.checkpoint.expect("interrupt must carry a checkpoint");
+            // prove the serialized form, not just the in-memory state
+            let ckpt = CglsCheckpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+            let resumed = cgls_controlled(
+                &a,
+                &b,
+                &cfg,
+                &CglsControls {
+                    resume: Some(&ckpt),
+                    ..Default::default()
+                },
+            );
+            assert_eq!(resumed.iterations, full.iterations, "interrupt at {k}");
+            assert_eq!(resumed.interrupted, None);
+            for (u, v) in resumed.x.iter().zip(&full.x) {
+                assert_eq!(u.to_bits(), v.to_bits(), "{u} vs {v}");
+            }
+            assert_eq!(
+                resumed.gradient_norm.to_bits(),
+                full.gradient_norm.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn periodic_checkpoints_resume_identically() {
+        let a = noise_mat(15, 6);
+        let b: Vec<f64> = (0..15).map(|i| (i as f64 * 0.7).cos()).collect();
+        let cfg = CglsConfig {
+            alpha: 0.5,
+            max_iter: 10,
+            tol: 0.0,
+        };
+        let captured = std::sync::Mutex::new(Vec::new());
+        let on_ckpt = |c: &CglsCheckpoint| captured.lock().unwrap().push(c.clone());
+        let full = cgls_controlled(
+            &a,
+            &b,
+            &cfg,
+            &CglsControls {
+                checkpoint_every: 4,
+                on_checkpoint: Some(&on_ckpt),
+                ..Default::default()
+            },
+        );
+        let captured = captured.into_inner().unwrap();
+        assert!(!captured.is_empty());
+        for ckpt in &captured {
+            let resumed = cgls_controlled(
+                &a,
+                &b,
+                &cfg,
+                &CglsControls {
+                    resume: Some(ckpt),
+                    ..Default::default()
+                },
+            );
+            assert_eq!(resumed.iterations, full.iterations);
+            for (u, v) in resumed.x.iter().zip(&full.x) {
+                assert_eq!(u.to_bits(), v.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cgls resume")]
+    fn resume_against_different_problem_panics() {
+        let a = noise_mat(8, 4);
+        let b = vec![1.0; 8];
+        let cfg = CglsConfig::default();
+        let ckpt = CglsCheckpoint {
+            fingerprint: ProblemFingerprint::new(8, 4, cfg.alpha, cfg.tol, cfg.max_iter, &[9.0; 8]),
+            iteration: 1,
+            x: vec![0.0; 4],
+            r: vec![0.0; 8],
+            p: vec![0.0; 4],
+            gamma: 1.0,
+            gamma0: 1.0,
+        };
+        let _ = cgls_controlled(
+            &a,
+            &b,
+            &cfg,
+            &CglsControls {
+                resume: Some(&ckpt),
+                ..Default::default()
+            },
+        );
     }
 }

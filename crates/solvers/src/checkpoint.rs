@@ -1,0 +1,601 @@
+//! Serializable solver checkpoints: the full running state of an LSQR or
+//! CGLS solve, CRC-guarded on disk, written with the same atomic-rename
+//! discipline as `srda_sparse::DiskCsr`.
+//!
+//! ## Why the whole bidiagonalization state
+//!
+//! LSQR's iterate `x_k` alone is *not* enough to resume a run: restarting
+//! from `x_k` (a warm start) builds a fresh Krylov space and follows a
+//! different — if eventually convergent — trajectory. The governor's
+//! contract is stronger: a resumed run must be **bitwise identical** to an
+//! uninterrupted one. That requires every quantity the next iteration
+//! reads: the Golub-Kahan vectors `u`, `v`, the search direction `w`, the
+//! iterate `x`, the scalar recurrences (`alpha`, `phibar`, `rhobar`,
+//! `anorm_sq`), the stopping-rule state (`b_norm`, `best_res`,
+//! `no_improve`) and the residual trace. All of it is captured here, and
+//! nothing else is needed.
+//!
+//! ## File format (`SRDACKP1`)
+//!
+//! ```text
+//! magic      8 bytes  b"SRDACKP1"
+//! kind       1 byte   1 = LSQR, 2 = CGLS
+//! payload    ...      little-endian fields (see encode())
+//! crc32      4 bytes  CRC-32/IEEE of magic+kind+payload
+//! ```
+//!
+//! Floats are stored via `to_le_bytes` of their raw bits, so a round trip
+//! is exact — including negative zeros and the signs the LSQR rotations
+//! propagate through `phibar`/`rhobar`.
+
+use srda_sparse::crc32::Crc32;
+use std::io::Write;
+use std::path::Path;
+
+/// Magic prefix of every checkpoint file.
+pub const CHECKPOINT_MAGIC: &[u8; 8] = b"SRDACKP1";
+
+const KIND_LSQR: u8 = 1;
+const KIND_CGLS: u8 = 2;
+
+/// What went wrong reading or writing a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Filesystem-level failure (message carries the OS error).
+    Io(String),
+    /// The bytes are not a valid checkpoint: bad magic, truncation, or a
+    /// CRC mismatch.
+    Corrupt(String),
+    /// The checkpoint is valid but belongs to a different problem
+    /// (dimensions, config, or right-hand side differ).
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(m) => write!(f, "checkpoint I/O error: {m}"),
+            CheckpointError::Corrupt(m) => write!(f, "corrupt checkpoint: {m}"),
+            CheckpointError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Identity of the problem a checkpoint belongs to. Resuming against a
+/// different operator shape, solver config, or right-hand side would
+/// silently produce garbage; the fingerprint turns that into a typed
+/// [`CheckpointError::Mismatch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProblemFingerprint {
+    /// Operator rows.
+    pub nrows: u64,
+    /// Operator columns.
+    pub ncols: u64,
+    /// Raw bits of the damping parameter (bit-exact comparison).
+    pub damp_bits: u64,
+    /// Raw bits of the tolerance.
+    pub tol_bits: u64,
+    /// The iteration cap the run was started with.
+    pub max_iter: u64,
+    /// CRC-32 of the right-hand side bytes (little-endian f64s).
+    pub rhs_crc: u32,
+}
+
+impl ProblemFingerprint {
+    /// Fingerprint for a problem of shape `nrows × ncols` with the given
+    /// solver knobs and right-hand side.
+    pub fn new(nrows: usize, ncols: usize, damp: f64, tol: f64, max_iter: usize, b: &[f64]) -> Self {
+        let mut crc = Crc32::new();
+        for v in b {
+            crc.update(&v.to_le_bytes());
+        }
+        ProblemFingerprint {
+            nrows: nrows as u64,
+            ncols: ncols as u64,
+            damp_bits: damp.to_bits(),
+            tol_bits: tol.to_bits(),
+            max_iter: max_iter as u64,
+            rhs_crc: crc.finish(),
+        }
+    }
+
+    /// Check this fingerprint against the problem about to be resumed.
+    pub fn ensure_matches(&self, current: &ProblemFingerprint) -> Result<(), CheckpointError> {
+        if self == current {
+            return Ok(());
+        }
+        let what = if (self.nrows, self.ncols) != (current.nrows, current.ncols) {
+            format!(
+                "operator shape {}×{} differs from checkpointed {}×{}",
+                current.nrows, current.ncols, self.nrows, self.ncols
+            )
+        } else if self.rhs_crc != current.rhs_crc {
+            "right-hand side differs from the checkpointed run".to_string()
+        } else {
+            "solver configuration (damp/tol/max_iter) differs from the checkpointed run".to_string()
+        };
+        Err(CheckpointError::Mismatch(what))
+    }
+}
+
+/// The complete mid-run state of an LSQR solve (see the module docs for
+/// why every field is required).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LsqrCheckpoint {
+    /// Which problem this state belongs to.
+    pub fingerprint: ProblemFingerprint,
+    /// Iterations completed when the snapshot was taken.
+    pub iteration: usize,
+    /// Current iterate.
+    pub x: Vec<f64>,
+    /// Search direction.
+    pub w: Vec<f64>,
+    /// Left Golub-Kahan vector (length `nrows`).
+    pub u: Vec<f64>,
+    /// Right Golub-Kahan vector (length `ncols`).
+    pub v: Vec<f64>,
+    /// Bidiagonalization scalar α.
+    pub alpha: f64,
+    /// Rotated residual estimate φ̄ (sign-carrying).
+    pub phibar: f64,
+    /// Rotated diagonal ρ̄ (sign-carrying).
+    pub rhobar: f64,
+    /// Running ‖A‖² estimate for the second stopping rule.
+    pub anorm_sq: f64,
+    /// ‖b‖ at the start of the run.
+    pub b_norm: f64,
+    /// Best damped residual seen (stagnation detector).
+    pub best_res: f64,
+    /// Consecutive no-improvement iterations (stagnation detector).
+    pub no_improve: usize,
+    /// Damped-residual trace up to `iteration`.
+    pub residual_trace: Vec<f64>,
+}
+
+/// The complete mid-run state of a CGLS solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CglsCheckpoint {
+    /// Which problem this state belongs to (damp_bits carries α's bits).
+    pub fingerprint: ProblemFingerprint,
+    /// Iterations completed when the snapshot was taken.
+    pub iteration: usize,
+    /// Current iterate.
+    pub x: Vec<f64>,
+    /// Current residual `b − A·x` (length `nrows`).
+    pub r: Vec<f64>,
+    /// Search direction (length `ncols`).
+    pub p: Vec<f64>,
+    /// Current `‖s‖²` recurrence value.
+    pub gamma: f64,
+    /// Initial `‖s‖²` (the relative stopping reference).
+    pub gamma0: f64,
+}
+
+// ---------------------------------------------------------------------------
+// binary encoding
+// ---------------------------------------------------------------------------
+
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn vec(&mut self, v: &[f64]) {
+        self.u64(v.len() as u64);
+        for x in v {
+            self.f64(*x);
+        }
+    }
+}
+
+struct Dec<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(CheckpointError::Corrupt(format!(
+                "truncated: wanted {} bytes at offset {}, file has {}",
+                n,
+                self.pos,
+                self.bytes.len()
+            )));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn usize(&mut self) -> Result<usize, CheckpointError> {
+        let v = self.u64()?;
+        usize::try_from(v)
+            .map_err(|_| CheckpointError::Corrupt(format!("length {v} exceeds usize")))
+    }
+    fn vec(&mut self) -> Result<Vec<f64>, CheckpointError> {
+        let n = self.usize()?;
+        // guard against absurd lengths from corrupt (but CRC-colliding)
+        // bytes before allocating
+        if n.saturating_mul(8) > self.bytes.len() {
+            return Err(CheckpointError::Corrupt(format!(
+                "vector length {n} larger than the file itself"
+            )));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.f64()?);
+        }
+        Ok(out)
+    }
+}
+
+fn enc_fingerprint(e: &mut Enc, fp: &ProblemFingerprint) {
+    e.u64(fp.nrows);
+    e.u64(fp.ncols);
+    e.u64(fp.damp_bits);
+    e.u64(fp.tol_bits);
+    e.u64(fp.max_iter);
+    e.u32(fp.rhs_crc);
+}
+
+fn dec_fingerprint(d: &mut Dec) -> Result<ProblemFingerprint, CheckpointError> {
+    Ok(ProblemFingerprint {
+        nrows: d.u64()?,
+        ncols: d.u64()?,
+        damp_bits: d.u64()?,
+        tol_bits: d.u64()?,
+        max_iter: d.u64()?,
+        rhs_crc: d.u32()?,
+    })
+}
+
+impl LsqrCheckpoint {
+    /// Serialize to the `SRDACKP1` byte format (CRC appended).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut e = Enc(Vec::new());
+        e.0.extend_from_slice(CHECKPOINT_MAGIC);
+        e.0.push(KIND_LSQR);
+        enc_fingerprint(&mut e, &self.fingerprint);
+        e.u64(self.iteration as u64);
+        e.vec(&self.x);
+        e.vec(&self.w);
+        e.vec(&self.u);
+        e.vec(&self.v);
+        e.f64(self.alpha);
+        e.f64(self.phibar);
+        e.f64(self.rhobar);
+        e.f64(self.anorm_sq);
+        e.f64(self.b_norm);
+        e.f64(self.best_res);
+        e.u64(self.no_improve as u64);
+        e.vec(&self.residual_trace);
+        seal(e)
+    }
+
+    /// Parse bytes produced by [`LsqrCheckpoint::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        let mut d = open(bytes, KIND_LSQR, "LSQR")?;
+        let ckpt = LsqrCheckpoint {
+            fingerprint: dec_fingerprint(&mut d)?,
+            iteration: d.usize()?,
+            x: d.vec()?,
+            w: d.vec()?,
+            u: d.vec()?,
+            v: d.vec()?,
+            alpha: d.f64()?,
+            phibar: d.f64()?,
+            rhobar: d.f64()?,
+            anorm_sq: d.f64()?,
+            b_norm: d.f64()?,
+            best_res: d.f64()?,
+            no_improve: d.usize()?,
+            residual_trace: d.vec()?,
+        };
+        d.done()?;
+        Ok(ckpt)
+    }
+
+    /// Write atomically to `path` (tmp file + rename, like `DiskCsr`).
+    pub fn write_atomic(&self, path: &Path) -> Result<(), CheckpointError> {
+        write_atomic(path, &self.to_bytes())
+    }
+
+    /// Read and validate a checkpoint file.
+    pub fn read(path: &Path) -> Result<Self, CheckpointError> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| CheckpointError::Io(format!("{}: {e}", path.display())))?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+impl CglsCheckpoint {
+    /// Serialize to the `SRDACKP1` byte format (CRC appended).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut e = Enc(Vec::new());
+        e.0.extend_from_slice(CHECKPOINT_MAGIC);
+        e.0.push(KIND_CGLS);
+        enc_fingerprint(&mut e, &self.fingerprint);
+        e.u64(self.iteration as u64);
+        e.vec(&self.x);
+        e.vec(&self.r);
+        e.vec(&self.p);
+        e.f64(self.gamma);
+        e.f64(self.gamma0);
+        seal(e)
+    }
+
+    /// Parse bytes produced by [`CglsCheckpoint::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        let mut d = open(bytes, KIND_CGLS, "CGLS")?;
+        let ckpt = CglsCheckpoint {
+            fingerprint: dec_fingerprint(&mut d)?,
+            iteration: d.usize()?,
+            x: d.vec()?,
+            r: d.vec()?,
+            p: d.vec()?,
+            gamma: d.f64()?,
+            gamma0: d.f64()?,
+        };
+        d.done()?;
+        Ok(ckpt)
+    }
+
+    /// Write atomically to `path` (tmp file + rename, like `DiskCsr`).
+    pub fn write_atomic(&self, path: &Path) -> Result<(), CheckpointError> {
+        write_atomic(path, &self.to_bytes())
+    }
+
+    /// Read and validate a checkpoint file.
+    pub fn read(path: &Path) -> Result<Self, CheckpointError> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| CheckpointError::Io(format!("{}: {e}", path.display())))?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+impl Dec<'_> {
+    fn done(&self) -> Result<(), CheckpointError> {
+        // `bytes` excludes the trailing CRC, so a clean parse consumes it
+        // exactly; leftovers mean the writer and reader disagree
+        if self.pos != self.bytes.len() {
+            return Err(CheckpointError::Corrupt(format!(
+                "{} trailing bytes after payload",
+                self.bytes.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Append the CRC of everything encoded so far and return the bytes.
+fn seal(e: Enc) -> Vec<u8> {
+    let mut bytes = e.0;
+    let mut crc = Crc32::new();
+    crc.update(&bytes);
+    bytes.extend_from_slice(&crc.finish().to_le_bytes());
+    bytes
+}
+
+/// Validate magic, kind, and CRC; return a decoder over the payload.
+fn open<'a>(bytes: &'a [u8], kind: u8, kind_name: &str) -> Result<Dec<'a>, CheckpointError> {
+    let header = CHECKPOINT_MAGIC.len() + 1;
+    if bytes.len() < header + 4 {
+        return Err(CheckpointError::Corrupt(format!(
+            "file too short ({} bytes) to be a checkpoint",
+            bytes.len()
+        )));
+    }
+    if &bytes[..CHECKPOINT_MAGIC.len()] != CHECKPOINT_MAGIC {
+        return Err(CheckpointError::Corrupt("bad magic".to_string()));
+    }
+    let (payload, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    let mut crc = Crc32::new();
+    crc.update(payload);
+    let computed = crc.finish();
+    if stored != computed {
+        return Err(CheckpointError::Corrupt(format!(
+            "CRC mismatch: stored {stored:#010x}, computed {computed:#010x}"
+        )));
+    }
+    let got_kind = bytes[CHECKPOINT_MAGIC.len()];
+    if got_kind != kind {
+        return Err(CheckpointError::Mismatch(format!(
+            "checkpoint kind {got_kind} is not a {kind_name} checkpoint"
+        )));
+    }
+    Ok(Dec {
+        bytes: &payload[header..],
+        pos: 0,
+    })
+}
+
+/// Write `bytes` to `path` atomically: a uniquely-named tmp file in the
+/// same directory, fsync, then rename over the target. Readers never see
+/// a partial checkpoint.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| CheckpointError::Io(format!("{}: not a file path", path.display())))?;
+    let tmp_name = format!(".{}.tmp-{}", file_name.to_string_lossy(), std::process::id());
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => std::path::PathBuf::from(&tmp_name),
+    };
+    let io_err = |e: std::io::Error| CheckpointError::Io(format!("{}: {e}", tmp.display()));
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp).map_err(io_err)?;
+        f.write_all(bytes).map_err(io_err)?;
+        f.sync_all().map_err(io_err)?;
+        drop(f);
+        std::fs::rename(&tmp, path)
+            .map_err(|e| CheckpointError::Io(format!("{}: {e}", path.display())))
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_fp() -> ProblemFingerprint {
+        ProblemFingerprint::new(7, 4, 0.5f64.sqrt(), 1e-10, 20, &[1.0, -2.5, 0.0, 3.25, -0.0, 9.0, 1e-300])
+    }
+
+    fn sample_lsqr() -> LsqrCheckpoint {
+        LsqrCheckpoint {
+            fingerprint: sample_fp(),
+            iteration: 3,
+            x: vec![1.5, -2.25, 0.0, -0.0],
+            w: vec![0.125, 3.0, -1.0, 2.0],
+            u: vec![0.1; 7],
+            v: vec![-0.5, 0.25, 0.75, 1.0],
+            alpha: 1.75,
+            phibar: -0.001953125,
+            rhobar: -2.5,
+            anorm_sq: 42.0,
+            b_norm: 9.5,
+            best_res: 0.25,
+            no_improve: 2,
+            residual_trace: vec![3.0, 1.0, 0.25],
+        }
+    }
+
+    #[test]
+    fn lsqr_roundtrip_is_exact() {
+        let ckpt = sample_lsqr();
+        let back = LsqrCheckpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+        assert_eq!(back, ckpt);
+        // sign of zero survives (PartialEq on f64 can't see it)
+        assert_eq!(back.x[3].to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn cgls_roundtrip_is_exact() {
+        let ckpt = CglsCheckpoint {
+            fingerprint: sample_fp(),
+            iteration: 5,
+            x: vec![1.0, 2.0, 3.0, 4.0],
+            r: vec![0.5; 7],
+            p: vec![-1.0, 0.0, 1.0, 2.0],
+            gamma: 0.0625,
+            gamma0: 17.0,
+        };
+        let back = CglsCheckpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+        assert_eq!(back, ckpt);
+    }
+
+    #[test]
+    fn bit_flip_is_detected() {
+        let mut bytes = sample_lsqr().to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        match LsqrCheckpoint::from_bytes(&bytes) {
+            Err(CheckpointError::Corrupt(_)) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = sample_lsqr().to_bytes();
+        for cut in [0, 5, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                LsqrCheckpoint::from_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_kind_is_mismatch() {
+        let bytes = sample_lsqr().to_bytes();
+        match CglsCheckpoint::from_bytes(&bytes) {
+            Err(CheckpointError::Mismatch(_)) => {}
+            other => panic!("expected Mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample_lsqr().to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            LsqrCheckpoint::from_bytes(&bytes),
+            Err(CheckpointError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn fingerprint_mismatch_reports_what_differs() {
+        let fp = sample_fp();
+        let mut other = fp;
+        other.nrows = 99;
+        let err = fp.ensure_matches(&other).unwrap_err();
+        assert!(matches!(&err, CheckpointError::Mismatch(m) if m.contains("shape")));
+        let mut other = fp;
+        other.rhs_crc ^= 1;
+        let err = fp.ensure_matches(&other).unwrap_err();
+        assert!(matches!(&err, CheckpointError::Mismatch(m) if m.contains("right-hand side")));
+        let mut other = fp;
+        other.damp_bits ^= 1;
+        let err = fp.ensure_matches(&other).unwrap_err();
+        assert!(matches!(&err, CheckpointError::Mismatch(m) if m.contains("configuration")));
+        assert!(fp.ensure_matches(&fp).is_ok());
+    }
+
+    #[test]
+    fn atomic_write_then_read() {
+        let dir = std::env::temp_dir().join(format!("srda-ckpt-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("solve.ckpt");
+        let ckpt = sample_lsqr();
+        ckpt.write_atomic(&path).unwrap();
+        let back = LsqrCheckpoint::read(&path).unwrap();
+        assert_eq!(back, ckpt);
+        // overwrite in place (the rename path, not create)
+        let mut ckpt2 = ckpt.clone();
+        ckpt2.iteration = 9;
+        ckpt2.write_atomic(&path).unwrap();
+        assert_eq!(LsqrCheckpoint::read(&path).unwrap().iteration, 9);
+        // no tmp litter
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains("tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "tmp files left behind: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_missing_file_is_io_error() {
+        let path = Path::new("/nonexistent-dir-srda/x.ckpt");
+        assert!(matches!(
+            LsqrCheckpoint::read(path),
+            Err(CheckpointError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,311 @@
+//! Run governance: wall-clock budgets, iteration budgets, and cooperative
+//! cancellation for iterative fits.
+//!
+//! SRDA's training loop is `c − 1` LSQR solves of up to `max_iter`
+//! iterations each — exactly the kind of long-running, interruptible work
+//! that production deployments need to bound. A [`RunGovernor`] is a cheap
+//! shareable handle (an `Arc` over two atomics and a start timestamp) that
+//! every iterative hot loop consults once per iteration via
+//! [`RunGovernor::tick`]:
+//!
+//! * **Deadline / wall budget** — [`RunBudget::deadline`] or
+//!   [`RunBudget::max_wall`] bound the total wall-clock time of the run.
+//! * **Iteration budget** — [`RunBudget::iter_cap`] bounds the *total*
+//!   iterations across every solve sharing the governor (all `c − 1`
+//!   responses of a fit draw from one pool), which makes interruption
+//!   deterministic in tests and reproducible in CI.
+//! * **Cancellation** — a [`CancelToken`] can be cloned into another
+//!   thread (e.g. a signal handler) and flipped to stop the run at the
+//!   next iteration boundary.
+//!
+//! Hitting any of these is **not an error**: solvers stop with
+//! `StopReason::Interrupted` carrying the [`Interrupt`] reason and their
+//! last consistent state, so callers can checkpoint and resume (see
+//! [`crate::checkpoint`]).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a governed run was interrupted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interrupt {
+    /// The shared [`CancelToken`] was flipped.
+    Cancelled,
+    /// The wall-clock deadline ([`RunBudget::deadline`] or
+    /// [`RunBudget::max_wall`]) passed.
+    DeadlineExceeded,
+    /// The total iteration budget ([`RunBudget::iter_cap`]) was spent.
+    IterBudgetExhausted,
+}
+
+impl std::fmt::Display for Interrupt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Interrupt::Cancelled => write!(f, "cancelled"),
+            Interrupt::DeadlineExceeded => write!(f, "wall-clock budget exceeded"),
+            Interrupt::IterBudgetExhausted => write!(f, "iteration budget exhausted"),
+        }
+    }
+}
+
+/// A shareable cancellation flag (an `AtomicBool` behind an `Arc`).
+///
+/// Clone it freely; all clones observe the same flag. Flipping it stops
+/// every governed loop holding a [`RunGovernor`] built from this token at
+/// its next iteration boundary.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent; takes effect at the next
+    /// iteration boundary of every governed loop sharing this token.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Resource limits for a governed run. The default is unbounded.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunBudget {
+    /// Absolute wall-clock deadline.
+    pub deadline: Option<Instant>,
+    /// Relative wall-clock budget, measured from [`RunGovernor`]
+    /// construction (combined with `deadline` by taking the earlier).
+    pub max_wall: Option<Duration>,
+    /// Total iteration budget across every solve sharing the governor.
+    pub iter_cap: Option<usize>,
+}
+
+impl RunBudget {
+    /// An unbounded budget (never interrupts).
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// Budget bounded only by wall-clock time from now.
+    pub fn with_max_wall(wall: Duration) -> Self {
+        RunBudget {
+            max_wall: Some(wall),
+            ..Self::default()
+        }
+    }
+
+    /// Budget bounded only by a total iteration count.
+    pub fn with_iter_cap(cap: usize) -> Self {
+        RunBudget {
+            iter_cap: Some(cap),
+            ..Self::default()
+        }
+    }
+}
+
+#[derive(Debug)]
+struct GovernorInner {
+    /// Effective absolute deadline (min of `deadline` and
+    /// `start + max_wall`), resolved at construction.
+    deadline: Option<Instant>,
+    iter_cap: Option<usize>,
+    cancel: CancelToken,
+    /// Iterations consumed so far across every solve sharing this
+    /// governor.
+    iters: AtomicUsize,
+    start: Instant,
+}
+
+/// A cheap shareable run-governance handle (see the module docs).
+///
+/// Cloning shares the underlying state: the iteration pool, deadline, and
+/// cancel flag are common to all clones, so a governor threaded through a
+/// fit config governs the whole fit no matter how many solves it spawns.
+#[derive(Debug, Clone)]
+pub struct RunGovernor(Arc<GovernorInner>);
+
+impl Default for RunGovernor {
+    fn default() -> Self {
+        RunGovernor::unbounded()
+    }
+}
+
+impl RunGovernor {
+    /// Build a governor enforcing `budget`, cancellable via `cancel`.
+    /// The wall clock starts now.
+    pub fn new(budget: RunBudget, cancel: CancelToken) -> Self {
+        let start = Instant::now();
+        let wall_deadline = budget.max_wall.map(|w| start + w);
+        let deadline = match (budget.deadline, wall_deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        RunGovernor(Arc::new(GovernorInner {
+            deadline,
+            iter_cap: budget.iter_cap,
+            cancel,
+            iters: AtomicUsize::new(0),
+            start,
+        }))
+    }
+
+    /// A governor that never interrupts (the default for every fit
+    /// config). `tick` still counts iterations, so diagnostics stay
+    /// uniform.
+    pub fn unbounded() -> Self {
+        RunGovernor::new(RunBudget::unbounded(), CancelToken::new())
+    }
+
+    /// Convenience: enforce only `budget` with a private cancel token.
+    pub fn with_budget(budget: RunBudget) -> Self {
+        RunGovernor::new(budget, CancelToken::new())
+    }
+
+    /// The cancel token shared by this governor (clone it into whatever
+    /// needs to stop the run).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.0.cancel.clone()
+    }
+
+    /// Iterations consumed so far across every governed solve.
+    pub fn iterations_consumed(&self) -> usize {
+        self.0.iters.load(Ordering::Relaxed)
+    }
+
+    /// Wall-clock time elapsed since the governor was built.
+    pub fn elapsed(&self) -> Duration {
+        self.0.start.elapsed()
+    }
+
+    /// Check budgets *without* consuming an iteration — for coarse-grained
+    /// sites (stage boundaries of direct solvers, the factor ladder, the
+    /// per-response loop) where no iteration is about to run.
+    pub fn probe(&self) -> Option<Interrupt> {
+        if self.0.cancel.is_cancelled() {
+            return Some(Interrupt::Cancelled);
+        }
+        if let Some(d) = self.0.deadline {
+            if Instant::now() >= d {
+                return Some(Interrupt::DeadlineExceeded);
+            }
+        }
+        if let Some(cap) = self.0.iter_cap {
+            if self.0.iters.load(Ordering::Relaxed) >= cap {
+                return Some(Interrupt::IterBudgetExhausted);
+            }
+        }
+        None
+    }
+
+    /// Consume one iteration from the shared pool and check every budget.
+    /// Called at the **top** of each solver iteration; `Some(reason)`
+    /// means the iteration must not run and the solver should stop with
+    /// its current (consistent) state.
+    pub fn tick(&self) -> Option<Interrupt> {
+        if self.0.cancel.is_cancelled() {
+            return Some(Interrupt::Cancelled);
+        }
+        if let Some(d) = self.0.deadline {
+            if Instant::now() >= d {
+                return Some(Interrupt::DeadlineExceeded);
+            }
+        }
+        if let Some(cap) = self.0.iter_cap {
+            // fetch_add so concurrent response solves draw from one pool;
+            // the slot is only "kept" when it was still under the cap
+            if self.0.iters.fetch_add(1, Ordering::Relaxed) >= cap {
+                return Some(Interrupt::IterBudgetExhausted);
+            }
+        } else {
+            self.0.iters.fetch_add(1, Ordering::Relaxed);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_interrupts() {
+        let g = RunGovernor::unbounded();
+        for _ in 0..1000 {
+            assert_eq!(g.tick(), None);
+        }
+        assert_eq!(g.probe(), None);
+        assert_eq!(g.iterations_consumed(), 1000);
+    }
+
+    #[test]
+    fn iter_cap_interrupts_after_exactly_cap_ticks() {
+        let g = RunGovernor::with_budget(RunBudget::with_iter_cap(3));
+        assert_eq!(g.tick(), None);
+        assert_eq!(g.tick(), None);
+        assert_eq!(g.tick(), None);
+        assert_eq!(g.tick(), Some(Interrupt::IterBudgetExhausted));
+        assert_eq!(g.probe(), Some(Interrupt::IterBudgetExhausted));
+    }
+
+    #[test]
+    fn clones_share_the_iteration_pool() {
+        let g = RunGovernor::with_budget(RunBudget::with_iter_cap(2));
+        let g2 = g.clone();
+        assert_eq!(g.tick(), None);
+        assert_eq!(g2.tick(), None);
+        assert_eq!(g.tick(), Some(Interrupt::IterBudgetExhausted));
+        assert_eq!(g2.tick(), Some(Interrupt::IterBudgetExhausted));
+    }
+
+    #[test]
+    fn cancel_token_stops_all_holders() {
+        let token = CancelToken::new();
+        let g = RunGovernor::new(RunBudget::unbounded(), token.clone());
+        assert_eq!(g.tick(), None);
+        token.cancel();
+        assert!(token.is_cancelled());
+        assert_eq!(g.tick(), Some(Interrupt::Cancelled));
+        assert_eq!(g.probe(), Some(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn elapsed_deadline_interrupts_immediately() {
+        let g = RunGovernor::with_budget(RunBudget::with_max_wall(Duration::ZERO));
+        assert_eq!(g.tick(), Some(Interrupt::DeadlineExceeded));
+    }
+
+    #[test]
+    fn absolute_deadline_and_max_wall_combine_to_the_earlier() {
+        let long = Instant::now() + Duration::from_secs(3600);
+        let g = RunGovernor::with_budget(RunBudget {
+            deadline: Some(long),
+            max_wall: Some(Duration::ZERO),
+            iter_cap: None,
+        });
+        assert_eq!(g.probe(), Some(Interrupt::DeadlineExceeded));
+    }
+
+    #[test]
+    fn probe_does_not_consume_iterations() {
+        let g = RunGovernor::with_budget(RunBudget::with_iter_cap(1));
+        assert_eq!(g.probe(), None);
+        assert_eq!(g.probe(), None);
+        assert_eq!(g.iterations_consumed(), 0);
+        assert_eq!(g.tick(), None);
+        assert_eq!(g.probe(), Some(Interrupt::IterBudgetExhausted));
+    }
+
+    #[test]
+    fn display_names_every_reason() {
+        assert_eq!(Interrupt::Cancelled.to_string(), "cancelled");
+        assert!(Interrupt::DeadlineExceeded.to_string().contains("wall"));
+        assert!(Interrupt::IterBudgetExhausted.to_string().contains("iteration"));
+    }
+}

@@ -25,20 +25,33 @@
 //!   on `Singular`/non-finite breakdown it retries with bounded
 //!   escalating diagonal jitter and finally falls back to damped LSQR,
 //!   reporting every recovery step it took.
+//! * [`governor`] — wall-clock/iteration budgets and cooperative
+//!   cancellation ([`RunGovernor`]/[`CancelToken`]), checked inside every
+//!   iterative loop and before every expensive factorization attempt.
+//! * [`checkpoint`] — CRC-guarded, atomically-written solver state
+//!   ([`LsqrCheckpoint`]/`CglsCheckpoint`) that resumes an interrupted
+//!   solve to a bitwise-identical trajectory.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cgls;
+pub mod checkpoint;
+pub mod governor;
 pub mod lsqr;
 pub mod operator;
 pub mod ridge;
 pub mod robust;
 
-pub use lsqr::{lsqr, lsqr_warm, LsqrConfig, LsqrResult, StopReason};
+pub use checkpoint::{CheckpointError, CglsCheckpoint, LsqrCheckpoint, ProblemFingerprint};
+pub use governor::{CancelToken, Interrupt, RunBudget, RunGovernor};
+pub use lsqr::{
+    lsqr, lsqr_controlled, lsqr_warm, lsqr_warm_governed, LsqrConfig, LsqrResult, SolveControls,
+    StopReason,
+};
 pub use operator::{AugmentedOp, CenteredOp, ExecCsr, ExecDense, LinearOperator};
 pub use ridge::{RidgeForm, RidgeSolver};
 pub use robust::{
-    factor_ladder, LadderOutcome, RecoveryAction, RobustConfig, RobustRidge, RobustSolveReport,
-    SolverUsed,
+    factor_ladder, factor_ladder_governed, LadderOutcome, RecoveryAction, RobustConfig,
+    RobustOutcome, RobustRidge, RobustSolveReport, SolverUsed,
 };

@@ -7,6 +7,8 @@
 //! The paper runs a fixed 15–20 iterations; [`LsqrConfig`] supports both a
 //! hard iteration cap and standard residual-based stopping rules.
 
+use crate::checkpoint::{LsqrCheckpoint, ProblemFingerprint};
+use crate::governor::{Interrupt, RunGovernor};
 use crate::operator::LinearOperator;
 use srda_linalg::vector;
 
@@ -88,6 +90,13 @@ pub enum StopReason {
     /// `tol > 0`): the iteration is wedged at its attainable floor and
     /// further matvecs are wasted work.
     Stagnated,
+    /// The run's [`RunGovernor`] interrupted the solve (budget spent or
+    /// cancellation requested) before it converged. The returned `x` is
+    /// the last completed iterate and
+    /// [`LsqrResult::checkpoint`] carries the full resumable state.
+    /// **Not a failure**: resuming replays to a bitwise-identical
+    /// trajectory.
+    Interrupted(Interrupt),
 }
 
 /// The outcome of an LSQR run.
@@ -103,8 +112,49 @@ pub struct LsqrResult {
     pub stop: StopReason,
     /// Damped-residual-norm trace, one entry per iteration (used by the
     /// `repro_lsqr_convergence` experiment to verify the "~20 iterations"
-    /// claim).
+    /// claim). On a resumed run this is the *full* trace, pre-interrupt
+    /// iterations included.
     pub residual_trace: Vec<f64>,
+    /// The resumable solver state, populated only when the run stopped
+    /// with [`StopReason::Interrupted`] under a governor. Feed it back via
+    /// [`SolveControls::resume`] to continue bitwise-identically.
+    pub checkpoint: Option<Box<LsqrCheckpoint>>,
+}
+
+/// Governance hooks for a controlled LSQR run ([`lsqr_controlled`]).
+/// The default is a plain ungoverned solve — [`lsqr`] is exactly
+/// `lsqr_controlled(a, b, cfg, &SolveControls::default())`, and the
+/// trajectory is bit-for-bit unchanged by governance: the governor and
+/// checkpoint hooks only *observe* state between iterations, never
+/// perturb the float sequence.
+#[derive(Clone, Copy, Default)]
+pub struct SolveControls<'a> {
+    /// Budget/cancellation authority, consulted at the top of every
+    /// iteration. `None` means never interrupt.
+    pub governor: Option<&'a RunGovernor>,
+    /// Resume from a previously captured state instead of a cold start.
+    /// The checkpoint's fingerprint must match this problem (shape,
+    /// `damp`/`tol`/`max_iter` bits, and right-hand side CRC) — a
+    /// mismatch is a caller bug and panics; validate first with
+    /// [`ProblemFingerprint::ensure_matches`] where a typed error is
+    /// needed.
+    pub resume: Option<&'a LsqrCheckpoint>,
+    /// Emit a checkpoint every N completed iterations (0 = never).
+    pub checkpoint_every: usize,
+    /// Where periodic checkpoints go (e.g. an atomic file write). Called
+    /// synchronously between iterations.
+    pub on_checkpoint: Option<&'a (dyn Fn(&LsqrCheckpoint) + Sync)>,
+}
+
+impl std::fmt::Debug for SolveControls<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolveControls")
+            .field("governor", &self.governor.is_some())
+            .field("resume", &self.resume.map(|c| c.iteration))
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field("on_checkpoint", &self.on_checkpoint.is_some())
+            .finish()
+    }
 }
 
 /// Run LSQR on `min ‖A·x − b‖² + damp²‖x‖²`.
@@ -120,6 +170,66 @@ pub struct LsqrResult {
 /// assert!((r.x[1] - 2.0).abs() < 1e-8);
 /// ```
 pub fn lsqr<A: LinearOperator + ?Sized>(a: &A, b: &[f64], cfg: &LsqrConfig) -> LsqrResult {
+    lsqr_controlled(a, b, cfg, &SolveControls::default())
+}
+
+/// Capture the end-of-iteration state as a resumable checkpoint. Every
+/// field the next iteration reads is here; `beta` is not, because each
+/// iteration recomputes it from scratch before first use.
+#[allow(clippy::too_many_arguments)]
+fn snapshot(
+    fingerprint: ProblemFingerprint,
+    iteration: usize,
+    x: &[f64],
+    w: &[f64],
+    u: &[f64],
+    v: &[f64],
+    alpha: f64,
+    phibar: f64,
+    rhobar: f64,
+    anorm_sq: f64,
+    b_norm: f64,
+    best_res: f64,
+    no_improve: usize,
+    trace: &[f64],
+) -> LsqrCheckpoint {
+    LsqrCheckpoint {
+        fingerprint,
+        iteration,
+        x: x.to_vec(),
+        w: w.to_vec(),
+        u: u.to_vec(),
+        v: v.to_vec(),
+        alpha,
+        phibar,
+        rhobar,
+        anorm_sq,
+        b_norm,
+        best_res,
+        no_improve,
+        residual_trace: trace.to_vec(),
+    }
+}
+
+/// [`lsqr`] with run governance: budget/cancellation checks at every
+/// iteration boundary, periodic checkpoint emission, and resume from a
+/// prior [`LsqrCheckpoint`].
+///
+/// ## Determinism contract
+///
+/// Governance never changes the float sequence. For any interrupt point
+/// `k`, running to `k`, checkpointing, and resuming to completion yields
+/// the same `x` **bit for bit** as the uninterrupted run — the checkpoint
+/// captures the complete iteration state, floats round-trip exactly, and
+/// the loop body is untouched. This is asserted by the
+/// `resume_*_bitwise_identical` tests below and relied on by
+/// `SrdaModel`'s fit resume.
+pub fn lsqr_controlled<A: LinearOperator + ?Sized>(
+    a: &A,
+    b: &[f64],
+    cfg: &LsqrConfig,
+    ctl: &SolveControls,
+) -> LsqrResult {
     assert_eq!(b.len(), a.nrows(), "rhs length must equal operator rows");
     cfg.validate();
     let n = a.ncols();
@@ -131,6 +241,7 @@ pub fn lsqr<A: LinearOperator + ?Sized>(a: &A, b: &[f64], cfg: &LsqrConfig) -> L
         residual_norm: f64::INFINITY,
         stop: StopReason::Diverged,
         residual_trace: trace,
+        checkpoint: None,
     };
 
     // reject a poisoned right-hand side before any work: a NaN here would
@@ -139,67 +250,153 @@ pub fn lsqr<A: LinearOperator + ?Sized>(a: &A, b: &[f64], cfg: &LsqrConfig) -> L
         return diverged(x, 0, vec![]);
     }
 
-    // Golub-Kahan bidiagonalization initialization
-    let mut u = b.to_vec();
-    let mut beta = vector::norm2(&u);
-    if beta == 0.0 {
-        return LsqrResult {
-            x,
-            iterations: 0,
-            residual_norm: 0.0,
-            stop: StopReason::TrivialSolution,
-            residual_trace: vec![],
-        };
-    }
-    if !beta.is_finite() {
-        // finite entries but overflowing norm: treat as breakdown
-        return diverged(x, 0, vec![]);
-    }
-    vector::scale(1.0 / beta, &mut u);
+    // the fingerprint (an O(m) CRC of b) is only needed when state may
+    // cross a run boundary: resuming, emitting checkpoints, or running
+    // under a governor that could interrupt
+    let fingerprint = if ctl.resume.is_some()
+        || ctl.governor.is_some()
+        || (ctl.checkpoint_every > 0 && ctl.on_checkpoint.is_some())
+    {
+        Some(ProblemFingerprint::new(
+            a.nrows(),
+            n,
+            cfg.damp,
+            cfg.tol,
+            cfg.max_iter,
+            b,
+        ))
+    } else {
+        None
+    };
 
-    let mut v = a.apply_t(&u);
-    // check the raw operator output, not its norm: norm2's overflow-safe
-    // max ignores NaN, so a poisoned matvec can masquerade as a zero norm
-    if !v.iter().all(|t| t.is_finite()) {
-        return diverged(x, 0, vec![]);
-    }
-    let mut alpha = vector::norm2(&v);
-    if !alpha.is_finite() {
-        // finite entries but overflowing norm: treat as breakdown
-        return diverged(x, 0, vec![]);
-    }
-    if alpha == 0.0 {
-        // b is orthogonal to the range of A: x = 0 is optimal
-        return LsqrResult {
-            x,
-            iterations: 0,
-            residual_norm: beta,
-            stop: StopReason::TrivialSolution,
-            residual_trace: vec![],
-        };
-    }
-    vector::scale(1.0 / alpha, &mut v);
+    let mut u;
+    let mut v;
+    let mut w;
+    let mut alpha;
+    let mut phibar;
+    let mut rhobar;
+    let b_norm;
+    let mut anorm_sq;
+    let mut trace;
+    let mut best_res;
+    let mut no_improve;
+    let start_iter;
 
-    let mut w = v.clone();
-    let mut phibar = beta;
-    let mut rhobar = alpha;
-    let b_norm = beta;
-    // running Frobenius-norm estimate of the damped bidiagonal (Paige &
-    // Saunders' ANORM), for the ‖Aᵀr‖-based stopping rule
-    let mut anorm_sq = alpha * alpha;
-    let mut trace = Vec::with_capacity(cfg.max_iter);
+    if let Some(ckpt) = ctl.resume {
+        if let Err(e) = ckpt
+            .fingerprint
+            .ensure_matches(fingerprint.as_ref().expect("fingerprint computed for resume"))
+        {
+            panic!("lsqr resume: {e}");
+        }
+        assert_eq!(ckpt.u.len(), a.nrows(), "checkpoint u length");
+        assert_eq!(ckpt.v.len(), n, "checkpoint v length");
+        assert_eq!(ckpt.w.len(), n, "checkpoint w length");
+        assert_eq!(ckpt.x.len(), n, "checkpoint x length");
+        u = ckpt.u.clone();
+        v = ckpt.v.clone();
+        w = ckpt.w.clone();
+        x = ckpt.x.clone();
+        alpha = ckpt.alpha;
+        phibar = ckpt.phibar;
+        rhobar = ckpt.rhobar;
+        anorm_sq = ckpt.anorm_sq;
+        b_norm = ckpt.b_norm;
+        best_res = ckpt.best_res;
+        no_improve = ckpt.no_improve;
+        trace = ckpt.residual_trace.clone();
+        start_iter = ckpt.iteration;
+    } else {
+        // Golub-Kahan bidiagonalization initialization
+        u = b.to_vec();
+        let beta = vector::norm2(&u);
+        if beta == 0.0 {
+            return LsqrResult {
+                x,
+                iterations: 0,
+                residual_norm: 0.0,
+                stop: StopReason::TrivialSolution,
+                residual_trace: vec![],
+                checkpoint: None,
+            };
+        }
+        if !beta.is_finite() {
+            // finite entries but overflowing norm: treat as breakdown
+            return diverged(x, 0, vec![]);
+        }
+        vector::scale(1.0 / beta, &mut u);
+
+        v = a.apply_t(&u);
+        // check the raw operator output, not its norm: norm2's overflow-safe
+        // max ignores NaN, so a poisoned matvec can masquerade as a zero norm
+        if !v.iter().all(|t| t.is_finite()) {
+            return diverged(x, 0, vec![]);
+        }
+        alpha = vector::norm2(&v);
+        if !alpha.is_finite() {
+            // finite entries but overflowing norm: treat as breakdown
+            return diverged(x, 0, vec![]);
+        }
+        if alpha == 0.0 {
+            // b is orthogonal to the range of A: x = 0 is optimal
+            return LsqrResult {
+                x,
+                iterations: 0,
+                residual_norm: beta,
+                stop: StopReason::TrivialSolution,
+                residual_trace: vec![],
+                checkpoint: None,
+            };
+        }
+        vector::scale(1.0 / alpha, &mut v);
+
+        w = v.clone();
+        phibar = beta;
+        rhobar = alpha;
+        b_norm = beta;
+        // running Frobenius-norm estimate of the damped bidiagonal (Paige &
+        // Saunders' ANORM), for the ‖Aᵀr‖-based stopping rule
+        anorm_sq = alpha * alpha;
+        trace = Vec::with_capacity(cfg.max_iter);
+        // stagnation tracking (active only when tol > 0)
+        best_res = f64::INFINITY;
+        no_improve = 0usize;
+        start_iter = 0;
+    }
+
+    let mut beta;
     let mut stop = StopReason::MaxIterations;
-    let mut iterations = 0;
-    // stagnation tracking (active only when tol > 0)
-    let mut best_res = f64::INFINITY;
-    let mut no_improve = 0usize;
+    let mut iterations = start_iter;
+    let mut interrupted_ckpt: Option<Box<LsqrCheckpoint>> = None;
     // product buffers reused across iterations (apply_into avoids one
     // allocation per matvec — measurable on the k·c small-product regime
     // of SRDA's response loop)
     let mut av = vec![0.0; a.nrows()];
     let mut atu = vec![0.0; n];
 
-    for iter in 0..cfg.max_iter {
+    for iter in start_iter..cfg.max_iter {
+        // governance first: the state here is exactly the end-of-previous-
+        // iteration state, so the snapshot taken on interrupt resumes at
+        // `iter` with nothing lost and nothing repeated
+        #[cfg_attr(not(feature = "failpoints"), allow(unused_mut))]
+        let mut interrupt = ctl.governor.and_then(|g| g.tick());
+        #[cfg(feature = "failpoints")]
+        if interrupt.is_none() && srda_linalg::failpoint::should_fail("lsqr.interrupt") {
+            // deterministic kill switch for resume tests: behaves exactly
+            // like an external cancellation landing at this boundary
+            interrupt = Some(Interrupt::Cancelled);
+        }
+        if let Some(reason) = interrupt {
+            stop = StopReason::Interrupted(reason);
+            iterations = iter;
+            if let Some(fp) = fingerprint {
+                interrupted_ckpt = Some(Box::new(snapshot(
+                    fp, iter, &x, &w, &u, &v, alpha, phibar, rhobar, anorm_sq, b_norm, best_res,
+                    no_improve, &trace,
+                )));
+            }
+            break;
+        }
         #[cfg(feature = "failpoints")]
         if srda_linalg::failpoint::should_fail("lsqr.breakdown") {
             // simulate a non-finite operator product surfacing here
@@ -331,6 +528,28 @@ pub fn lsqr<A: LinearOperator + ?Sized>(a: &A, b: &[f64], cfg: &LsqrConfig) -> L
                 }
             }
         }
+        // periodic checkpoint, after every recurrence of this iteration
+        // has landed — the snapshot resumes at `iter + 1`
+        if ctl.checkpoint_every > 0 && (iter + 1) % ctl.checkpoint_every == 0 {
+            if let (Some(fp), Some(cb)) = (fingerprint, ctl.on_checkpoint) {
+                cb(&snapshot(
+                    fp,
+                    iter + 1,
+                    &x,
+                    &w,
+                    &u,
+                    &v,
+                    alpha,
+                    phibar,
+                    rhobar,
+                    anorm_sq,
+                    b_norm,
+                    best_res,
+                    no_improve,
+                    &trace,
+                ));
+            }
+        }
     }
 
     // belt and braces: whatever path got here, a non-finite x never leaves
@@ -349,6 +568,7 @@ pub fn lsqr<A: LinearOperator + ?Sized>(a: &A, b: &[f64], cfg: &LsqrConfig) -> L
         iterations,
         stop,
         residual_trace: trace,
+        checkpoint: interrupted_ckpt,
     }
 }
 
@@ -421,6 +641,22 @@ pub fn lsqr_warm<A: LinearOperator + ?Sized>(
     x0: &[f64],
     cfg: &LsqrConfig,
 ) -> LsqrResult {
+    lsqr_warm_governed(a, b, x0, cfg, None)
+}
+
+/// [`lsqr_warm`] under a [`RunGovernor`]: the inner stacked solve checks
+/// the budget at every iteration boundary, exactly like
+/// [`lsqr_controlled`]. Warm starts are **not checkpointable** — the
+/// internal correction problem's state is meaningless outside this call,
+/// so the result's `checkpoint` is always `None`; interrupted incremental
+/// refits simply rerun from their (still valid) `x0`.
+pub fn lsqr_warm_governed<A: LinearOperator + ?Sized>(
+    a: &A,
+    b: &[f64],
+    x0: &[f64],
+    cfg: &LsqrConfig,
+    governor: Option<&RunGovernor>,
+) -> LsqrResult {
     assert_eq!(b.len(), a.nrows(), "rhs length must equal operator rows");
     assert_eq!(x0.len(), a.ncols(), "x0 length must equal operator cols");
     cfg.validate();
@@ -431,6 +667,7 @@ pub fn lsqr_warm<A: LinearOperator + ?Sized>(
             residual_norm: f64::INFINITY,
             stop: StopReason::Diverged,
             residual_trace: vec![],
+            checkpoint: None,
         };
     }
     let stacked = DampedStackOp {
@@ -444,10 +681,17 @@ pub fn lsqr_warm<A: LinearOperator + ?Sized>(
         damp: 0.0, // damping is inside the stacked operator now
         ..cfg.clone()
     };
-    let mut result = lsqr(&stacked, &rhs, &inner_cfg);
+    let ctl = SolveControls {
+        governor,
+        ..SolveControls::default()
+    };
+    let mut result = lsqr_controlled(&stacked, &rhs, &inner_cfg, &ctl);
     for (xi, x0i) in result.x.iter_mut().zip(x0) {
         *xi += x0i;
     }
+    // the inner checkpoint describes the stacked correction problem, not
+    // (A, b): never leak it to callers
+    result.checkpoint = None;
     result
 }
 
@@ -893,6 +1137,275 @@ mod tests {
         );
         assert_eq!(r.iterations, 60);
         assert_eq!(r.stop, StopReason::MaxIterations);
+    }
+
+    fn assert_bitwise_eq(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (u, v)) in a.iter().zip(b).enumerate() {
+            assert_eq!(u.to_bits(), v.to_bits(), "entry {i}: {u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn governed_interrupt_then_resume_is_bitwise_identical() {
+        use crate::governor::{RunBudget, RunGovernor};
+        let alpha: f64 = 0.3;
+        let a = noise_mat(30, 12);
+        let b: Vec<f64> = (0..30).map(|i| (i as f64 * 0.29).sin()).collect();
+        let cfg = LsqrConfig {
+            damp: alpha.sqrt(),
+            max_iter: 40,
+            tol: 0.0,
+        };
+        let full = lsqr(&a, &b, &cfg);
+        assert_eq!(full.stop, StopReason::MaxIterations);
+        for k in [1usize, 3, 7, 20, 39] {
+            let g = RunGovernor::with_budget(RunBudget::with_iter_cap(k));
+            let ctl = SolveControls {
+                governor: Some(&g),
+                ..Default::default()
+            };
+            let partial = lsqr_controlled(&a, &b, &cfg, &ctl);
+            assert_eq!(
+                partial.stop,
+                StopReason::Interrupted(Interrupt::IterBudgetExhausted)
+            );
+            assert_eq!(partial.iterations, k);
+            assert_eq!(partial.residual_trace.len(), k);
+            let ckpt = partial.checkpoint.expect("interrupt must carry a checkpoint");
+            // round-trip through the on-disk byte format to prove the
+            // serialized state, not just the in-memory one, is exact
+            let ckpt = LsqrCheckpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+            let resume_ctl = SolveControls {
+                resume: Some(&ckpt),
+                ..Default::default()
+            };
+            let resumed = lsqr_controlled(&a, &b, &cfg, &resume_ctl);
+            assert_eq!(resumed.stop, full.stop, "interrupt at {k}");
+            assert_eq!(resumed.iterations, full.iterations);
+            assert_bitwise_eq(&resumed.x, &full.x);
+            assert_bitwise_eq(&resumed.residual_trace, &full.residual_trace);
+        }
+    }
+
+    #[test]
+    fn resume_with_convergence_rules_active_is_bitwise_identical() {
+        use crate::governor::{RunBudget, RunGovernor};
+        let a = noise_mat(25, 10);
+        let b: Vec<f64> = (0..25).map(|i| (i as f64 * 0.41).cos()).collect();
+        let cfg = LsqrConfig {
+            damp: 0.5,
+            max_iter: 200,
+            tol: 1e-12,
+        };
+        let full = lsqr(&a, &b, &cfg);
+        assert_eq!(full.stop, StopReason::Converged);
+        let k = full.iterations / 2;
+        let g = RunGovernor::with_budget(RunBudget::with_iter_cap(k));
+        let partial = lsqr_controlled(
+            &a,
+            &b,
+            &cfg,
+            &SolveControls {
+                governor: Some(&g),
+                ..Default::default()
+            },
+        );
+        let ckpt = partial.checkpoint.unwrap();
+        let resumed = lsqr_controlled(
+            &a,
+            &b,
+            &cfg,
+            &SolveControls {
+                resume: Some(&ckpt),
+                ..Default::default()
+            },
+        );
+        assert_eq!(resumed.stop, StopReason::Converged);
+        assert_eq!(resumed.iterations, full.iterations);
+        assert_bitwise_eq(&resumed.x, &full.x);
+    }
+
+    #[test]
+    fn periodic_checkpoints_are_emitted_and_each_resumes_identically() {
+        let a = noise_mat(20, 8);
+        let b: Vec<f64> = (0..20).map(|i| (i as f64 * 0.61).sin()).collect();
+        let cfg = LsqrConfig {
+            damp: 0.2,
+            max_iter: 12,
+            tol: 0.0,
+        };
+        let captured = std::sync::Mutex::new(Vec::new());
+        let on_ckpt = |c: &LsqrCheckpoint| captured.lock().unwrap().push(c.clone());
+        let full = lsqr_controlled(
+            &a,
+            &b,
+            &cfg,
+            &SolveControls {
+                checkpoint_every: 3,
+                on_checkpoint: Some(&on_ckpt),
+                ..Default::default()
+            },
+        );
+        let captured = captured.into_inner().unwrap();
+        assert_eq!(
+            captured.iter().map(|c| c.iteration).collect::<Vec<_>>(),
+            vec![3, 6, 9, 12]
+        );
+        for ckpt in &captured {
+            let resumed = lsqr_controlled(
+                &a,
+                &b,
+                &cfg,
+                &SolveControls {
+                    resume: Some(ckpt),
+                    ..Default::default()
+                },
+            );
+            assert_eq!(resumed.iterations, full.iterations);
+            assert_bitwise_eq(&resumed.x, &full.x);
+        }
+    }
+
+    #[test]
+    fn resume_past_max_iter_returns_checkpoint_state() {
+        let a = noise_mat(10, 5);
+        let b = vec![1.0; 10];
+        let cfg = LsqrConfig {
+            damp: 0.1,
+            max_iter: 6,
+            tol: 0.0,
+        };
+        // a periodic checkpoint lands exactly on the final iteration, so
+        // resuming from it has nothing left to do
+        let captured = std::sync::Mutex::new(Vec::new());
+        let on_ckpt = |c: &LsqrCheckpoint| captured.lock().unwrap().push(c.clone());
+        let full = lsqr_controlled(
+            &a,
+            &b,
+            &cfg,
+            &SolveControls {
+                checkpoint_every: 6,
+                on_checkpoint: Some(&on_ckpt),
+                ..Default::default()
+            },
+        );
+        assert_eq!(full.iterations, 6);
+        let ckpt = captured.into_inner().unwrap().pop().unwrap();
+        assert_eq!(ckpt.iteration, 6);
+        let resumed = lsqr_controlled(
+            &a,
+            &b,
+            &cfg,
+            &SolveControls {
+                resume: Some(&ckpt),
+                ..Default::default()
+            },
+        );
+        assert_eq!(resumed.iterations, 6);
+        assert_eq!(resumed.stop, StopReason::MaxIterations);
+        assert_bitwise_eq(&resumed.x, &ckpt.x);
+    }
+
+    #[test]
+    #[should_panic(expected = "lsqr resume")]
+    fn resume_against_different_rhs_panics() {
+        let a = noise_mat(10, 5);
+        let b = vec![1.0; 10];
+        let cfg = LsqrConfig::default();
+        let ckpt = LsqrCheckpoint {
+            fingerprint: ProblemFingerprint::new(10, 5, cfg.damp, cfg.tol, cfg.max_iter, &[2.0; 10]),
+            iteration: 1,
+            x: vec![0.0; 5],
+            w: vec![0.0; 5],
+            u: vec![0.0; 10],
+            v: vec![0.0; 5],
+            alpha: 1.0,
+            phibar: 1.0,
+            rhobar: 1.0,
+            anorm_sq: 1.0,
+            b_norm: 1.0,
+            best_res: f64::INFINITY,
+            no_improve: 0,
+            residual_trace: vec![1.0],
+        };
+        let _ = lsqr_controlled(
+            &a,
+            &b,
+            &cfg,
+            &SolveControls {
+                resume: Some(&ckpt),
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn governed_warm_start_interrupts_without_checkpoint() {
+        use crate::governor::{RunBudget, RunGovernor};
+        let a = noise_mat(16, 7);
+        let b: Vec<f64> = (0..16).map(|i| (i as f64 * 0.53).sin()).collect();
+        let x0 = vec![0.1; 7];
+        let cfg = LsqrConfig {
+            damp: 0.3,
+            max_iter: 50,
+            tol: 0.0,
+        };
+        let g = RunGovernor::with_budget(RunBudget::with_iter_cap(4));
+        let r = lsqr_warm_governed(&a, &b, &x0, &cfg, Some(&g));
+        assert_eq!(
+            r.stop,
+            StopReason::Interrupted(Interrupt::IterBudgetExhausted)
+        );
+        assert!(r.checkpoint.is_none(), "warm starts must not leak stacked-problem checkpoints");
+        assert!(r.x.iter().all(|v| v.is_finite()));
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn interrupt_failpoint_kills_at_iteration_k_and_resume_matches() {
+        srda_linalg::failpoint::reset();
+        let a = noise_mat(24, 9);
+        let b: Vec<f64> = (0..24).map(|i| (i as f64 * 0.37).cos()).collect();
+        let cfg = LsqrConfig {
+            damp: 0.4,
+            max_iter: 30,
+            tol: 0.0,
+        };
+        let full = lsqr(&a, &b, &cfg);
+        // let k iterations pass, then fire: the kill lands at the top of
+        // iteration k, after k completed iterations
+        let k = 5;
+        srda_linalg::failpoint::arm_after("lsqr.interrupt", k, 1);
+        // a governor must be present for the solve to compute the
+        // fingerprint a checkpoint needs — an unbounded one never
+        // interrupts on its own, so the failpoint is the only kill source
+        let g = crate::governor::RunGovernor::unbounded();
+        let partial = lsqr_controlled(
+            &a,
+            &b,
+            &cfg,
+            &SolveControls {
+                governor: Some(&g),
+                ..Default::default()
+            },
+        );
+        srda_linalg::failpoint::reset();
+        assert_eq!(partial.stop, StopReason::Interrupted(Interrupt::Cancelled));
+        assert_eq!(partial.iterations, k);
+        let ckpt = partial.checkpoint.unwrap();
+        assert_eq!(ckpt.iteration, k);
+        let resumed = lsqr_controlled(
+            &a,
+            &b,
+            &cfg,
+            &SolveControls {
+                resume: Some(&ckpt),
+                ..Default::default()
+            },
+        );
+        assert_eq!(resumed.iterations, full.iterations);
+        assert_bitwise_eq(&resumed.x, &full.x);
     }
 
     #[cfg(feature = "failpoints")]

@@ -27,7 +27,8 @@
 //! *bounded*: it never loops, and non-retryable errors (shape mismatches,
 //! invalid dimensions) propagate immediately.
 
-use crate::lsqr::{lsqr, LsqrConfig, StopReason};
+use crate::governor::{Interrupt, RunGovernor};
+use crate::lsqr::{lsqr_controlled, LsqrConfig, SolveControls, StopReason};
 use crate::operator::ExecDense;
 use crate::ridge::{RidgeForm, RidgeSolver};
 use srda_linalg::{Executor, LinalgError, Mat, Result};
@@ -143,6 +144,10 @@ pub struct LadderOutcome<T> {
     pub actions: Vec<RecoveryAction>,
     /// Human-readable breakdown/recovery descriptions, in order.
     pub warnings: Vec<String>,
+    /// `Some(reason)` when a [`RunGovernor`] stopped the ladder between
+    /// attempts (see [`factor_ladder_governed`]); `value` is `None` in
+    /// that case.
+    pub interrupted: Option<Interrupt>,
 }
 
 /// Walk the direct → escalating-jitter factorization ladder shared by
@@ -159,13 +164,35 @@ pub fn factor_ladder<T>(
     max_retries: usize,
     jitter_factor: f64,
     what: &str,
+    attempt: impl FnMut(f64) -> Result<T>,
+) -> Result<LadderOutcome<T>> {
+    factor_ladder_governed(alpha, base_jitter, max_retries, jitter_factor, what, None, attempt)
+}
+
+/// [`factor_ladder`] under a [`RunGovernor`]: each factorization attempt
+/// is an O(n³) stage, so the budget is probed (without consuming an
+/// iteration) before every attempt. An interrupt ends the walk with
+/// [`LadderOutcome::interrupted`] set and no value — callers surface the
+/// partial state rather than starting another expensive attempt.
+pub fn factor_ladder_governed<T>(
+    alpha: f64,
+    base_jitter: f64,
+    max_retries: usize,
+    jitter_factor: f64,
+    what: &str,
+    governor: Option<&RunGovernor>,
     mut attempt: impl FnMut(f64) -> Result<T>,
 ) -> Result<LadderOutcome<T>> {
     let mut out = LadderOutcome {
         value: None,
         actions: Vec::new(),
         warnings: Vec::new(),
+        interrupted: None,
     };
+    if let Some(reason) = governor.and_then(|g| g.probe()) {
+        out.interrupted = Some(reason);
+        return Ok(out);
+    }
     match attempt(0.0) {
         Ok(v) => {
             out.value = Some((v, 0.0));
@@ -177,6 +204,12 @@ pub fn factor_ladder<T>(
         Err(e) => return Err(e),
     }
     for retry in 1..=max_retries {
+        if let Some(reason) = governor.and_then(|g| g.probe()) {
+            out.interrupted = Some(reason);
+            out.warnings
+                .push(format!("recovery ladder stopped before retry {retry}: {reason}"));
+            return Ok(out);
+        }
         let jitter = base_jitter * jitter_factor.powi(retry as i32 - 1);
         out.actions.push(RecoveryAction::JitterRetry { jitter });
         match attempt(jitter) {
@@ -245,6 +278,25 @@ impl RobustRidge {
     /// such as shape mismatches, which indicate caller bugs rather than
     /// numerical breakdown).
     pub fn solve(&self, x: &Mat, y: &Mat, alpha: f64) -> Result<(Mat, RobustSolveReport)> {
+        match self.solve_governed(x, y, alpha, None)? {
+            RobustOutcome::Solved(w, report) => Ok((w, report)),
+            // an absent governor never interrupts
+            RobustOutcome::Interrupted { .. } => unreachable!("ungoverned solve interrupted"),
+        }
+    }
+
+    /// [`RobustRidge::solve`] under a [`RunGovernor`]: the budget is
+    /// probed before each factorization attempt (via
+    /// [`factor_ladder_governed`]) and ticked inside every LSQR fallback
+    /// iteration. Interruption is a typed outcome, not an error — the
+    /// report still carries everything that happened up to the stop.
+    pub fn solve_governed(
+        &self,
+        x: &Mat,
+        y: &Mat,
+        alpha: f64,
+        governor: Option<&RunGovernor>,
+    ) -> Result<RobustOutcome> {
         let mut report = RobustSolveReport {
             solver: SolverUsed::Direct,
             actions: Vec::new(),
@@ -255,23 +307,27 @@ impl RobustRidge {
 
         // Rungs 1 + 2: the shared direct → escalating-jitter ladder
         // (also used by srda-core's sparse dual path).
-        let outcome = factor_ladder(
+        let outcome = factor_ladder_governed(
             alpha,
             self.jitter_for(x, alpha, 1),
             self.cfg.max_jitter_retries,
             self.cfg.jitter_factor,
             "direct solve",
+            governor,
             |jitter| self.try_direct(x, y, alpha + jitter),
         )?;
         report.actions = outcome.actions;
         report.warnings = outcome.warnings;
+        if let Some(reason) = outcome.interrupted {
+            return Ok(RobustOutcome::Interrupted { reason, report });
+        }
         if let Some(((w, form, cond), jitter)) = outcome.value {
             if jitter > 0.0 {
                 report.solver = SolverUsed::DirectJittered { jitter };
             }
             report.condition_estimate = Some(cond);
             report.form = Some(form);
-            return Ok((w, report));
+            return Ok(RobustOutcome::Solved(w, report));
         }
 
         // Rung 3: damped LSQR, one response column at a time. Never
@@ -284,10 +340,14 @@ impl RobustRidge {
             max_iter: self.cfg.fallback_max_iter,
             tol: self.cfg.fallback_tol,
         };
+        let ctl = SolveControls {
+            governor,
+            ..SolveControls::default()
+        };
         let op = ExecDense::new(x, self.exec);
         let mut w = Mat::zeros(x.ncols(), y.ncols());
         for j in 0..y.ncols() {
-            let r = lsqr(&op, &y.col(j), &cfg);
+            let r = lsqr_controlled(&op, &y.col(j), &cfg, &ctl);
             match r.stop {
                 StopReason::Diverged => {
                     return Err(LinalgError::NonFinite {
@@ -301,6 +361,13 @@ impl RobustRidge {
                         self.cfg.fallback_max_iter, r.residual_norm
                     ));
                 }
+                StopReason::Interrupted(reason) => {
+                    report.warnings.push(format!(
+                        "LSQR fallback interrupted on response {j} after {} iterations: {reason}",
+                        r.iterations
+                    ));
+                    return Ok(RobustOutcome::Interrupted { reason, report });
+                }
                 _ => {}
             }
             w.set_col(j, &r.x);
@@ -308,8 +375,24 @@ impl RobustRidge {
         report
             .warnings
             .push("all factorizations failed; weights computed by damped LSQR".to_string());
-        Ok((w, report))
+        Ok(RobustOutcome::Solved(w, report))
     }
+}
+
+/// Outcome of a governed [`RobustRidge::solve_governed`] call.
+#[derive(Debug, Clone)]
+pub enum RobustOutcome {
+    /// The solve ran to completion (possibly via recovery rungs).
+    Solved(Mat, RobustSolveReport),
+    /// A [`RunGovernor`] stopped the solve; the report records how far it
+    /// got. Direct solves have no resumable state — rerun when budget
+    /// allows.
+    Interrupted {
+        /// Why the governor stopped the solve.
+        reason: Interrupt,
+        /// Ladder progress up to the interruption.
+        report: RobustSolveReport,
+    },
 }
 
 #[cfg(test)]
@@ -440,6 +523,61 @@ mod tests {
         let y_bad = Mat::from_fn(9, 1, |i, _| i as f64); // wrong row count
         let err = RobustRidge::default().solve(&x, &y_bad, 0.1).unwrap_err();
         assert!(matches!(err, LinalgError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn governed_solve_with_spent_budget_interrupts_before_factoring() {
+        use crate::governor::{RunBudget, RunGovernor};
+        let x = noise_mat(10, 4);
+        let y = Mat::from_fn(10, 1, |i, _| i as f64 * 0.1);
+        let g = RunGovernor::with_budget(RunBudget::with_max_wall(std::time::Duration::ZERO));
+        let out = RobustRidge::default()
+            .solve_governed(&x, &y, 0.5, Some(&g))
+            .unwrap();
+        match out {
+            RobustOutcome::Interrupted { reason, report } => {
+                assert_eq!(reason, Interrupt::DeadlineExceeded);
+                assert!(report.actions.is_empty());
+            }
+            RobustOutcome::Solved(..) => panic!("expected interruption"),
+        }
+    }
+
+    #[test]
+    fn governed_solve_with_headroom_completes_normally() {
+        use crate::governor::RunGovernor;
+        let x = noise_mat(15, 6);
+        let y = Mat::from_fn(15, 2, |i, j| ((i + 2 * j) as f64 * 0.31).sin());
+        let g = RunGovernor::unbounded();
+        let out = RobustRidge::default()
+            .solve_governed(&x, &y, 0.5, Some(&g))
+            .unwrap();
+        match out {
+            RobustOutcome::Solved(w, rep) => {
+                assert!(rep.clean());
+                assert!(w.approx_eq(&ridge_oracle(&x, &y, 0.5), 1e-12));
+            }
+            RobustOutcome::Interrupted { .. } => panic!("unbounded governor interrupted"),
+        }
+    }
+
+    #[test]
+    fn governed_ladder_stops_between_retries() {
+        use crate::governor::{CancelToken, RunBudget, RunGovernor};
+        let token = CancelToken::new();
+        let g = RunGovernor::new(RunBudget::unbounded(), token.clone());
+        let mut calls = 0usize;
+        let out = factor_ladder_governed(0.5, 2.0, 3, 10.0, "unit factor", Some(&g), |_| {
+            calls += 1;
+            // cancel lands while the first attempt is "running"
+            token.cancel();
+            Err::<(), _>(LinalgError::Singular { pivot: 0 })
+        })
+        .unwrap();
+        assert_eq!(calls, 1, "no retry after cancellation");
+        assert_eq!(out.interrupted, Some(Interrupt::Cancelled));
+        assert!(out.value.is_none());
+        assert!(out.warnings.iter().any(|w| w.contains("stopped before retry")));
     }
 
     #[cfg(feature = "failpoints")]

@@ -28,4 +28,43 @@ SRDA_BENCH_SCALE=0.05 SRDA_BENCH_THREADS=4 \
     cargo run -q --release -p srda-bench --bin bench_kernels \
     -- target/BENCH_kernels.smoke.json
 
+# Kill-and-resume smoke: a fit cut off by an iteration budget must exit
+# with code 3, leave a checkpoint behind, and — after `srda resume` —
+# produce a model JSON that is byte-identical to the uninterrupted
+# baseline (serde emits bitwise float round-trips, so `cmp` is exact).
+echo "==> kill-and-resume smoke (srda train --iter-budget / srda resume)"
+cargo build -q --release -p srda-cli
+SRDA=target/release/srda
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+"$SRDA" generate --dataset news --scale 0.02 --seed 11 \
+    --out "$SMOKE_DIR/data.svm"
+"$SRDA" train --data "$SMOKE_DIR/data.svm" \
+    --model "$SMOKE_DIR/baseline.json" --solver lsqr --iters 8
+set +e
+"$SRDA" train --data "$SMOKE_DIR/data.svm" \
+    --model "$SMOKE_DIR/partial.json" --solver lsqr --iters 8 \
+    --iter-budget 20 --checkpoint-dir "$SMOKE_DIR/ckpt"
+rc=$?
+set -e
+if [ "$rc" -ne 3 ]; then
+    echo "expected exit code 3 (interrupted), got $rc" >&2
+    exit 1
+fi
+test -f "$SMOKE_DIR/ckpt/srda-fit.ckpt" || {
+    echo "interrupted train left no checkpoint" >&2
+    exit 1
+}
+test ! -f "$SMOKE_DIR/partial.json" || {
+    echo "interrupted train must not write a model" >&2
+    exit 1
+}
+"$SRDA" resume --data "$SMOKE_DIR/data.svm" \
+    --checkpoint "$SMOKE_DIR/ckpt/srda-fit.ckpt" \
+    --model "$SMOKE_DIR/resumed.json"
+cmp "$SMOKE_DIR/baseline.json" "$SMOKE_DIR/resumed.json" || {
+    echo "resumed model diverges from the uninterrupted baseline" >&2
+    exit 1
+}
+
 echo "CI OK"
