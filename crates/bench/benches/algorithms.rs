@@ -22,10 +22,18 @@ fn bench_fit(c: &mut Criterion) {
         let (x, y) = dataset(l);
         let label = format!("l{l}");
         group.bench_with_input(BenchmarkId::new("lda", &label), &x, |b, x| {
-            b.iter(|| Lda::new(LdaConfig::default()).fit_dense(black_box(x), &y).unwrap())
+            b.iter(|| {
+                Lda::new(LdaConfig::default())
+                    .fit_dense(black_box(x), &y)
+                    .unwrap()
+            })
         });
         group.bench_with_input(BenchmarkId::new("rlda", &label), &x, |b, x| {
-            b.iter(|| Rlda::new(RldaConfig::default()).fit_dense(black_box(x), &y).unwrap())
+            b.iter(|| {
+                Rlda::new(RldaConfig::default())
+                    .fit_dense(black_box(x), &y)
+                    .unwrap()
+            })
         });
         group.bench_with_input(BenchmarkId::new("srda_ne", &label), &x, |b, x| {
             b.iter(|| {

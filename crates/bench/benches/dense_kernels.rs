@@ -31,16 +31,12 @@ fn bench_gram(c: &mut Criterion) {
     group.sample_size(10);
     for &(m, n) in &[(512usize, 128usize), (128, 512)] {
         let a = noise(m, n);
-        group.bench_with_input(
-            BenchmarkId::new("ata", format!("{m}x{n}")),
-            &a,
-            |bch, a| bch.iter(|| ops::gram(black_box(a))),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("aat", format!("{m}x{n}")),
-            &a,
-            |bch, a| bch.iter(|| ops::gram_t(black_box(a))),
-        );
+        group.bench_with_input(BenchmarkId::new("ata", format!("{m}x{n}")), &a, |bch, a| {
+            bch.iter(|| ops::gram(black_box(a)))
+        });
+        group.bench_with_input(BenchmarkId::new("aat", format!("{m}x{n}")), &a, |bch, a| {
+            bch.iter(|| ops::gram_t(black_box(a)))
+        });
     }
     group.finish();
 }

@@ -12,8 +12,9 @@
 //! * `SRDA_BENCH_SCALE` — scale factor in `(0, 1]` for the workload
 //!   shapes (default 1.0), so CI smoke runs can finish quickly.
 
+use srda::Recorder;
 use srda_linalg::ops::{gram_exec, matmul_exec};
-use srda_linalg::{Executor, Mat};
+use srda_linalg::{ExecPolicy, Executor, Mat};
 use srda_sparse::CsrMatrix;
 use std::time::Instant;
 
@@ -203,8 +204,7 @@ fn main() {
         let (t_serial, g1) = time_best(reps, || {
             a.gram_t_dense_checked_exec(budget, &serial).unwrap()
         });
-        let (t_par, g2) =
-            time_best(reps, || a.gram_t_dense_checked_exec(budget, &par).unwrap());
+        let (t_par, g2) = time_best(reps, || a.gram_t_dense_checked_exec(budget, &par).unwrap());
         rows.push(Row {
             kernel: "csr_gram_t",
             shape: format!("{m}x{n} nnz={}", a.nnz()),
@@ -214,6 +214,25 @@ fn main() {
             identical: g1.as_slice() == g2.as_slice(),
         });
     }
+
+    // recorder overhead: the same kernel through a disabled-recorder
+    // executor vs an enabled one. Best-of-reps on a mid-size Gram; the
+    // disabled path must be a near-no-op (the <2% CI gate lives in
+    // scripts/ci.sh). Deliberately NOT scaled by SRDA_BENCH_SCALE: a
+    // micro-sized Gram turns the comparison into timer noise, and the
+    // fixed shape costs only ~0.2s.
+    let (ov_disabled, ov_enabled, obs_json) = {
+        let a = dense(700, 350, 9);
+        let off = Executor::with_recorder(ExecPolicy::serial(), Recorder::disabled());
+        let rec = Recorder::new_enabled();
+        let on = Executor::with_recorder(ExecPolicy::serial(), rec);
+        let (t_off, _) = time_best(reps * 2, || gram_exec(&a, &off));
+        let (t_on, _) = time_best(reps * 2, || {
+            let _span = rec.span("bench/gram");
+            gram_exec(&a, &on)
+        });
+        (t_off, t_on, rec.snapshot().to_json())
+    };
 
     // hand-formatted JSON: the serde_json stub used for offline checks
     // cannot serialize at runtime, and the format here is trivial
@@ -242,7 +261,19 @@ fn main() {
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"recorder_overhead\": {{\"disabled_s\": {:.6}, \"enabled_s\": {:.6}, \
+         \"rel_delta\": {:.4}}},\n",
+        ov_disabled,
+        ov_enabled,
+        (ov_enabled - ov_disabled) / ov_disabled.max(1e-12)
+    ));
+    // the same srda-obs-v1 schema the CLI's --metrics-out emits, from the
+    // recorder the enabled-overhead pass ran under
+    json.push_str("  \"obs\": ");
+    json.push_str(obs_json.trim_end());
+    json.push_str("\n}\n");
 
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
 
@@ -257,6 +288,12 @@ fn main() {
             r.kernel, r.shape, r.naive, r.serial, r.threaded, r.identical
         );
     }
+    println!(
+        "recorder overhead: disabled {:.4}s, enabled {:.4}s ({:+.2}%)",
+        ov_disabled,
+        ov_enabled,
+        (ov_enabled - ov_disabled) / ov_disabled.max(1e-12) * 100.0
+    );
     if rows.iter().any(|r| !r.identical) {
         eprintln!("error: threaded backend diverged from serial");
         std::process::exit(1);

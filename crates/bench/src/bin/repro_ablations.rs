@@ -87,11 +87,8 @@ fn ablation_svd_methods() {
     let q2 = srda_linalg::Qr::factor(&raw2).unwrap().q_thin();
     let mut mid = q2.clone();
     srda_linalg::ops::scale_cols(&mut mid, &sv);
-    let a = srda_linalg::ops::matmul_transb(
-        &srda_linalg::ops::matmul(&q, &mid).unwrap(),
-        &q2,
-    )
-    .unwrap();
+    let a =
+        srda_linalg::ops::matmul_transb(&srda_linalg::ops::matmul(&q, &mid).unwrap(), &q2).unwrap();
 
     let mut rows = Vec::new();
     for (name, svd) in [
@@ -158,7 +155,8 @@ fn ablation_centering() {
     let (t_explicit, explicit_bytes) = {
         let t = Instant::now();
         let dense = x.to_dense(); // centering densifies
-        let centered = srda_linalg::stats::center_rows(&dense, &srda_linalg::stats::col_means(&dense));
+        let centered =
+            srda_linalg::stats::center_rows(&dense, &srda_linalg::stats::col_means(&dense));
         for j in 0..ybar.ncols() {
             lsqr(&centered, &ybar.col(j), &cfg);
         }

@@ -34,8 +34,16 @@ fn dense_panel(name: &str, data: &srda_data::DenseDataset, l: usize, splits: usi
                 let sp = per_class_split(&data.labels, l, s as u64);
                 let tr = data.select(&sp.train);
                 let te = data.select(&sp.test);
-                run_dense(algo, &tr.x, &tr.labels, &te.x, &te.labels, data.n_classes, None)
-                    .error_rate
+                run_dense(
+                    algo,
+                    &tr.x,
+                    &tr.labels,
+                    &te.x,
+                    &te.labels,
+                    data.n_classes,
+                    None,
+                )
+                .error_rate
             })
             .collect();
         Aggregate::from_values(&vals).mean * 100.0

@@ -22,9 +22,7 @@ fn main() {
     let data = srda_data::mnist_like(scale, 42);
     let per = data.x.nrows() / data.n_classes;
     let l = ((50.0 * scale).round() as usize).clamp(5, per.saturating_sub(2));
-    println!(
-        "MNIST-like, l = {l}/class, {splits} splits (scale {scale})\n"
-    );
+    println!("MNIST-like, l = {l}/class, {splits} splits (scale {scale})\n");
 
     // Part 1: residual trace of the first response problem
     let split = per_class_split(&data.labels, l, 0);
@@ -117,7 +115,9 @@ fn main() {
             &rows2
         )
     );
-    println!("paper: \"LSQR converges very fast … 20 iterations are enough\"; 20NG runs use k = 15.");
+    println!(
+        "paper: \"LSQR converges very fast … 20 iterations are enough\"; 20NG runs use k = 15."
+    );
 
     let _ = Srda::default_dense(); // keep the convenience constructor exercised
 }

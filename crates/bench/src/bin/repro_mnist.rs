@@ -2,9 +2,7 @@
 //! on the MNIST-like digit dataset, l ∈ {30,50,70,100,130,170} per class
 //! over 20 random splits in the paper's protocol.
 
-use srda_bench::driver::{
-    default_lineup, env_scale, env_splits, print_tables, sweep_dense,
-};
+use srda_bench::driver::{default_lineup, env_scale, env_splits, print_tables, sweep_dense};
 
 fn main() {
     let scale = env_scale();
@@ -25,7 +23,10 @@ fn main() {
 
     let algos = default_lineup();
     let cells = sweep_dense(&data, &axis, &algos, splits, None);
-    let axis_str: Vec<String> = axis.iter().map(|l| format!("{l}x{}", data.n_classes)).collect();
+    let axis_str: Vec<String> = axis
+        .iter()
+        .map(|l| format!("{l}x{}", data.n_classes))
+        .collect();
     print_tables(
         "MNIST-like",
         "Table VII / Fig 3(a)",

@@ -46,7 +46,10 @@ fn main() {
         Algo::IdrQr { lambda: 1.0 },
     ];
     let cells = sweep_sparse(&data, &ratios, &algos, splits, Some(budget));
-    let axis_str: Vec<String> = ratios.iter().map(|r| format!("{:.0}%", r * 100.0)).collect();
+    let axis_str: Vec<String> = ratios
+        .iter()
+        .map(|r| format!("{:.0}%", r * 100.0))
+        .collect();
     print_tables(
         "20NG-like",
         "Table IX / Fig 4(a)",
@@ -56,5 +59,7 @@ fn main() {
         &algos,
         &cells,
     );
-    println!("-- entries marked -- were skipped by the memory budget, as in the paper's Tables IX/X.");
+    println!(
+        "-- entries marked -- were skipped by the memory budget, as in the paper's Tables IX/X."
+    );
 }

@@ -68,8 +68,14 @@ fn main() {
     let iters = from_disk.lsqr_iterations();
     let scans = 2 * iters; // one forward + one transpose product per iter
     println!("training (LSQR k=15, {} responses):", data.n_classes - 1);
-    println!("  from disk : {disk_secs:.2}s  ({scans} sequential file scans ≈ {:.1} GB of I/O)", scans as f64 * file_mb / 1024.0);
-    println!("  in memory : {mem_secs:.2}s  (x{:.1} slower from disk)", disk_secs / mem_secs);
+    println!(
+        "  from disk : {disk_secs:.2}s  ({scans} sequential file scans ≈ {:.1} GB of I/O)",
+        scans as f64 * file_mb / 1024.0
+    );
+    println!(
+        "  in memory : {mem_secs:.2}s  (x{:.1} slower from disk)",
+        disk_secs / mem_secs
+    );
     println!("  max weight difference: {diff:.2e} (identical models)\n");
     println!("paper: \"SRDA can still be applied with some reasonable disk I/O\" — confirmed.");
     std::fs::remove_file(&path).ok();

@@ -6,9 +6,7 @@
 //! training images per class, 20 random splits.
 //! Honours `SRDA_REPRO_SCALE` / `SRDA_REPRO_SPLITS` (see `driver`).
 
-use srda_bench::driver::{
-    default_lineup, env_scale, env_splits, print_tables, sweep_dense,
-};
+use srda_bench::driver::{default_lineup, env_scale, env_splits, print_tables, sweep_dense};
 
 fn main() {
     let scale = env_scale();
@@ -31,7 +29,10 @@ fn main() {
 
     let algos = default_lineup();
     let cells = sweep_dense(&data, &axis, &algos, splits, None);
-    let axis_str: Vec<String> = axis.iter().map(|l| format!("{l}x{}", data.n_classes)).collect();
+    let axis_str: Vec<String> = axis
+        .iter()
+        .map(|l| format!("{l}x{}", data.n_classes))
+        .collect();
     print_tables(
         "PIE-like",
         "Table III / Fig 1(a)",

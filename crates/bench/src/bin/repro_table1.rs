@@ -161,11 +161,7 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(
-            "sparse SRDA-LSQR flam",
-            &["m", "flam", "flam/m"],
-            &rows3
-        )
+        render_table("sparse SRDA-LSQR flam", &["m", "flam", "flam/m"], &rows3)
     );
     // LSQR has a fixed per-iteration O(n) term (the 3n + 5m work vector
     // updates) that dominates at small m; the marginal slope between the

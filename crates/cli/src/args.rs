@@ -12,13 +12,14 @@ pub struct ParsedArgs {
     options: BTreeMap<String, String>,
 }
 
+/// Flags that may appear without a value (stored as `"true"`); everything
+/// else keeps the strict `--key value` grammar.
+const BOOLEAN_FLAGS: &[&str] = &["trace"];
+
 /// Parse `args` (excluding the program name).
 pub fn parse(args: &[String]) -> Result<ParsedArgs> {
-    let mut it = args.iter();
-    let command = it
-        .next()
-        .ok_or_else(|| CliError::new(usage()))?
-        .to_string();
+    let mut it = args.iter().peekable();
+    let command = it.next().ok_or_else(|| CliError::new(usage()))?.to_string();
     if command == "--help" || command == "-h" || command == "help" {
         return Err(CliError::new(usage()));
     }
@@ -27,10 +28,19 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs> {
         let key = flag
             .strip_prefix("--")
             .ok_or_else(|| CliError::new(format!("expected --flag, got {flag:?}\n{}", usage())))?;
-        let value = it
-            .next()
-            .ok_or_else(|| CliError::new(format!("flag --{key} needs a value")))?;
-        if options.insert(key.to_string(), value.to_string()).is_some() {
+        // (explicit match: `Option::is_none_or` postdates the 1.75 MSRV)
+        let next_is_flag = match it.peek() {
+            None => true,
+            Some(next) => next.starts_with("--"),
+        };
+        let value = if BOOLEAN_FLAGS.contains(&key) && next_is_flag {
+            "true".to_string()
+        } else {
+            it.next()
+                .ok_or_else(|| CliError::new(format!("flag --{key} needs a value")))?
+                .to_string()
+        };
+        if options.insert(key.to_string(), value).is_some() {
             return Err(CliError::new(format!("duplicate flag --{key}")));
         }
     }
@@ -93,8 +103,12 @@ USAGE:
                  [--time-budget SECS] [--iter-budget N]
                  [--checkpoint-dir DIR] [--checkpoint-every 25]
                  [--sanitize off|reject|drop|impute] [--strict true]
+                 [--trace] [--trace-format json|flame]
+                 [--metrics-out FILE.json]
   srda resume    --data FILE --checkpoint FILE.ckpt --model OUT.json
                  [--threads N] [--time-budget SECS] [--iter-budget N]
+                 [--trace] [--trace-format json|flame]
+                 [--metrics-out FILE.json]
   srda eval      --data FILE --model MODEL.json
   srda transform --data FILE --model MODEL.json [--out FILE.csv]
   srda generate  --dataset pie|isolet|mnist|news --out FILE
@@ -109,6 +123,13 @@ to a bitwise-identical model. --sanitize quarantines degenerate input
 (NaN/Inf cells, duplicate rows, under-sized classes, constant
 features); --strict true fails the run when the fit ledger is not
 clean.
+
+Observability: --trace prints the fit's span tree / telemetry to
+stderr (--trace-format json is the srda-obs-v1 report, flame is
+folded stacks for flamegraph.pl); --metrics-out FILE writes the
+srda-obs-v1 JSON report (spans, counters, gauges, histograms,
+per-iteration solver traces) regardless of --trace. Tracing never
+perturbs the fit: traced and untraced runs are bitwise identical.
 
 Data files use the LIBSVM text format with 0-based feature indices:
   <label> <idx>:<val> <idx>:<val> ...
@@ -147,6 +168,19 @@ mod tests {
     #[test]
     fn rejects_bare_values() {
         assert!(parse(&sv(&["train", "oops"])).is_err());
+    }
+
+    #[test]
+    fn boolean_flag_without_value() {
+        // bare --trace mid-args and at the end both read as "true"
+        let p = parse(&sv(&["train", "--trace", "--data", "x.svm"])).unwrap();
+        assert_eq!(p.optional("trace"), Some("true"));
+        assert_eq!(p.required("data").unwrap(), "x.svm");
+        let p = parse(&sv(&["train", "--data", "x.svm", "--trace"])).unwrap();
+        assert!(p.parse_or("trace", false).unwrap());
+        // an explicit value still works
+        let p = parse(&sv(&["train", "--trace", "false"])).unwrap();
+        assert!(!p.parse_or("trace", true).unwrap());
     }
 
     #[test]

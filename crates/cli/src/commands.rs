@@ -5,8 +5,8 @@ use crate::args::ParsedArgs;
 use crate::model_file::{SavedModel, FORMAT_VERSION};
 use crate::{CliError, Result, EXIT_INTERRUPTED};
 use srda::{
-    CheckpointPolicy, FitCheckpoint, FitOutcome, QuarantineSummary, RunBudget, RunGovernor,
-    Srda, SrdaConfig, SrdaSolver,
+    CheckpointPolicy, FitCheckpoint, FitOutcome, QuarantineSummary, Recorder, RunBudget,
+    RunGovernor, Srda, SrdaConfig, SrdaSolver,
 };
 use srda_data::sanitize::{sanitize_sparse, NonFinitePolicy, SanitizeConfig, SanitizeReport};
 use srda_eval::ConfusionMatrix;
@@ -59,9 +59,7 @@ fn exec_policy(args: &ParsedArgs) -> Result<srda::ExecPolicy> {
 /// Parse the governor (`--time-budget SECS`, `--iter-budget N`) and
 /// checkpoint (`--checkpoint-dir DIR`, `--checkpoint-every N`) flags
 /// shared by `train` and `resume`.
-fn governance(
-    args: &ParsedArgs,
-) -> Result<(Option<RunGovernor>, Option<CheckpointPolicy>)> {
+fn governance(args: &ParsedArgs) -> Result<(Option<RunGovernor>, Option<CheckpointPolicy>)> {
     let max_wall = match args.optional("time-budget") {
         None => None,
         Some(_) => {
@@ -95,11 +93,80 @@ fn governance(
         })
         .transpose()?;
     if checkpoint.is_none() && args.optional("checkpoint-every").is_some() {
-        return Err(CliError::new(
-            "--checkpoint-every needs --checkpoint-dir",
-        ));
+        return Err(CliError::new("--checkpoint-every needs --checkpoint-dir"));
     }
     Ok((governor, checkpoint))
+}
+
+/// Observability settings shared by `train` and `resume`
+/// (`--trace`, `--trace-format`, `--metrics-out`).
+struct ObsSettings {
+    /// Recorder the fit writes into; enabled when any obs flag (or
+    /// `SRDA_TRACE`) asks for it, the inert handle otherwise.
+    recorder: Recorder,
+    /// Print the trace to stderr after the fit.
+    trace: bool,
+    /// `--trace-format flame` folds the span log into flamegraph stacks;
+    /// the default (`json`) prints the srda-obs-v1 report.
+    flame: bool,
+    /// Write the srda-obs-v1 JSON report here.
+    metrics_out: Option<PathBuf>,
+}
+
+fn obs_settings(args: &ParsedArgs) -> Result<ObsSettings> {
+    let trace: bool = args.parse_or("trace", false)?;
+    let metrics_out = args.optional("metrics-out").map(PathBuf::from);
+    let flame = match args.optional("trace-format") {
+        None | Some("json") => false,
+        Some("flame") => true,
+        Some(other) => {
+            return Err(CliError::new(format!(
+                "unknown --trace-format {other:?} (json|flame)"
+            )))
+        }
+    };
+    let recorder = if trace || metrics_out.is_some() {
+        Recorder::new_enabled()
+    } else {
+        Recorder::from_env()
+    };
+    Ok(ObsSettings {
+        recorder,
+        trace,
+        flame,
+        metrics_out,
+    })
+}
+
+/// Emit whatever the recorder collected: the `--metrics-out` file and/or
+/// the stderr trace. Returns a one-line summary for the command output
+/// (empty when nothing was recorded).
+fn emit_observability(obs: &ObsSettings) -> Result<String> {
+    if !obs.recorder.is_enabled() {
+        return Ok(String::new());
+    }
+    let report = obs.recorder.snapshot();
+    let mut summary = String::new();
+    if let Some(cov) = report.span_coverage("fit") {
+        summary.push_str(&format!(
+            "\ntrace: {} spans, {} solver trace(s); children cover {:.1}% of fit wall time",
+            report.spans.len(),
+            report.traces.len(),
+            cov * 100.0
+        ));
+    }
+    if let Some(path) = &obs.metrics_out {
+        std::fs::write(path, report.to_json())?;
+        summary.push_str(&format!("\nmetrics written to {}", path.display()));
+    }
+    if obs.trace {
+        if obs.flame {
+            eprint!("{}", report.to_flame());
+        } else {
+            eprint!("{}", report.to_json());
+        }
+    }
+    Ok(summary)
 }
 
 /// Run the `--sanitize` quarantine pass, returning the (possibly
@@ -183,15 +250,22 @@ pub fn train(args: &ParsedArgs) -> Result<String> {
         "checkpoint-every",
         "strict",
         "sanitize",
+        "trace",
+        "trace-format",
+        "metrics-out",
     ])?;
     let data_path = args.required("data")?;
     let model_path = args.required("model")?.to_string();
-    let n_features = args.optional("features").map(|_| args.parse_required("features")).transpose()?;
+    let n_features = args
+        .optional("features")
+        .map(|_| args.parse_required("features"))
+        .transpose()?;
     let alpha: f64 = args.parse_or("alpha", 1.0)?;
     let iters: usize = args.parse_or("iters", 15)?;
     let strict: bool = args.parse_or("strict", false)?;
     let exec = exec_policy(args)?;
     let (governor, checkpoint) = governance(args)?;
+    let obs = obs_settings(args)?;
     let solver = match args.optional("solver").unwrap_or("lsqr") {
         "ne" => SrdaSolver::NormalEquations,
         "lsqr" => SrdaSolver::Lsqr {
@@ -214,9 +288,10 @@ pub fn train(args: &ParsedArgs) -> Result<String> {
         exec,
         governor,
         checkpoint,
+        recorder: obs.recorder,
         ..SrdaConfig::default()
     };
-    fit_and_save(config, data, &model_path, quarantine, notes, strict)
+    fit_and_save(config, data, &model_path, quarantine, notes, strict, &obs)
 }
 
 /// `srda resume`: continue an interrupted LSQR fit from its checkpoint.
@@ -235,17 +310,24 @@ pub fn resume(args: &ParsedArgs) -> Result<String> {
         "checkpoint-dir",
         "checkpoint-every",
         "strict",
+        "trace",
+        "trace-format",
+        "metrics-out",
     ])?;
     let data_path = args.required("data")?;
     let model_path = args.required("model")?.to_string();
     let ckpt_path = PathBuf::from(args.required("checkpoint")?);
-    let n_features = args.optional("features").map(|_| args.parse_required("features")).transpose()?;
+    let n_features = args
+        .optional("features")
+        .map(|_| args.parse_required("features"))
+        .transpose()?;
     let strict: bool = args.parse_or("strict", false)?;
     let exec = exec_policy(args)?;
     let (governor, mut checkpoint) = governance(args)?;
+    let obs = obs_settings(args)?;
 
-    let ckpt = FitCheckpoint::read(&ckpt_path)
-        .map_err(|e| CliError::new(format!("checkpoint: {e}")))?;
+    let ckpt =
+        FitCheckpoint::read(&ckpt_path).map_err(|e| CliError::new(format!("checkpoint: {e}")))?;
     let fp = &ckpt.fingerprint;
     // keep refreshing the same checkpoint file by default, so a resumed
     // run that is itself interrupted stays resumable
@@ -267,9 +349,10 @@ pub fn resume(args: &ParsedArgs) -> Result<String> {
         governor,
         checkpoint,
         resume_from: Some(ckpt_path),
+        recorder: obs.recorder,
         ..SrdaConfig::default()
     };
-    fit_and_save(config, data, &model_path, None, Vec::new(), strict)
+    fit_and_save(config, data, &model_path, None, Vec::new(), strict, &obs)
 }
 
 /// Shared tail of `train` and `resume`: fit, handle interrupts, save the
@@ -281,6 +364,7 @@ fn fit_and_save(
     quarantine: Option<QuarantineSummary>,
     mut warned: Vec<String>,
     strict: bool,
+    obs: &ObsSettings,
 ) -> Result<String> {
     let n_classes = data
         .labels
@@ -293,6 +377,11 @@ fn fit_and_save(
     let start = std::time::Instant::now();
     let outcome = Srda::new(config).fit_sparse_outcome(&data.x, &data.labels)?;
     let secs = start.elapsed().as_secs_f64();
+
+    // observability comes out even when the fit was interrupted: a
+    // budget-stopped run's partial telemetry is exactly what you want
+    // when diagnosing why the budget ran out
+    let obs_summary = emit_observability(obs)?;
 
     let mut model = match outcome {
         FitOutcome::Complete(m) => m,
@@ -335,14 +424,15 @@ fn fit_and_save(
 
     let out = format!(
         "trained on {} samples x {} features ({} classes) in {:.3}s\n\
-         embedding: {} -> {} dims; model written to {}",
+         embedding: {} -> {} dims; model written to {}{}",
         data.x.nrows(),
         data.x.ncols(),
         n_classes,
         secs,
         data.x.ncols(),
         saved.embedding.n_components(),
-        model_path
+        model_path,
+        obs_summary
     );
     // surface the fit's robustness ledger on stderr: a degraded fit
     // (jittered ridge, LSQR fallback, quarantined data) must be
@@ -384,7 +474,9 @@ pub fn eval(args: &ParsedArgs) -> Result<String> {
         cm.macro_f1()
     );
     if let Some((t, p, n)) = cm.worst_confusion() {
-        out.push_str(&format!("worst confusion: true {t} -> predicted {p} ({n}x)\n"));
+        out.push_str(&format!(
+            "worst confusion: true {t} -> predicted {p} ({n}x)\n"
+        ));
     }
     Ok(out)
 }
@@ -482,14 +574,8 @@ pub fn tune(args: &ParsedArgs) -> Result<String> {
     if grid.is_empty() {
         return Err(CliError::new("--grid must contain at least one alpha"));
     }
-    let (alpha, err) = srda_eval::select_alpha_sparse(
-        &data.x,
-        &data.labels,
-        &grid,
-        iters,
-        folds,
-        seed,
-    );
+    let (alpha, err) =
+        srda_eval::select_alpha_sparse(&data.x, &data.labels, &grid, iters, folds, seed);
     Ok(format!(
         "grid {grid:?} over {folds}-fold CV (LSQR k = {iters})\n\
          best alpha = {alpha} with CV error {:.2}%",
@@ -849,6 +935,82 @@ mod tests {
             "--model",
             model.to_str().unwrap(),
             "--sanitize",
+            "zebra",
+        ]))
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn train_trace_and_metrics_out() {
+        let dir = tmpdir("obs");
+        let data = dir.join("data.svm");
+        run(&sv(&[
+            "generate",
+            "--dataset",
+            "news",
+            "--scale",
+            "0.02",
+            "--seed",
+            "5",
+            "--out",
+            data.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let model = dir.join("m.json");
+        let metrics = dir.join("metrics.json");
+        let msg = run(&sv(&[
+            "train",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+            "--solver",
+            "lsqr",
+            "--iters",
+            "6",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(msg.contains("metrics written"), "{msg}");
+        assert!(msg.contains("of fit wall time"), "{msg}");
+        let json = std::fs::read_to_string(&metrics).unwrap();
+        assert!(json.contains("\"schema\": \"srda-obs-v1\""));
+        assert!(json.contains("fit/response[0]/lsqr"), "span tree missing");
+        assert!(json.contains("\"solver\": \"lsqr\""), "telemetry missing");
+        // 6 LSQR iterations per response, recorded per iteration
+        assert!(json.contains("\"iter\": 6"), "iteration records missing");
+
+        // a traced model must be bitwise identical to an untraced one
+        let plain = dir.join("plain.json");
+        run(&sv(&[
+            "train",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            plain.to_str().unwrap(),
+            "--solver",
+            "lsqr",
+            "--iters",
+            "6",
+        ]))
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&model).unwrap(),
+            std::fs::read_to_string(&plain).unwrap(),
+            "tracing must not perturb the fit"
+        );
+
+        // bad format is rejected
+        assert!(run(&sv(&[
+            "train",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+            "--trace",
+            "--trace-format",
             "zebra",
         ]))
         .is_err());

@@ -66,11 +66,7 @@ impl SavedModel {
 
     /// Structural and numerical sanity checks shared by [`Self::load`].
     fn validate(&self) -> Result<()> {
-        let bad = |what: &str| {
-            Err(crate::CliError::new(format!(
-                "corrupt model file: {what}"
-            )))
-        };
+        let bad = |what: &str| Err(crate::CliError::new(format!("corrupt model file: {what}")));
         if !self.alpha.is_finite() || self.alpha < 0.0 {
             return bad("alpha is not finite and non-negative");
         }
@@ -180,7 +176,10 @@ mod tests {
             .filter_map(|e| e.ok())
             .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
             .collect();
-        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
         std::fs::remove_file(&path).ok();
     }
 

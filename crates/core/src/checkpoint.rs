@@ -350,7 +350,11 @@ impl FitCheckpoint {
             let x = d.vec("response weights")?;
             let iterations = d.u64()? as usize;
             let stop = decode_stop(d.u8()?)?;
-            completed.push(CompletedResponse { x, iterations, stop });
+            completed.push(CompletedResponse {
+                x,
+                iterations,
+                stop,
+            });
         }
         let in_flight = match d.u8()? {
             0 => None,

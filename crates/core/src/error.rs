@@ -136,7 +136,9 @@ impl From<srda_sparse::SparseError> for SrdaError {
 /// fired budget into [`SrdaError::Interrupted`]. Used by the eigen-based
 /// fits (LDA/RLDA/kernel/spectral regression), whose stages are not
 /// resumable — `checkpoint` is always `None` for them.
-pub(crate) fn check_governor(governor: Option<&srda_solvers::RunGovernor>) -> Result<(), SrdaError> {
+pub(crate) fn check_governor(
+    governor: Option<&srda_solvers::RunGovernor>,
+) -> Result<(), SrdaError> {
     if let Some(gov) = governor {
         if let Some(reason) = gov.probe() {
             return Err(SrdaError::Interrupted {

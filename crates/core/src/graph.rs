@@ -281,18 +281,8 @@ mod tests {
     fn heat_weights_decay_with_distance() {
         let x = Mat::from_rows(&[vec![0.0], vec![1.0], vec![3.0]]).unwrap();
         let g = AffinityGraph::knn(&x, 2, EdgeWeight::Heat { t: 1.0 });
-        let w01 = g
-            .neighbors(0)
-            .iter()
-            .find(|&&(j, _)| j == 1)
-            .unwrap()
-            .1;
-        let w02 = g
-            .neighbors(0)
-            .iter()
-            .find(|&&(j, _)| j == 2)
-            .unwrap()
-            .1;
+        let w01 = g.neighbors(0).iter().find(|&&(j, _)| j == 1).unwrap().1;
+        let w02 = g.neighbors(0).iter().find(|&&(j, _)| j == 2).unwrap().1;
         assert!(w01 > w02);
         assert!((w01 - (-0.5f64).exp()).abs() < 1e-12);
     }

@@ -228,7 +228,10 @@ mod tests {
                 .iter()
                 .map(|b| srda_linalg::vector::dot(b, &w).powi(2))
                 .sum();
-            assert!(proj_sq > 1.0 - 1e-8, "column {j} leaves the span: {proj_sq}");
+            assert!(
+                proj_sq > 1.0 - 1e-8,
+                "column {j} leaves the span: {proj_sq}"
+            );
         }
     }
 

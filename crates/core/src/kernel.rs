@@ -19,6 +19,7 @@ use crate::labels::ClassIndex;
 use crate::responses;
 use crate::{Result, SrdaError};
 use srda_linalg::{vector, Cholesky, ExecPolicy, Executor, Mat};
+use srda_obs::Recorder;
 
 /// Kernel functions κ(x, y).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,9 +47,7 @@ impl Kernel {
         match *self {
             Kernel::Linear => vector::dot(x, y),
             Kernel::Rbf { gamma } => (-gamma * vector::dist2_sq(x, y)).exp(),
-            Kernel::Polynomial { degree, coef0 } => {
-                (vector::dot(x, y) + coef0).powi(degree as i32)
-            }
+            Kernel::Polynomial { degree, coef0 } => (vector::dot(x, y) + coef0).powi(degree as i32),
         }
     }
 
@@ -128,11 +127,7 @@ impl Kernel {
     }
 
     /// Cross-Gram between sparse row sets (`a.nrows() × b.nrows()`).
-    pub fn cross_gram_sparse(
-        &self,
-        a: &srda_sparse::CsrMatrix,
-        b: &srda_sparse::CsrMatrix,
-    ) -> Mat {
+    pub fn cross_gram_sparse(&self, a: &srda_sparse::CsrMatrix, b: &srda_sparse::CsrMatrix) -> Mat {
         self.cross_gram_sparse_exec(a, b, &Executor::serial())
     }
 
@@ -230,6 +225,9 @@ pub struct KernelSrdaConfig {
     /// resumable, so an interrupt surfaces as [`SrdaError::Interrupted`]
     /// with no checkpoint.
     pub governor: Option<srda_solvers::RunGovernor>,
+    /// Observability sink (spans + kernel-dispatch counters); defaults to
+    /// [`Recorder::from_env`], so `SRDA_TRACE=1` instruments the fit.
+    pub recorder: Recorder,
 }
 
 impl Default for KernelSrdaConfig {
@@ -239,6 +237,7 @@ impl Default for KernelSrdaConfig {
             alpha: 1.0,
             exec: ExecPolicy::from_env(),
             governor: None,
+            recorder: Recorder::from_env(),
         }
     }
 }
@@ -278,6 +277,7 @@ impl KernelSrda {
 
     /// Fit on dense data (samples as rows) with labels `y`.
     pub fn fit_dense(&self, x: &Mat, y: &[usize]) -> Result<KernelSrdaModel> {
+        let _fit_span = srda_obs::span!(self.config.recorder, "fit");
         if x.nrows() != y.len() {
             return Err(SrdaError::ShapeMismatch {
                 op: "kernel srda fit_dense",
@@ -286,21 +286,18 @@ impl KernelSrda {
             });
         }
         crate::error::check_governor(self.config.governor.as_ref())?;
-        let gram = self
-            .config
-            .kernel
-            .gram_exec(x, &Executor::new(self.config.exec));
+        let gram = self.config.kernel.gram_exec(
+            x,
+            &Executor::with_recorder(self.config.exec, self.config.recorder),
+        );
         self.fit_from_gram(gram, y, TrainData::Dense(x.clone()))
     }
 
     /// Fit on sparse data; the Gram matrix is built from sparse dot
     /// products (the data is never densified, though the `m × m` kernel
     /// matrix itself is inherently dense).
-    pub fn fit_sparse(
-        &self,
-        x: &srda_sparse::CsrMatrix,
-        y: &[usize],
-    ) -> Result<KernelSrdaModel> {
+    pub fn fit_sparse(&self, x: &srda_sparse::CsrMatrix, y: &[usize]) -> Result<KernelSrdaModel> {
+        let _fit_span = srda_obs::span!(self.config.recorder, "fit");
         if x.nrows() != y.len() {
             return Err(SrdaError::ShapeMismatch {
                 op: "kernel srda fit_sparse",
@@ -309,10 +306,10 @@ impl KernelSrda {
             });
         }
         crate::error::check_governor(self.config.governor.as_ref())?;
-        let gram = self
-            .config
-            .kernel
-            .gram_sparse_exec(x, &Executor::new(self.config.exec));
+        let gram = self.config.kernel.gram_sparse_exec(
+            x,
+            &Executor::with_recorder(self.config.exec, self.config.recorder),
+        );
         self.fit_from_gram(gram, y, TrainData::Sparse(x.clone()))
     }
 
@@ -431,12 +428,7 @@ mod tests {
     fn xor_data() -> (Mat, Vec<usize>) {
         let mut rows = Vec::new();
         let mut y = Vec::new();
-        for (cx, cy, label) in [
-            (0.0, 0.0, 0),
-            (4.0, 4.0, 0),
-            (0.0, 4.0, 1),
-            (4.0, 0.0, 1),
-        ] {
+        for (cx, cy, label) in [(0.0, 0.0, 0), (4.0, 4.0, 0), (0.0, 4.0, 1), (4.0, 0.0, 1)] {
             for s in 0..5 {
                 let n1 = ((s * 13 + label * 7) as f64 * 0.71).sin() * 0.2;
                 let n2 = ((s * 17 + label * 3) as f64 * 0.37).cos() * 0.2;
@@ -516,6 +508,7 @@ mod tests {
             alpha: 0.1,
             exec: ExecPolicy::serial(),
             governor: None,
+            recorder: Recorder::disabled(),
         })
         .fit_dense(&x, &y)
         .unwrap();
@@ -535,6 +528,7 @@ mod tests {
             alpha: 0.1,
             exec: ExecPolicy::serial(),
             governor: None,
+            recorder: Recorder::disabled(),
         })
         .fit_dense(&x, &y)
         .unwrap();
@@ -567,6 +561,7 @@ mod tests {
             alpha: 1.0,
             exec: ExecPolicy::serial(),
             governor: None,
+            recorder: Recorder::disabled(),
         })
         .fit_dense(&x, &y)
         .unwrap();
@@ -583,6 +578,7 @@ mod tests {
             alpha: 0.1,
             exec: ExecPolicy::serial(),
             governor: None,
+            recorder: Recorder::disabled(),
         })
         .fit_dense(&x, &y)
         .unwrap();
@@ -607,6 +603,7 @@ mod tests {
                 alpha,
                 exec: ExecPolicy::serial(),
                 governor: None,
+                recorder: Recorder::disabled(),
             })
             .fit_dense(&x, &y)
             .unwrap()
@@ -654,6 +651,7 @@ mod tests {
             alpha: 0.2,
             exec: ExecPolicy::serial(),
             governor: None,
+            recorder: Recorder::disabled(),
         };
         let md = KernelSrda::new(cfg.clone()).fit_dense(&x, &y).unwrap();
         let ms = KernelSrda::new(cfg).fit_sparse(&xs, &y).unwrap();

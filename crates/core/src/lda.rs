@@ -19,6 +19,7 @@ use srda_linalg::ops::{matmul, matmul_exec, matvec_t_exec, scale_rows};
 use srda_linalg::stats::centered;
 use srda_linalg::svd::Svd;
 use srda_linalg::{ExecPolicy, Executor, Mat, SymmetricEigen};
+use srda_obs::Recorder;
 
 /// Which SVD engine factors the centered data matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -69,6 +70,9 @@ pub struct LdaConfig {
     /// not resumable, so an interrupt surfaces as
     /// [`SrdaError::Interrupted`] with no checkpoint.
     pub governor: Option<srda_solvers::RunGovernor>,
+    /// Observability sink (spans + kernel-dispatch counters); defaults to
+    /// [`Recorder::from_env`], so `SRDA_TRACE=1` instruments the fit.
+    pub recorder: Recorder,
 }
 
 impl Default for LdaConfig {
@@ -80,6 +84,7 @@ impl Default for LdaConfig {
             memory_budget_bytes: None,
             exec: ExecPolicy::from_env(),
             governor: None,
+            recorder: Recorder::from_env(),
         }
     }
 }
@@ -99,6 +104,7 @@ impl Lda {
     /// Fit on dense data (samples as rows). Returns the embedding onto the
     /// discriminant directions (at most `c − 1` components).
     pub fn fit_dense(&self, x: &Mat, y: &[usize]) -> Result<Embedding> {
+        let _fit_span = srda_obs::span!(self.config.recorder, "fit");
         if x.nrows() != y.len() {
             return Err(SrdaError::ShapeMismatch {
                 op: "lda fit_dense",
@@ -143,7 +149,7 @@ impl Lda {
 
         // Step 3: map back, A = V Σ⁻¹ B (n × q).
         crate::error::check_governor(self.config.governor.as_ref())?;
-        let exec = Executor::new(self.config.exec);
+        let exec = Executor::with_recorder(self.config.exec, self.config.recorder);
         let mut sb = b;
         let inv_s: Vec<f64> = svd.s.iter().map(|v| 1.0 / v).collect();
         scale_rows(&mut sb, &inv_s);
@@ -238,8 +244,8 @@ mod tests {
         let mut min_between = f64::INFINITY;
         for a in 0..3 {
             for b in (a + 1)..3 {
-                min_between = min_between
-                    .min(srda_linalg::vector::dist2_sq(cent.row(a), cent.row(b)).sqrt());
+                min_between =
+                    min_between.min(srda_linalg::vector::dist2_sq(cent.row(a), cent.row(b)).sqrt());
             }
         }
         let mut max_within = 0.0f64;
@@ -282,8 +288,7 @@ mod tests {
             let sba = srda_linalg::ops::matvec(&sb, &a).unwrap();
             let sta = srda_linalg::ops::matvec(&st, &a).unwrap();
             // λ = aᵀS_b a / aᵀS_t a
-            let lambda = srda_linalg::vector::dot(&a, &sba)
-                / srda_linalg::vector::dot(&a, &sta);
+            let lambda = srda_linalg::vector::dot(&a, &sba) / srda_linalg::vector::dot(&a, &sta);
             for i in 0..3 {
                 assert!(
                     (sba[i] - lambda * sta[i]).abs() < 1e-6 * sba[i].abs().max(1.0),

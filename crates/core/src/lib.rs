@@ -67,8 +67,6 @@ pub mod srda;
 
 pub use checkpoint::{CompletedResponse, FitCheckpoint, FitFingerprint, FIT_CHECKPOINT_FILE};
 pub use error::SrdaError;
-pub use srda_linalg::{Backend, ExecPolicy, Executor};
-pub use srda_solvers::{CancelToken, CheckpointError, Interrupt, RunBudget, RunGovernor};
 pub use graph::{AffinityGraph, EdgeWeight};
 pub use idr_qr::{IdrQr, IdrQrConfig};
 pub use kernel::{Kernel, KernelSrda, KernelSrdaConfig, KernelSrdaModel};
@@ -82,6 +80,9 @@ pub use spectral_regression::{GraphEigensolver, SpectralRegression, SpectralRegr
 pub use srda::{
     CheckpointPolicy, FitOutcome, InterruptedFit, Srda, SrdaConfig, SrdaModel, SrdaSolver,
 };
+pub use srda_linalg::{Backend, ExecPolicy, Executor};
+pub use srda_obs::{IterationRecord, ObsReport, Recorder, SolverTrace, TRACE_ENV};
+pub use srda_solvers::{CancelToken, CheckpointError, Interrupt, RunBudget, RunGovernor};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, SrdaError>;

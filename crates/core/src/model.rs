@@ -185,9 +185,7 @@ mod tests {
         let zd = e.transform_dense(&xd).unwrap();
         let zs = e.transform_sparse(&xs).unwrap();
         assert!(zd.approx_eq(&zs, 1e-14));
-        assert!(e
-            .transform_sparse(&CsrMatrix::zeros(1, 5))
-            .is_err());
+        assert!(e.transform_sparse(&CsrMatrix::zeros(1, 5)).is_err());
     }
 
     #[test]

@@ -23,6 +23,7 @@ use crate::{Result, SrdaError};
 use srda_linalg::ops::{matmul_exec, matvec_t_exec, scale_rows};
 use srda_linalg::stats::centered;
 use srda_linalg::{ExecPolicy, Executor, Mat};
+use srda_obs::Recorder;
 
 /// Configuration for [`Rlda`].
 #[derive(Debug, Clone)]
@@ -47,6 +48,9 @@ pub struct RldaConfig {
     /// stages are not resumable, so an interrupt surfaces as
     /// [`SrdaError::Interrupted`] with no checkpoint.
     pub governor: Option<srda_solvers::RunGovernor>,
+    /// Observability sink (spans + kernel-dispatch counters); defaults to
+    /// [`Recorder::from_env`], so `SRDA_TRACE=1` instruments the fit.
+    pub recorder: Recorder,
 }
 
 impl Default for RldaConfig {
@@ -59,6 +63,7 @@ impl Default for RldaConfig {
             memory_budget_bytes: None,
             exec: ExecPolicy::from_env(),
             governor: None,
+            recorder: Recorder::from_env(),
         }
     }
 }
@@ -77,6 +82,7 @@ impl Rlda {
 
     /// Fit on dense data (samples as rows).
     pub fn fit_dense(&self, x: &Mat, y: &[usize]) -> Result<Embedding> {
+        let _fit_span = srda_obs::span!(self.config.recorder, "fit");
         if x.nrows() != y.len() {
             return Err(SrdaError::ShapeMismatch {
                 op: "rlda fit_dense",
@@ -128,7 +134,7 @@ impl Rlda {
             .iter()
             .map(|&s| 1.0 / (s * s + self.config.alpha).sqrt())
             .collect();
-        let exec = Executor::new(self.config.exec);
+        let exec = Executor::with_recorder(self.config.exec, self.config.recorder);
         let mut qb = b;
         scale_rows(&mut qb, &undo);
         let weights = matmul_exec(&svd.v, &qb, &exec)?;
@@ -221,11 +227,11 @@ mod tests {
             let a = emb.weights().col(q);
             let sba = srda_linalg::ops::matvec(&sb, &a).unwrap();
             let sta = srda_linalg::ops::matvec(&st, &a).unwrap();
-            let lambda =
-                srda_linalg::vector::dot(&a, &sba) / srda_linalg::vector::dot(&a, &sta);
+            let lambda = srda_linalg::vector::dot(&a, &sba) / srda_linalg::vector::dot(&a, &sta);
             for i in 0..n {
                 assert!(
-                    (sba[i] - lambda * sta[i]).abs() < 1e-6 * sba.iter().fold(0.0f64, |m2, v| m2.max(v.abs())).max(1e-12),
+                    (sba[i] - lambda * sta[i]).abs()
+                        < 1e-6 * sba.iter().fold(0.0f64, |m2, v| m2.max(v.abs())).max(1e-12),
                     "component {q} fails at coord {i}"
                 );
             }

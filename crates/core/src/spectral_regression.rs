@@ -23,9 +23,10 @@ use crate::graph::AffinityGraph;
 use crate::model::Embedding;
 use crate::{Result, SrdaError};
 use srda_linalg::{ExecPolicy, Executor, Mat, SymmetricEigen};
+use srda_obs::Recorder;
 use srda_solvers::lsqr::{lsqr_controlled, LsqrConfig, SolveControls};
-use srda_solvers::StopReason;
 use srda_solvers::ridge::RidgeSolver;
+use srda_solvers::StopReason;
 use srda_solvers::{AugmentedOp, ExecDense};
 
 /// How the spectral step's eigenvectors are computed.
@@ -63,6 +64,9 @@ pub struct SpectralRegressionConfig {
     /// [`SrdaError::Interrupted`] with no checkpoint — the spectral step
     /// is not resumable.
     pub governor: Option<srda_solvers::RunGovernor>,
+    /// Observability sink (spans + kernel-dispatch counters); defaults to
+    /// [`Recorder::from_env`], so `SRDA_TRACE=1` instruments the fit.
+    pub recorder: Recorder,
 }
 
 impl Default for SpectralRegressionConfig {
@@ -74,6 +78,7 @@ impl Default for SpectralRegressionConfig {
             eigensolver: GraphEigensolver::Dense,
             exec: ExecPolicy::from_env(),
             governor: None,
+            recorder: Recorder::from_env(),
         }
     }
 }
@@ -122,8 +127,7 @@ impl SpectralRegression {
                 // makes the operator PSD; the eigenvector ORDER for the
                 // shifted spectrum matches the unshifted one)
                 let apply = |v: &[f64]| {
-                    let scaled: Vec<f64> =
-                        v.iter().zip(&inv_sqrt).map(|(a, b)| a * b).collect();
+                    let scaled: Vec<f64> = v.iter().zip(&inv_sqrt).map(|(a, b)| a * b).collect();
                     let wv = graph.apply(&scaled);
                     wv.iter()
                         .zip(&inv_sqrt)
@@ -185,6 +189,7 @@ impl SpectralRegression {
     /// Fit on dense data with the given graph (the graph must be over the
     /// same `m` samples, in the same order).
     pub fn fit_dense(&self, x: &Mat, graph: &AffinityGraph) -> Result<Embedding> {
+        let _fit_span = srda_obs::span!(self.config.recorder, "fit");
         if x.nrows() != graph.n_nodes() {
             return Err(SrdaError::ShapeMismatch {
                 op: "spectral_regression fit_dense",
@@ -195,7 +200,7 @@ impl SpectralRegression {
         crate::error::check_governor(self.config.governor.as_ref())?;
         let ybar = self.responses(graph)?;
         let n = x.ncols();
-        let exec = Executor::new(self.config.exec);
+        let exec = Executor::with_recorder(self.config.exec, self.config.recorder);
         crate::error::check_governor(self.config.governor.as_ref())?;
         let w_aug = match self.config.lsqr_iterations {
             None => {
@@ -344,8 +349,8 @@ mod tests {
         let mut min_between = f64::INFINITY;
         for a in 0..3 {
             for b in (a + 1)..3 {
-                min_between = min_between
-                    .min(srda_linalg::vector::dist2_sq(cent.row(a), cent.row(b)).sqrt());
+                min_between =
+                    min_between.min(srda_linalg::vector::dist2_sq(cent.row(a), cent.row(b)).sqrt());
             }
         }
         assert!(

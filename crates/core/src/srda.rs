@@ -24,7 +24,8 @@ use crate::model::Embedding;
 use crate::report::{FitReport, RecoveryAction, ResponseSolver};
 use crate::responses;
 use crate::{Result, SrdaError};
-use srda_linalg::{ExecPolicy, Executor, LinalgError, Mat};
+use srda_linalg::{flam, ExecPolicy, Executor, LinalgError, Mat};
+use srda_obs::{Recorder, SolverTrace};
 use srda_solvers::checkpoint::{CheckpointError, LsqrCheckpoint};
 use srda_solvers::lsqr::{lsqr_controlled, LsqrConfig, LsqrResult, SolveControls};
 use srda_solvers::robust::{factor_ladder_governed, RobustConfig, RobustOutcome, RobustRidge};
@@ -95,6 +96,13 @@ pub struct SrdaConfig {
     /// tolerance) must match the current fit exactly; the resumed
     /// trajectory is bitwise identical to the uninterrupted one.
     pub resume_from: Option<PathBuf>,
+    /// Observability sink: when enabled, the fit emits a hierarchical
+    /// span tree, registry counters (including the `flam.fit` complexity
+    /// count), and per-iteration solver telemetry into this recorder.
+    /// Defaults to [`Recorder::from_env`], so `SRDA_TRACE=1` instruments
+    /// an otherwise-unchanged program; the disabled recorder is a no-op
+    /// handle and instrumentation never perturbs the float sequence.
+    pub recorder: Recorder,
 }
 
 /// Where and how often a fit persists resumable state.
@@ -119,6 +127,7 @@ impl Default for SrdaConfig {
             governor: None,
             checkpoint: None,
             resume_from: None,
+            recorder: Recorder::from_env(),
         }
     }
 }
@@ -223,9 +232,10 @@ impl Srda {
         &self.config
     }
 
-    /// The kernel executor this fit will run on.
+    /// The kernel executor this fit will run on; it carries the config's
+    /// recorder so kernel-dispatch counters land in the same registry.
     fn executor(&self) -> Executor {
-        Executor::new(self.config.exec)
+        Executor::with_recorder(self.config.exec, self.config.recorder)
     }
 
     /// Fit on dense data (`x`: samples as rows) with labels `y`. A
@@ -240,6 +250,26 @@ impl Srda {
     /// run hands back its partial state (and checkpoint path) instead of
     /// an error.
     pub fn fit_dense_outcome(&self, x: &Mat, y: &[usize]) -> Result<FitOutcome> {
+        self.instrumented_fit(|| self.fit_dense_outcome_inner(x, y))
+    }
+
+    /// Run `f` under the top-level `fit` span, streaming the flam it
+    /// spends into the registry counter `flam.fit`. With a disabled
+    /// recorder this is one branch and a direct call.
+    fn instrumented_fit<T>(&self, f: impl FnOnce() -> T) -> T {
+        let rec = self.config.recorder;
+        if !rec.is_enabled() {
+            return f();
+        }
+        rec.gauge("fit.alpha", self.config.alpha);
+        let _span = rec.span("fit");
+        match rec.counter("flam.fit").cell() {
+            Some(cell) => flam::scoped(cell, f),
+            None => f(),
+        }
+    }
+
+    fn fit_dense_outcome_inner(&self, x: &Mat, y: &[usize]) -> Result<FitOutcome> {
         if x.nrows() != y.len() {
             return Err(SrdaError::ShapeMismatch {
                 op: "fit_dense",
@@ -247,8 +277,11 @@ impl Srda {
                 got: y.len(),
             });
         }
+        let rec = self.config.recorder;
+        let prepare = srda_obs::span!(rec, "fit/prepare");
         let index = ClassIndex::new(y)?;
         let ybar = responses::generate(&index);
+        prepare.finish();
         let n = x.ncols();
 
         match self.config.solver {
@@ -261,8 +294,15 @@ impl Srda {
                 // RobustRidge walks the recovery ladder (direct →
                 // jittered retries → damped LSQR) instead of propagating
                 // a Singular/NotPositiveDefinite error to the caller
+                let ridge_span = srda_obs::span!(rec, "fit/ridge");
                 let outcome = RobustRidge::with_executor(RobustConfig::default(), self.executor())
-                    .solve_governed(&x_aug, &ybar, self.config.alpha, self.config.governor.as_ref())?;
+                    .solve_governed(
+                        &x_aug,
+                        &ybar,
+                        self.config.alpha,
+                        self.config.governor.as_ref(),
+                    )?;
+                ridge_span.finish();
                 match outcome {
                     RobustOutcome::Solved(w_aug, rep) => {
                         let mut report = FitReport::from_robust(&rep, ybar.ncols());
@@ -304,6 +344,10 @@ impl Srda {
     /// run hands back its partial state (and checkpoint path) instead of
     /// an error.
     pub fn fit_sparse_outcome(&self, x: &CsrMatrix, y: &[usize]) -> Result<FitOutcome> {
+        self.instrumented_fit(|| self.fit_sparse_outcome_inner(x, y))
+    }
+
+    fn fit_sparse_outcome_inner(&self, x: &CsrMatrix, y: &[usize]) -> Result<FitOutcome> {
         if x.nrows() != y.len() {
             return Err(SrdaError::ShapeMismatch {
                 op: "fit_sparse",
@@ -311,8 +355,11 @@ impl Srda {
                 got: y.len(),
             });
         }
+        let rec = self.config.recorder;
+        let prepare = srda_obs::span!(rec, "fit/prepare");
         let index = ClassIndex::new(y)?;
         let ybar = responses::generate(&index);
+        prepare.finish();
         let n = x.ncols();
 
         match self.config.solver {
@@ -327,6 +374,7 @@ impl Srda {
                 let exec = self.executor();
                 let budget = self.config.memory_budget_bytes.unwrap_or(usize::MAX);
                 let mut report = FitReport::default();
+                let gram_span = srda_obs::span!(rec, "fit/gram");
                 let gram = match x.gram_t_dense_checked_exec(budget, &exec) {
                     Ok(k) => Some(k),
                     Err(decline) => {
@@ -337,7 +385,9 @@ impl Srda {
                         None
                     }
                 };
+                gram_span.finish();
                 if let Some(mut k) = gram {
+                    let factor_span = srda_obs::span!(rec, "fit/factor");
                     for i in 0..m {
                         for j in 0..m {
                             k[(i, j)] += 1.0; // the bias column's contribution
@@ -369,12 +419,14 @@ impl Srda {
                             srda_linalg::Cholesky::factor(&k)
                         },
                     )?;
+                    factor_span.finish();
                     report.warnings.extend(outcome.warnings);
                     report.recoveries.extend(outcome.actions);
                     if let Some(reason) = outcome.interrupted {
                         return Ok(self.direct_interrupted(reason, report, ybar.ncols()));
                     }
                     if let Some((chol, jitter)) = outcome.value {
+                        let backsub_span = srda_obs::span!(rec, "fit/backsub");
                         let u = chol.solve_mat(&ybar)?;
                         // w̃ = X̃ᵀ u : feature part via sparse transpose-multiply,
                         // bias part via column sums of u
@@ -388,6 +440,7 @@ impl Srda {
                             }
                             w_aug[(n, j)] = uj.iter().sum();
                         }
+                        backsub_span.finish();
                         if w_aug.as_slice().iter().all(|v| v.is_finite()) {
                             report.condition_estimate = Some(chol.condition_estimate());
                             let solver = if jitter > 0.0 {
@@ -417,6 +470,7 @@ impl Srda {
                 // declined by the budget: solve matrix-free, which never
                 // forms the Gram matrix
                 report.recoveries.push(RecoveryAction::LsqrFallback);
+                let backend = exec.backend_name();
                 let inner = ExecCsr::new(x, exec);
                 let op = AugmentedOp::new(&inner);
                 let ctl = ResponseControls {
@@ -424,6 +478,8 @@ impl Srda {
                     checkpoint: None,
                     resume: None,
                     fingerprint: None,
+                    recorder: rec,
+                    backend,
                 };
                 match solve_lsqr_responses_controlled(
                     &op,
@@ -503,6 +559,14 @@ impl Srda {
         x: &A,
         y: &[usize],
     ) -> Result<FitOutcome> {
+        self.instrumented_fit(|| self.fit_operator_outcome_inner(x, y))
+    }
+
+    fn fit_operator_outcome_inner<A: LinearOperator + ?Sized + Sync>(
+        &self,
+        x: &A,
+        y: &[usize],
+    ) -> Result<FitOutcome> {
         if x.nrows() != y.len() {
             return Err(SrdaError::ShapeMismatch {
                 op: "fit_operator",
@@ -515,8 +579,10 @@ impl Srda {
                 context: "fit_operator requires the LSQR solver (matrix-free)".into(),
             });
         };
+        let prepare = srda_obs::span!(self.config.recorder, "fit/prepare");
         let index = ClassIndex::new(y)?;
         let ybar = responses::generate(&index);
+        prepare.finish();
         let n = x.ncols();
         let op = AugmentedOp::new(x);
         self.fit_lsqr_outcome(&op, &ybar, y, n, index.n_classes(), max_iter, tol)
@@ -533,6 +599,17 @@ impl Srda {
     /// count and feature count must match `previous`; `tol` should be
     /// non-zero so the solver can stop early (that is the whole point).
     pub fn fit_sparse_incremental(
+        &self,
+        x: &CsrMatrix,
+        y: &[usize],
+        previous: &SrdaModel,
+        max_iter: usize,
+        tol: f64,
+    ) -> Result<SrdaModel> {
+        self.instrumented_fit(|| self.fit_sparse_incremental_inner(x, y, previous, max_iter, tol))
+    }
+
+    fn fit_sparse_incremental_inner(
         &self,
         x: &CsrMatrix,
         y: &[usize],
@@ -580,6 +657,7 @@ impl Srda {
         let mut report = FitReport::default();
         let mut x0 = vec![0.0; n + 1];
         for j in 0..ybar.ncols() {
+            let _span = srda_obs::span!(self.config.recorder, "fit/response[{j}]/lsqr_warm");
             for i in 0..n {
                 x0[i] = prev_w[(i, j)];
             }
@@ -727,6 +805,8 @@ impl Srda {
             checkpoint: ckpt_path.as_ref().map(|(p, every)| (p.as_path(), *every)),
             resume,
             fingerprint,
+            recorder: self.config.recorder,
+            backend: self.executor().backend_name(),
         };
         match solve_lsqr_responses_controlled(
             op,
@@ -747,9 +827,9 @@ impl Srda {
                 if let Some((path, _)) = &ckpt_path {
                     let _ = std::fs::remove_file(path);
                 }
-                Ok(FitOutcome::Complete(self.finish(
-                    w, n, n_classes, iterations, report,
-                )))
+                Ok(FitOutcome::Complete(
+                    self.finish(w, n, n_classes, iterations, report),
+                ))
             }
             ResponsesOutcome::Interrupted {
                 reason,
@@ -846,6 +926,10 @@ struct ResponseControls<'a> {
     resume: Option<FitCheckpoint>,
     /// Problem identity; `Some` exactly when `checkpoint` or `resume` is.
     fingerprint: Option<FitFingerprint>,
+    /// Observability sink for per-response spans and solver telemetry.
+    recorder: Recorder,
+    /// Backend name the operator's kernels run on, for trace metadata.
+    backend: &'static str,
 }
 
 /// What the response loop produced.
@@ -925,18 +1009,44 @@ fn solve_lsqr_responses_controlled<A: LinearOperator + ?Sized + Sync>(
     }
 
     if use_parallel {
+        // telemetry channels are opened here, in serial response order, so
+        // the trace list in the recorder snapshot is deterministic no
+        // matter how the worker threads interleave
+        let rec = ctl.recorder;
+        let traces: Vec<Option<SolverTrace>> = (0..k)
+            .map(|j| {
+                let t = if rec.is_enabled() {
+                    rec.solver_trace(format!("fit/response[{j}]/lsqr"))
+                } else {
+                    None
+                };
+                if let Some(t) = &t {
+                    t.set_backend(ctl.backend);
+                }
+                t
+            })
+            .collect();
+        // worker threads have their own (empty) flam sink stacks; hand
+        // them this thread's sinks so `flam.fit` keeps counting
+        let sinks = flam::current_sinks();
         let results: Vec<LsqrResult> = crossbeam::thread::scope(|s| {
             let handles: Vec<_> = (0..k)
                 .map(|j| {
                     let cfg = &cfg;
                     let col = ybar.col(j);
                     let governor = ctl.governor;
+                    let trace = traces[j].clone();
+                    let sinks = sinks.clone();
                     s.spawn(move |_| {
-                        let controls = SolveControls {
-                            governor,
-                            ..SolveControls::default()
-                        };
-                        lsqr_controlled(op, &col, cfg, &controls)
+                        flam::with_sinks(sinks, || {
+                            let _span = srda_obs::span!(rec, "fit/response[{j}]/lsqr");
+                            let controls = SolveControls {
+                                governor,
+                                telemetry: trace.as_ref(),
+                                ..SolveControls::default()
+                            };
+                            lsqr_controlled(op, &col, cfg, &controls)
+                        })
                     })
                 })
                 .collect();
@@ -977,6 +1087,15 @@ fn solve_lsqr_responses_controlled<A: LinearOperator + ?Sized + Sync>(
 
     for j in start_j..k {
         let col = ybar.col(j);
+        let _span = srda_obs::span!(ctl.recorder, "fit/response[{j}]/lsqr");
+        let trace = if ctl.recorder.is_enabled() {
+            ctl.recorder.solver_trace(format!("fit/response[{j}]/lsqr"))
+        } else {
+            None
+        };
+        if let Some(t) = &trace {
+            t.set_backend(ctl.backend);
+        }
         let resume_this = if j == start_j {
             in_flight.as_ref()
         } else {
@@ -1011,6 +1130,7 @@ fn solve_lsqr_responses_controlled<A: LinearOperator + ?Sized + Sync>(
             resume: resume_this,
             checkpoint_every: ctl.checkpoint.map_or(0, |(_, every)| every),
             on_checkpoint: writer.as_deref(),
+            telemetry: trace.as_ref(),
         };
         let r = lsqr_controlled(op, &col, &cfg, &controls);
         if let StopReason::Interrupted(reason) = r.stop {
@@ -1141,8 +1261,7 @@ mod tests {
         let mut pairs = 0;
         for a in 0..ci.n_classes() {
             for b in (a + 1)..ci.n_classes() {
-                between +=
-                    srda_linalg::vector::dist2_sq(centroids.row(a), centroids.row(b)).sqrt();
+                between += srda_linalg::vector::dist2_sq(centroids.row(a), centroids.row(b)).sqrt();
                 pairs += 1;
             }
         }
@@ -1156,7 +1275,10 @@ mod tests {
         assert_eq!(model.embedding().n_components(), 1);
         let z = model.embedding().transform_dense(&x).unwrap();
         let (within, between) = class_compactness(&z, &y);
-        assert!(between > 10.0 * within, "within {within}, between {between}");
+        assert!(
+            between > 10.0 * within,
+            "within {within}, between {between}"
+        );
     }
 
     #[test]
@@ -1246,12 +1368,13 @@ mod tests {
         // Corollary 3: with linearly independent samples and α → 0 the
         // embedding collapses each training class to a single point.
         let (x, y) = three_blobs(); // 18 samples in 4-D: NOT independent
-        // make them independent by embedding into high dimension
-        let hi = x.hcat(&Mat::from_fn(18, 30, |i, j| {
-            let h = ((i * 17 + j * 29) as f64 * 78.233).sin() * 43758.5453;
-            (h - h.floor() - 0.5) * 2.0
-        }))
-        .unwrap();
+                                    // make them independent by embedding into high dimension
+        let hi = x
+            .hcat(&Mat::from_fn(18, 30, |i, j| {
+                let h = ((i * 17 + j * 29) as f64 * 78.233).sin() * 43758.5453;
+                (h - h.floor() - 0.5) * 2.0
+            }))
+            .unwrap();
         let model = Srda::new(SrdaConfig {
             alpha: 1e-10,
             ..SrdaConfig::default()
@@ -1318,7 +1441,10 @@ mod tests {
         // the recovered model must still separate the blobs
         let z = model.embedding().transform_dense(&x).unwrap();
         let (within, between) = class_compactness(&z, &y);
-        assert!(between > 10.0 * within, "within {within}, between {between}");
+        assert!(
+            between > 10.0 * within,
+            "within {within}, between {between}"
+        );
         // LSQR path needs no dense scratch, so the same budget is clean
         let cfg2 = SrdaConfig {
             memory_budget_bytes: Some(16),
@@ -1372,8 +1498,7 @@ mod tests {
         let (x, y) = blobs();
         let model = Srda::default_dense().fit_dense(&x, &y).unwrap();
         // points near each blob center map near the respective embeddings
-        let test =
-            Mat::from_rows(&[vec![0.02, 0.0, 0.02], vec![4.05, 4.0, 3.95]]).unwrap();
+        let test = Mat::from_rows(&[vec![0.02, 0.0, 0.02], vec![4.05, 4.0, 3.95]]).unwrap();
         let zt = model.embedding().transform_dense(&test).unwrap();
         let z = model.embedding().transform_dense(&x).unwrap();
         let d0 = (zt[(0, 0)] - z[(0, 0)]).abs();
@@ -1619,16 +1744,16 @@ mod tests {
         assert!(!rep.clean());
         assert!(!rep.warnings.is_empty());
         assert!(!rep.recoveries.is_empty());
-        assert!(rep
-            .responses
-            .iter()
-            .all(|s| *s != ResponseSolver::Direct));
+        assert!(rep.responses.iter().all(|s| *s != ResponseSolver::Direct));
         let w = model.embedding().weights();
         assert!(w.as_slice().iter().all(|v| v.is_finite()));
         // the recovered model still separates the classes
         let z = model.embedding().transform_dense(&x_bad).unwrap();
         let (within, between) = class_compactness(&z, &y);
-        assert!(between > 10.0 * within, "within {within}, between {between}");
+        assert!(
+            between > 10.0 * within,
+            "within {within}, between {between}"
+        );
     }
 
     #[test]
@@ -1647,10 +1772,7 @@ mod tests {
 
     /// Fresh scratch directory for a checkpoint test.
     fn scratch(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "srda-gov-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("srda-gov-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -1858,7 +1980,10 @@ mod tests {
         match Srda::new(cfg).fit_dense_outcome(&x, &y).unwrap() {
             FitOutcome::Interrupted(i) => {
                 assert_eq!(i.reason, Interrupt::IterBudgetExhausted);
-                assert!(i.checkpoint.is_none(), "parallel interrupts don't checkpoint");
+                assert!(
+                    i.checkpoint.is_none(),
+                    "parallel interrupts don't checkpoint"
+                );
             }
             FitOutcome::Complete(_) => panic!("3 shared iterations cannot finish 2×15"),
         }

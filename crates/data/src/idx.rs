@@ -175,10 +175,7 @@ mod tests {
         let t = image_fixture();
         let mut bytes = encode_idx(&t);
         bytes.truncate(bytes.len() - 1);
-        assert!(matches!(
-            parse_idx(&bytes),
-            Err(IdxError::Truncated { .. })
-        ));
+        assert!(matches!(parse_idx(&bytes), Err(IdxError::Truncated { .. })));
         assert!(matches!(
             parse_idx(&[0, 0]),
             Err(IdxError::Truncated { .. })
@@ -232,7 +229,9 @@ mod tests {
     fn display_messages() {
         let e = IdxError::Truncated { needed: 9, got: 3 };
         assert!(e.to_string().contains("9"));
-        let b = IdxError::BadMagic { magic: [9, 9, 9, 9] };
+        let b = IdxError::BadMagic {
+            magic: [9, 9, 9, 9],
+        };
         assert!(b.to_string().contains("magic"));
     }
 }

@@ -323,9 +323,7 @@ mod tests {
         let mut max_proj = 0.0f64;
         let mut max_norm = 0.0f64;
         for i in 0..centered.nrows() {
-            max_proj = max_proj.max(
-                srda_linalg::vector::dot(centered.row(i), &diff).abs(),
-            );
+            max_proj = max_proj.max(srda_linalg::vector::dot(centered.row(i), &diff).abs());
             max_norm = max_norm.max(srda_linalg::vector::norm2(centered.row(i)));
         }
         assert!(

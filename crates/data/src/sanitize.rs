@@ -207,9 +207,7 @@ fn quarantine_rows(
         let mut uniq = Vec::with_capacity(kept.len());
         for &i in &kept {
             match seen.entry((key(i), labels[i])) {
-                std::collections::hash_map::Entry::Occupied(_) => {
-                    report.duplicate_rows.push(i)
-                }
+                std::collections::hash_map::Entry::Occupied(_) => report.duplicate_rows.push(i),
                 std::collections::hash_map::Entry::Vacant(e) => {
                     e.insert(i);
                     uniq.push(i);
@@ -661,10 +659,7 @@ mod tests {
         let x = Mat::zeros(2, 2);
         let err = sanitize_dense(&x, &[0], &SanitizeConfig::default());
         assert!(
-            matches!(
-                err,
-                Err(SanitizeError::LabelLength { rows: 2, labels: 1 })
-            ),
+            matches!(err, Err(SanitizeError::LabelLength { rows: 2, labels: 1 })),
             "{err:?}"
         );
     }

@@ -67,8 +67,7 @@ pub fn ratio_split(labels: &[usize], frac: f64, seed: u64) -> Split {
     let mut test = Vec::new();
     for mut bucket in class_buckets(labels) {
         shuffle(&mut bucket, &mut rng);
-        let take = ((bucket.len() as f64 * frac).round() as usize)
-            .clamp(1, bucket.len());
+        let take = ((bucket.len() as f64 * frac).round() as usize).clamp(1, bucket.len());
         train.extend_from_slice(&bucket[..take]);
         test.extend_from_slice(&bucket[take..]);
     }

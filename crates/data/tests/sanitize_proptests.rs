@@ -2,9 +2,7 @@
 //! a fixed point), degenerate-shape handling, and dense/sparse agreement.
 
 use proptest::prelude::*;
-use srda_data::sanitize::{
-    sanitize_dense, sanitize_sparse, NonFinitePolicy, SanitizeConfig,
-};
+use srda_data::sanitize::{sanitize_dense, sanitize_sparse, NonFinitePolicy, SanitizeConfig};
 use srda_linalg::Mat;
 use srda_sparse::CsrMatrix;
 

@@ -207,8 +207,7 @@ mod tests {
     fn sparse_alpha_selection_runs_and_picks_from_grid() {
         let data = srda_data::newsgroups_like(0.02, 6);
         let grid = [0.1, 1.0];
-        let (alpha, err) =
-            select_alpha_sparse(&data.x, &data.labels, &grid, 10, 3, 4);
+        let (alpha, err) = select_alpha_sparse(&data.x, &data.labels, &grid, 10, 3, 4);
         assert!(grid.contains(&alpha));
         assert!((0.0..=1.0).contains(&err));
     }

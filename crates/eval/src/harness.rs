@@ -78,9 +78,10 @@ pub fn run_dense(
     n_classes: usize,
     memory_budget_bytes: Option<usize>,
 ) -> RunOutcome {
-    flam::reset();
     let start = Instant::now();
-    let fitted = match algo {
+    // a private sink, not the global counter, so concurrently-running
+    // splits (e.g. parallel test binaries) cannot pollute each other
+    let (fitted, used_flam) = flam::measure(|| match algo {
         Algo::Lda => Lda::new(LdaConfig {
             memory_budget_bytes,
             ..LdaConfig::default()
@@ -105,9 +106,8 @@ pub fn run_dense(
             ..IdrQrConfig::default()
         })
         .fit_dense(x_train, y_train),
-    };
+    });
     let secs = start.elapsed().as_secs_f64();
-    let used_flam = flam::total();
 
     let emb = match fitted {
         Ok(e) => e,
@@ -150,13 +150,11 @@ pub fn run_sparse(
     memory_budget_bytes: Option<usize>,
 ) -> RunOutcome {
     if let Algo::Srda(cfg) = algo {
-        flam::reset();
         let start = Instant::now();
         let mut cfg = cfg.clone();
         cfg.memory_budget_bytes = memory_budget_bytes;
-        let fitted = Srda::new(cfg).fit_sparse(x_train, y_train);
+        let (fitted, used_flam) = flam::measure(|| Srda::new(cfg).fit_sparse(x_train, y_train));
         let secs = start.elapsed().as_secs_f64();
-        let used_flam = flam::total();
         let model = match fitted {
             Ok(m) => m,
             Err(SrdaError::MemoryBudgetExceeded { .. }) => {
@@ -191,9 +189,8 @@ pub fn run_sparse(
     };
     // the classifier also needs the embedded test set; transform_sparse
     // avoids densifying the (larger) test matrix
-    flam::reset();
     let start = Instant::now();
-    let fitted = match algo {
+    let (fitted, used_flam) = flam::measure(|| match algo {
         Algo::Lda => Lda::new(LdaConfig {
             memory_budget_bytes,
             ..LdaConfig::default()
@@ -212,9 +209,8 @@ pub fn run_sparse(
         })
         .fit_dense(&dense_train, y_train),
         Algo::Srda(_) => unreachable!("handled above"),
-    };
+    });
     let secs = start.elapsed().as_secs_f64();
-    let used_flam = flam::total();
     let emb = match fitted {
         Ok(e) => e,
         Err(SrdaError::MemoryBudgetExceeded { .. }) => {
@@ -276,10 +272,7 @@ mod tests {
     fn regularized_methods_beat_chance_comfortably() {
         let (xtr, ytr, xte, yte, c) = dense_setup();
         let chance = 1.0 - 1.0 / c as f64;
-        for algo in [
-            Algo::Rlda { alpha: 1.0 },
-            Algo::Srda(SrdaConfig::default()),
-        ] {
+        for algo in [Algo::Rlda { alpha: 1.0 }, Algo::Srda(SrdaConfig::default())] {
             let out = run_dense(&algo, &xtr, &ytr, &xte, &yte, c, None);
             let err = out.error_rate.unwrap();
             assert!(

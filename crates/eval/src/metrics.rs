@@ -105,10 +105,12 @@ impl ConfusionMatrix {
         let mut best: Option<(usize, usize, usize)> = None;
         for t in 0..self.n_classes() {
             for p in 0..self.n_classes() {
-                if t != p && self.counts[t][p] > 0
-                    && best.is_none_or(|(_, _, n)| self.counts[t][p] > n) {
-                        best = Some((t, p, self.counts[t][p]));
-                    }
+                if t != p
+                    && self.counts[t][p] > 0
+                    && best.is_none_or(|(_, _, n)| self.counts[t][p] > n)
+                {
+                    best = Some((t, p, self.counts[t][p]));
+                }
             }
         }
         best

@@ -28,8 +28,7 @@ impl Aggregate {
         let std = if n < 2 {
             0.0
         } else {
-            let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-                / (n - 1) as f64;
+            let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64;
             var.sqrt()
         };
         Aggregate {

@@ -24,6 +24,7 @@ const GEMM_P_TILE: usize = 64;
 /// skipping `a[i][p] == 0.0` — the exact order of the classic ikj loop.
 /// `c` need not be zeroed.
 pub fn gemm(exec: &Executor, a: &[f64], m: usize, k: usize, b: &[f64], n: usize, c: &mut [f64]) {
+    exec.note_kernel("kernel.dense.gemm");
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
@@ -64,6 +65,7 @@ pub fn gemm_transa(
     n: usize,
     c: &mut [f64],
 ) {
+    exec.note_kernel("kernel.dense.gemm_transa");
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), m * n);
     debug_assert_eq!(c.len(), k * n);
@@ -98,6 +100,7 @@ pub fn gemm_transb(
     n: usize,
     c: &mut [f64],
 ) {
+    exec.note_kernel("kernel.dense.gemm_transb");
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
@@ -125,6 +128,7 @@ pub fn gemm_transb(
 /// `a[r][i] * a[r][j]` for `r` ascending, skipping `a[r][i] == 0.0` —
 /// the historical order. The lower triangle is mirrored afterwards.
 pub fn gram(exec: &Executor, a: &[f64], m: usize, n: usize, g: &mut [f64]) {
+    exec.note_kernel("kernel.dense.gram");
     debug_assert_eq!(a.len(), m * n);
     debug_assert_eq!(g.len(), n * n);
     exec.for_each_row_block(g, n.max(1), |first, block| {
@@ -152,6 +156,7 @@ pub fn gram(exec: &Executor, a: &[f64], m: usize, n: usize, g: &mut [f64]) {
 /// single-accumulator dot product of two data rows (the historical
 /// order). The lower triangle is mirrored afterwards.
 pub fn gram_t(exec: &Executor, a: &[f64], m: usize, n: usize, g: &mut [f64]) {
+    exec.note_kernel("kernel.dense.gram_t");
     debug_assert_eq!(a.len(), m * n);
     debug_assert_eq!(g.len(), m * m);
     exec.for_each_row_block(g, m.max(1), |first, block| {
@@ -173,6 +178,7 @@ pub fn gram_t(exec: &Executor, a: &[f64], m: usize, n: usize, g: &mut [f64]) {
 
 /// `y = a * x` where `a` is `m x n`; row-parallel single-accumulator dots.
 pub fn matvec(exec: &Executor, a: &[f64], m: usize, n: usize, x: &[f64], y: &mut [f64]) {
+    exec.note_kernel("kernel.dense.matvec");
     debug_assert_eq!(a.len(), m * n);
     debug_assert_eq!(x.len(), n);
     debug_assert_eq!(y.len(), m);
@@ -196,6 +202,7 @@ pub fn matvec(exec: &Executor, a: &[f64], m: usize, n: usize, x: &[f64], y: &mut
 /// block order on every backend. Rows with `x[i] == 0.0` are skipped, as
 /// in the historical scatter loop.
 pub fn matvec_t(exec: &Executor, a: &[f64], m: usize, n: usize, x: &[f64], y: &mut [f64]) {
+    exec.note_kernel("kernel.dense.matvec_t");
     debug_assert_eq!(a.len(), m * n);
     debug_assert_eq!(x.len(), m);
     debug_assert_eq!(y.len(), n);

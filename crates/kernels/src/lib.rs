@@ -30,6 +30,8 @@
 pub mod dense;
 pub mod sparse;
 
+pub use srda_obs::Recorder;
+
 /// Which execution strategy an [`Executor`] uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Backend {
@@ -110,16 +112,28 @@ impl ExecPolicy {
 /// Executes kernels according to an [`ExecPolicy`].
 ///
 /// `Executor` is `Copy` and cheap to pass by reference; it owns no threads
-/// (workers are scoped per call via `std::thread::scope`).
+/// (workers are scoped per call via `std::thread::scope`). It also carries
+/// the observability [`Recorder`] handle — disabled by default, in which
+/// case every instrumentation point in the kernels is a single branch.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Executor {
     policy: ExecPolicy,
+    recorder: Recorder,
 }
 
 impl Executor {
-    /// Executor for the given policy.
+    /// Executor for the given policy, with recording disabled.
     pub fn new(policy: ExecPolicy) -> Self {
-        Self { policy }
+        Self {
+            policy,
+            recorder: Recorder::disabled(),
+        }
+    }
+
+    /// Executor for the given policy that reports kernel-call counters to
+    /// `recorder`.
+    pub fn with_recorder(policy: ExecPolicy, recorder: Recorder) -> Self {
+        Self { policy, recorder }
     }
 
     /// Single-threaded executor (compatibility surface for the old
@@ -133,14 +147,37 @@ impl Executor {
         Self::new(ExecPolicy::threaded(n_threads))
     }
 
-    /// Executor configured from `SRDA_THREADS` (see [`ExecPolicy::from_env`]).
+    /// Executor configured from the environment: policy from `SRDA_THREADS`
+    /// (see [`ExecPolicy::from_env`]) and recorder from `SRDA_TRACE`
+    /// (see [`Recorder::from_env`]).
     pub fn from_env() -> Self {
-        Self::new(ExecPolicy::from_env())
+        Self::with_recorder(ExecPolicy::from_env(), Recorder::from_env())
     }
 
     /// The policy this executor runs under.
     pub fn policy(&self) -> ExecPolicy {
         self.policy
+    }
+
+    /// The observability handle this executor reports to.
+    pub fn recorder(&self) -> Recorder {
+        self.recorder
+    }
+
+    /// Short backend name for telemetry (`"serial"` / `"threaded"`).
+    pub fn backend_name(&self) -> &'static str {
+        match self.policy.backend {
+            Backend::Serial => "serial",
+            Backend::Threaded => "threaded",
+        }
+    }
+
+    /// Bump the kernel-call counter `name` by one. A single branch when
+    /// recording is disabled; kernels call this once per entry, so the
+    /// enabled cost (a map lookup) is amortized over a blocked sweep.
+    #[inline]
+    pub(crate) fn note_kernel(&self, name: &str) {
+        self.recorder.add(name, 1);
     }
 
     /// Effective worker count: 1 for `Serial`, `n_threads` for `Threaded`.

@@ -27,6 +27,7 @@ pub struct CsrView<'a> {
 /// Per-row accumulation order is the stored (ascending-column) order, same
 /// as the historical serial loop, so results are backend-invariant.
 pub fn csr_matvec(exec: &Executor, a: CsrView<'_>, x: &[f64], y: &mut [f64]) {
+    exec.note_kernel("kernel.csr.matvec");
     debug_assert_eq!(x.len(), a.cols);
     debug_assert_eq!(y.len(), a.rows);
     debug_assert_eq!(a.indptr.len(), a.rows + 1);
@@ -49,6 +50,7 @@ pub fn csr_matvec(exec: &Executor, a: CsrView<'_>, x: &[f64], y: &mut [f64]) {
 /// stay exact) and per-block partials are summed in ascending block order
 /// on every backend. Rows with `x[i] == 0.0` are skipped.
 pub fn csr_matvec_t(exec: &Executor, a: CsrView<'_>, x: &[f64], y: &mut [f64]) {
+    exec.note_kernel("kernel.csr.matvec_t");
     debug_assert_eq!(x.len(), a.rows);
     debug_assert_eq!(y.len(), a.cols);
     debug_assert_eq!(a.indptr.len(), a.rows + 1);
@@ -68,6 +70,7 @@ pub fn csr_matvec_t(exec: &Executor, a: CsrView<'_>, x: &[f64], y: &mut [f64]) {
 /// Dense product `C = A·B` with `A` sparse (`m × n`) and `B` dense row-major
 /// (`n × p`); row-parallel over `C`.
 pub fn csr_matmul_dense(exec: &Executor, a: CsrView<'_>, b: &[f64], p: usize, c: &mut [f64]) {
+    exec.note_kernel("kernel.csr.matmul_dense");
     debug_assert_eq!(b.len(), a.cols * p);
     debug_assert_eq!(c.len(), a.rows * p);
     exec.for_each_row_block(c, p.max(1), |first, block| {
@@ -91,6 +94,7 @@ pub fn csr_matmul_dense(exec: &Executor, a: CsrView<'_>, b: &[f64], p: usize, c:
 /// Each `g[i][j]` is a single-accumulator merge of the two sorted index
 /// lists — identical numerics to the historical serial merge.
 pub fn csr_gram_t(exec: &Executor, a: CsrView<'_>, g: &mut [f64]) {
+    exec.note_kernel("kernel.csr.gram_t");
     let m = a.rows;
     debug_assert_eq!(g.len(), m * m);
     exec.for_each_row_block(g, m.max(1), |first, block| {

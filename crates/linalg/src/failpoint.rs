@@ -46,7 +46,11 @@ thread_local! {
 /// previous arming).
 pub fn arm(name: &'static str, times: usize) {
     STATE.with(|s| {
-        s.borrow_mut().armed.entry(name).or_insert_with(Armed::default).times += times;
+        s.borrow_mut()
+            .armed
+            .entry(name)
+            .or_insert_with(Armed::default)
+            .times += times;
     });
 }
 

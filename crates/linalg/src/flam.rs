@@ -1,20 +1,35 @@
-//! Global *flam* operation counters.
+//! *Flam* operation counters.
 //!
 //! The paper states every complexity result in *flam* — "a compound
 //! operation consisting of one addition and one multiplication" (Stewart,
 //! *Matrix Algorithms I*, 1998). To verify Table I empirically rather than
-//! rhetorically, the hot kernels in this crate report their flam count to a
-//! process-global atomic counter at kernel granularity (one atomic add per
-//! kernel call, not per scalar operation, so the overhead is negligible).
+//! rhetorically, the hot kernels in this crate report their flam count at
+//! kernel granularity (one report per kernel call, not per scalar
+//! operation, so the overhead is negligible).
 //!
-//! Typical use by the benchmark harness:
+//! Two accounting surfaces exist:
+//!
+//! * a process-global counter ([`total`] / [`reset`]), kept for quick
+//!   whole-process readings, and
+//! * a per-thread stack of *sinks* — plain `Arc<AtomicU64>` cells that
+//!   [`add`] also feeds while installed on the calling thread. [`measure`]
+//!   and [`scoped`] install a sink for the duration of a closure, which
+//!   makes concurrent measurements race-free: each measurement only sees
+//!   the flam reported on its own thread (plus any threads it explicitly
+//!   forwarded its sinks to via [`current_sinks`] / [`with_sinks`]).
+//!
+//! The sink cells are deliberately untyped (`Arc<AtomicU64>`) so callers
+//! can hand in a metrics-registry counter cell without this crate growing
+//! a dependency on the observability layer.
+//!
+//! Typical use by a measurement harness:
 //!
 //! ```
 //! use srda_linalg::flam;
 //!
-//! flam::reset();
-//! // ... run LDA or SRDA ...
-//! let cost = flam::total();
+//! let ((), cost) = flam::measure(|| {
+//!     // ... run LDA or SRDA ...
+//! });
 //! assert_eq!(cost, 0); // nothing ran in this doctest
 //! ```
 //!
@@ -22,14 +37,33 @@
 //! term (e.g. an `m×k · k×n` product reports `m·k·n`), matching how the
 //! paper's formulas drop lower-order terms.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 static FLAM_COUNT: AtomicU64 = AtomicU64::new(0);
 
-/// Add `n` flam to the global counter.
+/// Total sinks installed across all threads. Lets [`add`] skip the
+/// thread-local lookup entirely when nothing is listening, keeping the
+/// common path at two relaxed atomic operations.
+static ACTIVE_SINKS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static SINKS: RefCell<Vec<Arc<AtomicU64>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Add `n` flam to the global counter and to every sink installed on the
+/// calling thread.
 #[inline]
 pub fn add(n: u64) {
     FLAM_COUNT.fetch_add(n, Ordering::Relaxed);
+    if ACTIVE_SINKS.load(Ordering::Relaxed) > 0 {
+        SINKS.with(|s| {
+            for sink in s.borrow().iter() {
+                sink.fetch_add(n, Ordering::Relaxed);
+            }
+        });
+    }
 }
 
 /// Read the current global flam count.
@@ -38,29 +72,75 @@ pub fn total() -> u64 {
     FLAM_COUNT.load(Ordering::Relaxed)
 }
 
-/// Reset the global flam count to zero.
+/// Reset the global flam count to zero. Sinks are unaffected.
 #[inline]
 pub fn reset() {
     FLAM_COUNT.store(0, Ordering::Relaxed);
 }
 
-/// Run `f` and return `(result, flam consumed by f)`.
+/// Removes the sinks it installed even on unwind, so a panicking closure
+/// cannot leave stale sinks double-counting later work on this thread.
+struct SinkGuard {
+    installed: usize,
+}
+
+impl Drop for SinkGuard {
+    fn drop(&mut self) {
+        SINKS.with(|s| {
+            let mut v = s.borrow_mut();
+            let keep = v.len() - self.installed;
+            v.truncate(keep);
+        });
+        ACTIVE_SINKS.fetch_sub(self.installed, Ordering::Relaxed);
+    }
+}
+
+fn install(sinks: &[Arc<AtomicU64>]) -> SinkGuard {
+    SINKS.with(|s| s.borrow_mut().extend(sinks.iter().cloned()));
+    ACTIVE_SINKS.fetch_add(sinks.len(), Ordering::Relaxed);
+    SinkGuard {
+        installed: sinks.len(),
+    }
+}
+
+/// Run `f` with `sink` receiving every flam reported on this thread, on
+/// top of any sinks already installed (nesting is cumulative: inner flam
+/// also reaches outer sinks).
+pub fn scoped<T>(sink: Arc<AtomicU64>, f: impl FnOnce() -> T) -> T {
+    let _guard = install(std::slice::from_ref(&sink));
+    f()
+}
+
+/// Run `f` and return `(result, flam reported by f on this thread)`.
 ///
-/// This resets the global counter, so it is intended for single-threaded
-/// measurement harnesses, not for concurrent use.
+/// Backed by a private sink rather than the global counter, so concurrent
+/// measurements on different threads do not disturb each other and calls
+/// nest correctly. Work `f` spawns onto *other* threads is not captured
+/// unless those threads install this measurement's sinks via
+/// [`current_sinks`] / [`with_sinks`].
 pub fn measure<T>(f: impl FnOnce() -> T) -> (T, u64) {
-    reset();
-    let out = f();
-    (out, total())
+    let sink = Arc::new(AtomicU64::new(0));
+    let out = scoped(Arc::clone(&sink), f);
+    (out, sink.load(Ordering::Relaxed))
+}
+
+/// Snapshot of the sinks installed on the calling thread, for forwarding
+/// into worker threads (pair with [`with_sinks`] inside the worker).
+pub fn current_sinks() -> Vec<Arc<AtomicU64>> {
+    SINKS.with(|s| s.borrow().clone())
+}
+
+/// Run `f` with `sinks` installed on the calling thread — the receiving
+/// half of [`current_sinks`], used by parallel drivers so flam reported on
+/// worker threads still reaches the spawning measurement's sinks.
+pub fn with_sinks<T>(sinks: Vec<Arc<AtomicU64>>, f: impl FnOnce() -> T) -> T {
+    let _guard = install(&sinks);
+    f()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    // Note: these tests share a global counter with the rest of the test
-    // binary, so they only assert *relative* behaviour within `measure`,
-    // which snapshots deterministically.
 
     #[test]
     fn measure_captures_adds() {
@@ -83,5 +163,67 @@ mod tests {
         reset();
         let ((), used) = measure(|| {});
         assert_eq!(used, 0);
+    }
+
+    #[test]
+    fn measure_nests_cumulatively() {
+        let ((inner_used,), outer_used) = measure(|| {
+            add(1);
+            let ((), inner) = measure(|| add(10));
+            add(100);
+            (inner,)
+        });
+        assert_eq!(inner_used, 10);
+        assert_eq!(outer_used, 111);
+    }
+
+    #[test]
+    fn concurrent_measures_do_not_cross_talk() {
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let ((), used) = measure(|| {
+                        for _ in 0..1000 {
+                            add(t + 1);
+                        }
+                    });
+                    (t, used)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (t, used) = h.join().unwrap();
+            assert_eq!(used, 1000 * (t + 1));
+        }
+    }
+
+    #[test]
+    fn sinks_forward_to_worker_threads() {
+        let ((), used) = measure(|| {
+            let sinks = current_sinks();
+            std::thread::spawn(move || with_sinks(sinks, || add(25)))
+                .join()
+                .unwrap();
+            add(5);
+        });
+        assert_eq!(used, 30);
+    }
+
+    #[test]
+    fn scoped_feeds_external_cell() {
+        let cell = Arc::new(AtomicU64::new(0));
+        scoped(Arc::clone(&cell), || add(9));
+        add(1); // after the scope: cell must not see this
+        assert_eq!(cell.load(Ordering::Relaxed), 9);
+    }
+
+    #[test]
+    fn panicking_scope_removes_its_sink() {
+        let cell = Arc::new(AtomicU64::new(0));
+        let cell2 = Arc::clone(&cell);
+        let res = std::panic::catch_unwind(move || scoped(cell2, || panic!("boom")));
+        assert!(res.is_err());
+        add(3);
+        assert_eq!(cell.load(Ordering::Relaxed), 0);
     }
 }

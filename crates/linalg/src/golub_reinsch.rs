@@ -389,10 +389,7 @@ mod tests {
         let svd = golub_reinsch_svd(&a, 1e-18).unwrap();
         assert_eq!(svd.rank(), 8);
         for (got, want) in svd.s.iter().zip(&d) {
-            assert!(
-                (got - want).abs() < 1e-10 * want,
-                "{got} vs {want}"
-            );
+            assert!((got - want).abs() < 1e-10 * want, "{got} vs {want}");
         }
     }
 

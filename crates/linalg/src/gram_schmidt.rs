@@ -24,11 +24,7 @@ pub enum GsOutcome {
 /// then normalize. Returns [`GsOutcome::Dependent`] (leaving `v`
 /// unspecified) if the residual norm falls below `tol` times the original
 /// norm.
-pub fn orthogonalize_against(
-    basis: &[Vec<f64>],
-    v: &mut [f64],
-    tol: f64,
-) -> GsOutcome {
+pub fn orthogonalize_against(basis: &[Vec<f64>], v: &mut [f64], tol: f64) -> GsOutcome {
     let orig = vector::norm2(v);
     if orig == 0.0 {
         return GsOutcome::Dependent;

@@ -172,7 +172,9 @@ impl Mat {
     /// Copy column `j` into a new vector.
     pub fn col(&self, j: usize) -> Vec<f64> {
         debug_assert!(j < self.cols);
-        (0..self.rows).map(|i| self.data[i * self.cols + j]).collect()
+        (0..self.rows)
+            .map(|i| self.data[i * self.cols + j])
+            .collect()
     }
 
     /// Overwrite column `j` with the entries of `v`.
@@ -239,8 +241,7 @@ impl Mat {
         debug_assert!(c0 <= c1 && c1 <= self.cols);
         let mut out = Mat::zeros(r1 - r0, c1 - c0);
         for i in r0..r1 {
-            out.row_mut(i - r0)
-                .copy_from_slice(&self.row(i)[c0..c1]);
+            out.row_mut(i - r0).copy_from_slice(&self.row(i)[c0..c1]);
         }
         out
     }

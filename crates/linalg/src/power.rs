@@ -198,7 +198,11 @@ mod tests {
             assert!((top.values[j] - dense.values[j]).abs() < 1e-6);
             // same direction up to sign
             let dot = vector::dot(&top.vectors[j], &dense.vectors.col(j));
-            assert!(dot.abs() > 1.0 - 1e-6, "direction {j}: |dot| = {}", dot.abs());
+            assert!(
+                dot.abs() > 1.0 - 1e-6,
+                "direction {j}: |dot| = {}",
+                dot.abs()
+            );
         }
     }
 

@@ -55,7 +55,7 @@ impl Qr {
             let beta = if alpha >= 0.0 { -norm } else { norm };
             let v0 = alpha - beta;
             let tau = -v0 / beta; // τ = (β − α)/β with the sign convention above
-            // normalize so the leading entry of v is 1
+                                  // normalize so the leading entry of v is 1
             let inv_v0 = 1.0 / v0;
             for i in (k + 1)..m {
                 w[(i, k)] *= inv_v0;

@@ -305,9 +305,7 @@ mod tests {
         // rank-2: third column is a combination of the first two
         let base = test_mat(8, 2);
         let third: Vec<f64> = (0..8).map(|i| base[(i, 0)] + 2.0 * base[(i, 1)]).collect();
-        let a = base
-            .hcat(&Mat::from_vec(8, 1, third).unwrap())
-            .unwrap();
+        let a = base.hcat(&Mat::from_vec(8, 1, third).unwrap()).unwrap();
         for svd in [
             Svd::cross_product(&a, 1e-8).unwrap(),
             Svd::jacobi(&a, 1e-8).unwrap(),

@@ -1,0 +1,192 @@
+//! Metrics registry primitives: monotonic counters, gauges (stored on the
+//! [`crate::Recorder`] directly), and fixed-bucket histograms.
+//!
+//! Counters hand out a shared atomic cell, so hot loops resolve the name
+//! once and then pay a single relaxed `fetch_add` per event — the same
+//! cost profile as the historical process-global flam counter this
+//! registry supersedes. The cell is also exposed ([`Counter::cell`]) so
+//! `srda_linalg::flam::scoped` can stream flam into a registry counter
+//! without `srda-linalg` depending on this crate.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Handle to a monotonic counter; inert when obtained from a disabled
+/// recorder.
+#[derive(Clone, Default)]
+pub struct Counter {
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl Counter {
+    pub(crate) fn active(cell: Arc<AtomicU64>) -> Self {
+        Counter { cell: Some(cell) }
+    }
+
+    /// The inert handle a disabled recorder hands out.
+    pub fn inactive() -> Self {
+        Counter { cell: None }
+    }
+
+    /// Increment by `n` (relaxed; totals are exact, ordering is not
+    /// observable).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 for an inert handle).
+    pub fn get(&self) -> u64 {
+        self.cell
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+
+    /// The shared atomic cell, for sinks that accumulate directly (e.g.
+    /// `srda_linalg::flam::scoped`). `None` for an inert handle.
+    pub fn cell(&self) -> Option<Arc<AtomicU64>> {
+        self.cell.clone()
+    }
+}
+
+/// Shared state of one fixed-bucket histogram.
+pub(crate) struct HistogramInner {
+    /// Ascending inclusive upper bounds; observations `v <= bounds[i]`
+    /// land in the first such bucket `i`.
+    bounds: Vec<f64>,
+    /// One count per bound, plus the trailing overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Running sum as f64 bits, updated by CAS (uncontended in practice).
+    sum_bits: AtomicU64,
+}
+
+impl HistogramInner {
+    pub(crate) fn new(bounds: &[f64]) -> Self {
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let mut buckets = Vec::with_capacity(bounds.len() + 1);
+        buckets.resize_with(bounds.len() + 1, || AtomicU64::new(0));
+        HistogramInner {
+            bounds: bounds.to_vec(),
+            buckets,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+        }
+    }
+
+    fn observe(&self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> crate::report::HistogramSnapshot {
+        crate::report::HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self.buckets[..self.bounds.len()]
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            overflow: self.buckets[self.bounds.len()].load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Handle to a fixed-bucket histogram; inert when obtained from a
+/// disabled recorder.
+#[derive(Clone, Default)]
+pub struct Histogram {
+    inner: Option<Arc<HistogramInner>>,
+}
+
+impl Histogram {
+    pub(crate) fn active(inner: Arc<HistogramInner>) -> Self {
+        Histogram { inner: Some(inner) }
+    }
+
+    /// The inert handle a disabled recorder hands out.
+    pub fn inactive() -> Self {
+        Histogram { inner: None }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        if let Some(inner) = &self.inner {
+            inner.observe(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Recorder;
+
+    #[test]
+    fn counter_accumulates_and_shares_its_cell() {
+        let r = Recorder::new_enabled();
+        let c = r.counter("ops");
+        c.add(40);
+        c.inc();
+        c.inc();
+        assert_eq!(c.get(), 42);
+        // the same name resolves to the same cell
+        assert_eq!(r.counter("ops").get(), 42);
+        let cell = c.cell().unwrap();
+        cell.fetch_add(8, std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(r.snapshot().counters["ops"], 50);
+    }
+
+    #[test]
+    fn histogram_buckets_partition_observations() {
+        let r = Recorder::new_enabled();
+        let h = r.histogram("res", &[0.1, 1.0, 10.0]);
+        for v in [0.05, 0.1, 0.5, 2.0, 100.0] {
+            h.observe(v);
+        }
+        let snap = &r.snapshot().histograms["res"];
+        assert_eq!(snap.counts, vec![2, 1, 1]); // <=0.1 ×2, <=1.0 ×1, <=10 ×1
+        assert_eq!(snap.overflow, 1);
+        assert_eq!(snap.count, 5);
+        assert!((snap.sum - 102.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inert_handles_do_nothing() {
+        let c = super::Counter::inactive();
+        c.add(5);
+        assert_eq!(c.get(), 0);
+        assert!(c.cell().is_none());
+        super::Histogram::inactive().observe(1.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Hierarchical span timer.
+//!
+//! A span is a named wall-time interval: `recorder.span("fit")` opens it,
+//! dropping the returned [`SpanGuard`] closes and records it. Hierarchy is
+//! carried in the path itself (`"fit/response[3]/lsqr"` is a child of
+//! `"fit"`), so spans need no thread-local stack and can be opened on any
+//! thread — each record carries a small stable thread tag instead.
+
+use crate::{thread_tag, RecorderInner};
+use std::time::Instant;
+
+/// An open span; records itself into the recorder when dropped.
+///
+/// Inactive guards (from a disabled recorder) cost one `Option` check at
+/// drop time and nothing else.
+#[must_use = "a span measures the time until this guard is dropped"]
+pub struct SpanGuard {
+    state: Option<ActiveSpan>,
+}
+
+struct ActiveSpan {
+    inner: &'static RecorderInner,
+    path: String,
+    start: Instant,
+}
+
+impl SpanGuard {
+    pub(crate) fn active(inner: &'static RecorderInner, path: String) -> Self {
+        SpanGuard {
+            state: Some(ActiveSpan {
+                inner,
+                path,
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// The inert guard a disabled recorder hands out (also used by the
+    /// [`crate::span!`] macro to skip formatting entirely).
+    pub fn inactive() -> Self {
+        SpanGuard { state: None }
+    }
+
+    /// Is this guard actually recording?
+    pub fn is_active(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// Close the span now instead of at end of scope.
+    pub fn finish(self) {
+        drop(self);
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(active) = self.state.take() {
+            let end = Instant::now();
+            active
+                .inner
+                .push_span(active.path, active.start, end, thread_tag());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Recorder;
+
+    #[test]
+    fn finish_records_early() {
+        let r = Recorder::new_enabled();
+        let g = r.span("a");
+        assert!(g.is_active());
+        g.finish();
+        assert_eq!(r.snapshot().spans.len(), 1);
+    }
+
+    #[test]
+    fn inactive_guard_records_nothing() {
+        let g = super::SpanGuard::inactive();
+        assert!(!g.is_active());
+        drop(g);
+    }
+
+    #[test]
+    fn spans_carry_thread_tags() {
+        let r = Recorder::new_enabled();
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(move || {
+                    let _g = r.span("worker");
+                });
+            }
+        });
+        let rep = r.snapshot();
+        assert_eq!(rep.spans.len(), 2);
+        // two distinct worker threads must have distinct tags
+        assert_ne!(rep.spans[0].thread, rep.spans[1].thread);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the metrics registry: concurrent increments from
+//! scoped threads must sum exactly (counters are the flam substrate, so a
+//! lost update would corrupt complexity measurements), and histogram
+//! bucket counts must always partition the observation count.
+
+use proptest::prelude::*;
+use srda_obs::Recorder;
+
+/// Deterministic pseudo-random f64 in roughly [-50, 50) without `rand`.
+fn noise(i: usize, salt: u64) -> f64 {
+    let x = (i as f64 * 12.9898 + salt as f64 * 78.233).sin() * 43758.5453;
+    (x - x.floor() - 0.5) * 100.0
+}
+
+#[test]
+fn concurrent_increments_sum_exactly() {
+    // scoped-thread fan-in on one shared counter cell: the exact pattern
+    // the threaded Executor backend produces
+    let r = Recorder::new_enabled();
+    let c = r.counter("hits");
+    let threads = 8;
+    let per_thread = 10_000u64;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let c = c.clone();
+            s.spawn(move || {
+                for i in 0..per_thread {
+                    // mix of add sizes so torn updates would be visible
+                    c.add(1 + ((t as u64 + i) % 3));
+                }
+            });
+        }
+    });
+    let expected: u64 = (0..threads as u64)
+        .map(|t| (0..per_thread).map(|i| 1 + ((t + i) % 3)).sum::<u64>())
+        .sum();
+    assert_eq!(c.get(), expected);
+    assert_eq!(r.snapshot().counters["hits"], expected);
+}
+
+#[test]
+fn concurrent_histogram_observations_all_land() {
+    let r = Recorder::new_enabled();
+    let h = r.histogram("vals", &[-25.0, 0.0, 25.0]);
+    let threads = 6;
+    let per_thread = 5_000;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let h = h.clone();
+            s.spawn(move || {
+                for i in 0..per_thread {
+                    h.observe(noise(i, t as u64));
+                }
+            });
+        }
+    });
+    let snap = &r.snapshot().histograms["vals"];
+    let total = threads as u64 * per_thread as u64;
+    assert_eq!(snap.count, total);
+    assert_eq!(snap.counts.iter().sum::<u64>() + snap.overflow, total);
+}
+
+proptest! {
+    // Counter totals equal the sum of all per-thread contributions for
+    // arbitrary thread counts and increment schedules.
+    #[test]
+    fn prop_counter_sums_exactly(
+        schedules in proptest::collection::vec(
+            proptest::collection::vec(0u64..1000, 0..50), 1..8)
+    ) {
+        let r = Recorder::new_enabled();
+        let c = r.counter("n");
+        std::thread::scope(|s| {
+            for sched in &schedules {
+                let c = c.clone();
+                s.spawn(move || {
+                    for &n in sched {
+                        c.add(n);
+                    }
+                });
+            }
+        });
+        let expected: u64 = schedules.iter().flatten().sum();
+        prop_assert_eq!(c.get(), expected);
+    }
+
+    // Histogram bucket counts partition the observations: each value
+    // lands in exactly one bucket (or overflow), so the bucket sum always
+    // equals the total count, and each bucket matches a reference count.
+    #[test]
+    fn prop_histogram_counts_partition(
+        values in proptest::collection::vec(-1e6f64..1e6, 0..200),
+        raw_bounds in proptest::collection::vec(-1e6f64..1e6, 1..6)
+    ) {
+        let mut bounds = raw_bounds;
+        bounds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        bounds.dedup();
+        let r = Recorder::new_enabled();
+        let h = r.histogram("h", &bounds);
+        for &v in &values {
+            h.observe(v);
+        }
+        let snap = &r.snapshot().histograms["h"];
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(
+            snap.counts.iter().sum::<u64>() + snap.overflow,
+            values.len() as u64
+        );
+        // reference partition
+        for (i, &b) in bounds.iter().enumerate() {
+            let lo = if i == 0 { f64::NEG_INFINITY } else { bounds[i - 1] };
+            let expect = values.iter().filter(|&&v| v > lo && v <= b).count() as u64;
+            prop_assert_eq!(snap.counts[i], expect, "bucket {}", i);
+        }
+        let above = values.iter().filter(|&&v| v > *bounds.last().unwrap()).count() as u64;
+        prop_assert_eq!(snap.overflow, above);
+    }
+}

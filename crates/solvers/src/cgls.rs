@@ -11,6 +11,7 @@ use crate::checkpoint::{CglsCheckpoint, ProblemFingerprint};
 use crate::governor::{Interrupt, RunGovernor};
 use crate::operator::LinearOperator;
 use srda_linalg::vector;
+use srda_obs::SolverTrace;
 
 /// Configuration for a CGLS run.
 #[derive(Debug, Clone)]
@@ -64,6 +65,10 @@ pub struct CglsControls<'a> {
     pub checkpoint_every: usize,
     /// Periodic checkpoint sink.
     pub on_checkpoint: Option<&'a (dyn Fn(&CglsCheckpoint) + Sync)>,
+    /// Telemetry channel for the per-iteration gradient-norm trajectory
+    /// and governor checks. Pure observation: a traced run is bitwise
+    /// identical to an untraced one.
+    pub telemetry: Option<&'a SolverTrace>,
 }
 
 /// Run CGLS on `min ‖A·x − b‖² + α‖x‖²`.
@@ -82,6 +87,9 @@ pub fn cgls_controlled<A: LinearOperator + ?Sized>(
     ctl: &CglsControls,
 ) -> CglsResult {
     assert_eq!(b.len(), a.nrows(), "rhs length must equal operator rows");
+    if let Some(t) = ctl.telemetry {
+        t.set_solver("cgls", cfg.alpha);
+    }
     let n = a.ncols();
 
     let fingerprint = if ctl.resume.is_some()
@@ -109,10 +117,11 @@ pub fn cgls_controlled<A: LinearOperator + ?Sized>(
     let start_iter;
     let mut s = vec![0.0; n];
     if let Some(ckpt) = ctl.resume {
-        if let Err(e) = ckpt
-            .fingerprint
-            .ensure_matches(fingerprint.as_ref().expect("fingerprint computed for resume"))
-        {
+        if let Err(e) = ckpt.fingerprint.ensure_matches(
+            fingerprint
+                .as_ref()
+                .expect("fingerprint computed for resume"),
+        ) {
             panic!("cgls resume: {e}");
         }
         assert_eq!(ckpt.x.len(), n, "checkpoint x length");
@@ -143,16 +152,14 @@ pub fn cgls_controlled<A: LinearOperator + ?Sized>(
         start_iter = 0;
     }
 
-    let snapshot = |iteration: usize, x: &[f64], r: &[f64], p: &[f64], gamma: f64| {
-        CglsCheckpoint {
-            fingerprint: fingerprint.expect("snapshot only taken when fingerprinted"),
-            iteration,
-            x: x.to_vec(),
-            r: r.to_vec(),
-            p: p.to_vec(),
-            gamma,
-            gamma0,
-        }
+    let snapshot = |iteration: usize, x: &[f64], r: &[f64], p: &[f64], gamma: f64| CglsCheckpoint {
+        fingerprint: fingerprint.expect("snapshot only taken when fingerprinted"),
+        iteration,
+        x: x.to_vec(),
+        r: r.to_vec(),
+        p: p.to_vec(),
+        gamma,
+        gamma0,
     };
 
     let mut iterations = start_iter;
@@ -161,7 +168,12 @@ pub fn cgls_controlled<A: LinearOperator + ?Sized>(
     // product buffer reused across iterations (see LinearOperator::apply_into)
     let mut q = vec![0.0; a.nrows()];
     for iter in start_iter..cfg.max_iter {
-        if let Some(reason) = ctl.governor.and_then(|g| g.tick()) {
+        if let Some(reason) = ctl.governor.and_then(|g| {
+            if let Some(t) = ctl.telemetry {
+                t.governor_check();
+            }
+            g.tick()
+        }) {
             interrupted = Some(reason);
             iterations = iter;
             interrupted_ckpt = Some(Box::new(snapshot(iter, &x, &r, &p, gamma)));
@@ -182,6 +194,11 @@ pub fn cgls_controlled<A: LinearOperator + ?Sized>(
         vector::axpy(-cfg.alpha, &x, &mut s);
 
         let gamma_new = vector::dot(&s, &s);
+        if let Some(t) = ctl.telemetry {
+            // the gradient norm is the only convergence quantity CGLS
+            // tracks, so it fills both telemetry columns (pure read)
+            t.iteration(iter + 1, gamma_new.sqrt(), gamma_new.sqrt());
+        }
         if gamma_new.sqrt() <= cfg.tol * gamma0.sqrt() {
             gamma = gamma_new;
             break;
@@ -353,7 +370,9 @@ mod tests {
             );
             assert_eq!(partial.interrupted, Some(Interrupt::IterBudgetExhausted));
             assert_eq!(partial.iterations, k);
-            let ckpt = partial.checkpoint.expect("interrupt must carry a checkpoint");
+            let ckpt = partial
+                .checkpoint
+                .expect("interrupt must carry a checkpoint");
             // prove the serialized form, not just the in-memory state
             let ckpt = CglsCheckpoint::from_bytes(&ckpt.to_bytes()).unwrap();
             let resumed = cgls_controlled(

@@ -86,7 +86,14 @@ pub struct ProblemFingerprint {
 impl ProblemFingerprint {
     /// Fingerprint for a problem of shape `nrows × ncols` with the given
     /// solver knobs and right-hand side.
-    pub fn new(nrows: usize, ncols: usize, damp: f64, tol: f64, max_iter: usize, b: &[f64]) -> Self {
+    pub fn new(
+        nrows: usize,
+        ncols: usize,
+        damp: f64,
+        tol: f64,
+        max_iter: usize,
+        b: &[f64],
+    ) -> Self {
         let mut crc = Crc32::new();
         for v in b {
             crc.update(&v.to_le_bytes());
@@ -436,7 +443,11 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
     let file_name = path
         .file_name()
         .ok_or_else(|| CheckpointError::Io(format!("{}: not a file path", path.display())))?;
-    let tmp_name = format!(".{}.tmp-{}", file_name.to_string_lossy(), std::process::id());
+    let tmp_name = format!(
+        ".{}.tmp-{}",
+        file_name.to_string_lossy(),
+        std::process::id()
+    );
     let tmp = match dir {
         Some(d) => d.join(&tmp_name),
         None => std::path::PathBuf::from(&tmp_name),
@@ -461,7 +472,14 @@ mod tests {
     use super::*;
 
     fn sample_fp() -> ProblemFingerprint {
-        ProblemFingerprint::new(7, 4, 0.5f64.sqrt(), 1e-10, 20, &[1.0, -2.5, 0.0, 3.25, -0.0, 9.0, 1e-300])
+        ProblemFingerprint::new(
+            7,
+            4,
+            0.5f64.sqrt(),
+            1e-10,
+            20,
+            &[1.0, -2.5, 0.0, 3.25, -0.0, 9.0, 1e-300],
+        )
     }
 
     fn sample_lsqr() -> LsqrCheckpoint {

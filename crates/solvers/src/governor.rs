@@ -306,6 +306,8 @@ mod tests {
     fn display_names_every_reason() {
         assert_eq!(Interrupt::Cancelled.to_string(), "cancelled");
         assert!(Interrupt::DeadlineExceeded.to_string().contains("wall"));
-        assert!(Interrupt::IterBudgetExhausted.to_string().contains("iteration"));
+        assert!(Interrupt::IterBudgetExhausted
+            .to_string()
+            .contains("iteration"));
     }
 }

@@ -43,7 +43,7 @@ pub mod operator;
 pub mod ridge;
 pub mod robust;
 
-pub use checkpoint::{CheckpointError, CglsCheckpoint, LsqrCheckpoint, ProblemFingerprint};
+pub use checkpoint::{CglsCheckpoint, CheckpointError, LsqrCheckpoint, ProblemFingerprint};
 pub use governor::{CancelToken, Interrupt, RunBudget, RunGovernor};
 pub use lsqr::{
     lsqr, lsqr_controlled, lsqr_warm, lsqr_warm_governed, LsqrConfig, LsqrResult, SolveControls,

@@ -11,6 +11,7 @@ use crate::checkpoint::{LsqrCheckpoint, ProblemFingerprint};
 use crate::governor::{Interrupt, RunGovernor};
 use crate::operator::LinearOperator;
 use srda_linalg::vector;
+use srda_obs::SolverTrace;
 
 /// Configuration for an LSQR run.
 ///
@@ -144,6 +145,11 @@ pub struct SolveControls<'a> {
     /// Where periodic checkpoints go (e.g. an atomic file write). Called
     /// synchronously between iterations.
     pub on_checkpoint: Option<&'a (dyn Fn(&LsqrCheckpoint) + Sync)>,
+    /// Telemetry channel for the per-iteration trajectory (damped residual,
+    /// `‖Aᵀr‖` estimate, governor checks). Records only quantities the
+    /// loop already computes, so a traced run is bitwise identical to an
+    /// untraced one.
+    pub telemetry: Option<&'a SolverTrace>,
 }
 
 impl std::fmt::Debug for SolveControls<'_> {
@@ -153,6 +159,7 @@ impl std::fmt::Debug for SolveControls<'_> {
             .field("resume", &self.resume.map(|c| c.iteration))
             .field("checkpoint_every", &self.checkpoint_every)
             .field("on_checkpoint", &self.on_checkpoint.is_some())
+            .field("telemetry", &self.telemetry.is_some())
             .finish()
     }
 }
@@ -232,6 +239,9 @@ pub fn lsqr_controlled<A: LinearOperator + ?Sized>(
 ) -> LsqrResult {
     assert_eq!(b.len(), a.nrows(), "rhs length must equal operator rows");
     cfg.validate();
+    if let Some(t) = ctl.telemetry {
+        t.set_solver("lsqr", cfg.damp);
+    }
     let n = a.ncols();
     let mut x = vec![0.0; n];
 
@@ -283,10 +293,11 @@ pub fn lsqr_controlled<A: LinearOperator + ?Sized>(
     let start_iter;
 
     if let Some(ckpt) = ctl.resume {
-        if let Err(e) = ckpt
-            .fingerprint
-            .ensure_matches(fingerprint.as_ref().expect("fingerprint computed for resume"))
-        {
+        if let Err(e) = ckpt.fingerprint.ensure_matches(
+            fingerprint
+                .as_ref()
+                .expect("fingerprint computed for resume"),
+        ) {
             panic!("lsqr resume: {e}");
         }
         assert_eq!(ckpt.u.len(), a.nrows(), "checkpoint u length");
@@ -379,7 +390,12 @@ pub fn lsqr_controlled<A: LinearOperator + ?Sized>(
         // iteration state, so the snapshot taken on interrupt resumes at
         // `iter` with nothing lost and nothing repeated
         #[cfg_attr(not(feature = "failpoints"), allow(unused_mut))]
-        let mut interrupt = ctl.governor.and_then(|g| g.tick());
+        let mut interrupt = ctl.governor.and_then(|g| {
+            if let Some(t) = ctl.telemetry {
+                t.governor_check();
+            }
+            g.tick()
+        });
         #[cfg(feature = "failpoints")]
         if interrupt.is_none() && srda_linalg::failpoint::should_fail("lsqr.interrupt") {
             // deterministic kill switch for resume tests: behaves exactly
@@ -490,6 +506,12 @@ pub fn lsqr_controlled<A: LinearOperator + ?Sized>(
         // orthogonal between iterations, so track their running square sum.
         let damped_res = (phibar * phibar + psi * psi).sqrt();
         trace.push(damped_res);
+        if let Some(t) = ctl.telemetry {
+            // pure reads of already-computed state; `alpha * (c * phibar).abs()`
+            // is exactly the `arnorm` the second stopping rule derives below,
+            // so recording cannot perturb the float sequence
+            t.iteration(iter + 1, damped_res, alpha * (c * phibar).abs());
+        }
 
         // phibar carries a sign (the rotations propagate the sign of
         // rhobar); only its magnitude estimates the residual norm.
@@ -1059,7 +1081,11 @@ mod tests {
         let op = PoisonOp { m: 4, n: 3 };
         let r = lsqr(&op, &[1.0; 4], &LsqrConfig::default());
         assert_eq!(r.stop, StopReason::Diverged);
-        assert!(r.x.iter().all(|v| v.is_finite()), "x contaminated: {:?}", r.x);
+        assert!(
+            r.x.iter().all(|v| v.is_finite()),
+            "x contaminated: {:?}",
+            r.x
+        );
         assert!(r.residual_norm.is_infinite());
     }
 
@@ -1091,7 +1117,11 @@ mod tests {
         let r = lsqr_warm(&a, &b, &x0, &LsqrConfig::default());
         assert_eq!(r.stop, StopReason::Diverged);
         assert_eq!(r.iterations, 0);
-        assert!(r.x.iter().all(|v| v.is_finite()), "x contaminated: {:?}", r.x);
+        assert!(
+            r.x.iter().all(|v| v.is_finite()),
+            "x contaminated: {:?}",
+            r.x
+        );
     }
 
     #[test]
@@ -1172,7 +1202,9 @@ mod tests {
             );
             assert_eq!(partial.iterations, k);
             assert_eq!(partial.residual_trace.len(), k);
-            let ckpt = partial.checkpoint.expect("interrupt must carry a checkpoint");
+            let ckpt = partial
+                .checkpoint
+                .expect("interrupt must carry a checkpoint");
             // round-trip through the on-disk byte format to prove the
             // serialized state, not just the in-memory one, is exact
             let ckpt = LsqrCheckpoint::from_bytes(&ckpt.to_bytes()).unwrap();
@@ -1314,7 +1346,14 @@ mod tests {
         let b = vec![1.0; 10];
         let cfg = LsqrConfig::default();
         let ckpt = LsqrCheckpoint {
-            fingerprint: ProblemFingerprint::new(10, 5, cfg.damp, cfg.tol, cfg.max_iter, &[2.0; 10]),
+            fingerprint: ProblemFingerprint::new(
+                10,
+                5,
+                cfg.damp,
+                cfg.tol,
+                cfg.max_iter,
+                &[2.0; 10],
+            ),
             iteration: 1,
             x: vec![0.0; 5],
             w: vec![0.0; 5],
@@ -1357,7 +1396,10 @@ mod tests {
             r.stop,
             StopReason::Interrupted(Interrupt::IterBudgetExhausted)
         );
-        assert!(r.checkpoint.is_none(), "warm starts must not leak stacked-problem checkpoints");
+        assert!(
+            r.checkpoint.is_none(),
+            "warm starts must not leak stacked-problem checkpoints"
+        );
         assert!(r.x.iter().all(|v| v.is_finite()));
     }
 

@@ -138,7 +138,9 @@ impl LinearOperator for ExecCsr<'_> {
         self.csr.ncols()
     }
     fn apply(&self, x: &[f64]) -> Vec<f64> {
-        self.csr.matvec_exec(x, &self.exec).expect("operator shape invariant")
+        self.csr
+            .matvec_exec(x, &self.exec)
+            .expect("operator shape invariant")
     }
     fn apply_t(&self, x: &[f64]) -> Vec<f64> {
         self.csr

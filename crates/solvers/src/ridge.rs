@@ -170,7 +170,10 @@ mod tests {
             let x = noise_mat(m, n);
             let y = Mat::from_fn(m, 2, |i, j| ((i + j) as f64 * 0.37).cos());
             let alpha = 0.25;
-            let wp = RidgeSolver::primal(&x, alpha).unwrap().solve(&x, &y).unwrap();
+            let wp = RidgeSolver::primal(&x, alpha)
+                .unwrap()
+                .solve(&x, &y)
+                .unwrap();
             let wd = RidgeSolver::dual(&x, alpha).unwrap().solve(&x, &y).unwrap();
             assert!(
                 wp.approx_eq(&wd, 1e-8),
@@ -235,7 +238,10 @@ mod tests {
         let n_small = norm(1e-3);
         let n_mid = norm(1.0);
         let n_big = norm(100.0);
-        assert!(n_small > n_mid && n_mid > n_big, "{n_small} {n_mid} {n_big}");
+        assert!(
+            n_small > n_mid && n_mid > n_big,
+            "{n_small} {n_mid} {n_big}"
+        );
     }
 
     #[test]

@@ -166,7 +166,15 @@ pub fn factor_ladder<T>(
     what: &str,
     attempt: impl FnMut(f64) -> Result<T>,
 ) -> Result<LadderOutcome<T>> {
-    factor_ladder_governed(alpha, base_jitter, max_retries, jitter_factor, what, None, attempt)
+    factor_ladder_governed(
+        alpha,
+        base_jitter,
+        max_retries,
+        jitter_factor,
+        what,
+        None,
+        attempt,
+    )
 }
 
 /// [`factor_ladder`] under a [`RunGovernor`]: each factorization attempt
@@ -206,8 +214,9 @@ pub fn factor_ladder_governed<T>(
     for retry in 1..=max_retries {
         if let Some(reason) = governor.and_then(|g| g.probe()) {
             out.interrupted = Some(reason);
-            out.warnings
-                .push(format!("recovery ladder stopped before retry {retry}: {reason}"));
+            out.warnings.push(format!(
+                "recovery ladder stopped before retry {retry}: {reason}"
+            ));
             return Ok(out);
         }
         let jitter = base_jitter * jitter_factor.powi(retry as i32 - 1);
@@ -220,9 +229,9 @@ pub fn factor_ladder_governed<T>(
                 out.value = Some((v, jitter));
                 return Ok(out);
             }
-            Err(e) if retryable(&e) => out
-                .warnings
-                .push(format!("jitter retry {retry} (jitter {jitter:e}) failed: {e}")),
+            Err(e) if retryable(&e) => out.warnings.push(format!(
+                "jitter retry {retry} (jitter {jitter:e}) failed: {e}"
+            )),
             Err(e) => return Err(e),
         }
     }
@@ -307,6 +316,8 @@ impl RobustRidge {
 
         // Rungs 1 + 2: the shared direct → escalating-jitter ladder
         // (also used by srda-core's sparse dual path).
+        let rec = self.exec.recorder();
+        let ladder_span = srda_obs::span!(rec, "ridge/ladder");
         let outcome = factor_ladder_governed(
             alpha,
             self.jitter_for(x, alpha, 1),
@@ -316,6 +327,9 @@ impl RobustRidge {
             governor,
             |jitter| self.try_direct(x, y, alpha + jitter),
         )?;
+        ladder_span.finish();
+        // one direct attempt plus one per recorded jitter retry
+        rec.add("ladder.attempts", 1 + outcome.actions.len() as u64);
         report.actions = outcome.actions;
         report.warnings = outcome.warnings;
         if let Some(reason) = outcome.interrupted {
@@ -335,18 +349,25 @@ impl RobustRidge {
         // rank deficiency yields the minimum-norm solution.
         report.actions.push(RecoveryAction::LsqrFallback);
         report.solver = SolverUsed::LsqrFallback;
+        rec.add("ladder.lsqr_fallback", 1);
         let cfg = LsqrConfig {
             damp: alpha.sqrt(),
             max_iter: self.cfg.fallback_max_iter,
             tol: self.cfg.fallback_tol,
         };
-        let ctl = SolveControls {
-            governor,
-            ..SolveControls::default()
-        };
         let op = ExecDense::new(x, self.exec);
         let mut w = Mat::zeros(x.ncols(), y.ncols());
         for j in 0..y.ncols() {
+            let _span = srda_obs::span!(rec, "ridge/fallback/response[{j}]/lsqr");
+            let trace = rec.solver_trace(format!("ridge/fallback/response[{j}]/lsqr"));
+            if let Some(t) = &trace {
+                t.set_backend(self.exec.backend_name());
+            }
+            let ctl = SolveControls {
+                governor,
+                telemetry: trace.as_ref(),
+                ..SolveControls::default()
+            };
             let r = lsqr_controlled(&op, &y.col(j), &cfg, &ctl);
             match r.stop {
                 StopReason::Diverged => {
@@ -577,7 +598,10 @@ mod tests {
         assert_eq!(calls, 1, "no retry after cancellation");
         assert_eq!(out.interrupted, Some(Interrupt::Cancelled));
         assert!(out.value.is_none());
-        assert!(out.warnings.iter().any(|w| w.contains("stopped before retry")));
+        assert!(out
+            .warnings
+            .iter()
+            .any(|w| w.contains("stopped before retry")));
     }
 
     #[cfg(feature = "failpoints")]

@@ -72,8 +72,7 @@ impl CooBuilder {
 
     /// Sort, merge duplicates, drop zeros, and produce the CSR matrix.
     pub fn build(mut self) -> CsrMatrix {
-        self.entries
-            .sort_unstable_by_key(|a| (a.0, a.1));
+        self.entries.sort_unstable_by_key(|a| (a.0, a.1));
 
         let mut indptr = Vec::with_capacity(self.rows + 1);
         let mut indices = Vec::with_capacity(self.entries.len());

@@ -314,7 +314,13 @@ impl CsrMatrix {
         let p = b.ncols();
         flam::add((self.nnz() * p) as u64);
         let mut out = Mat::zeros(self.rows, p);
-        srda_kernels::sparse::csr_matmul_dense(exec, self.view(), b.as_slice(), p, out.as_mut_slice());
+        srda_kernels::sparse::csr_matmul_dense(
+            exec,
+            self.view(),
+            b.as_slice(),
+            p,
+            out.as_mut_slice(),
+        );
         Ok(out)
     }
 
@@ -530,29 +536,13 @@ mod tests {
         // indptr not ending at nnz
         assert!(CsrMatrix::from_raw_parts(2, 2, vec![0, 1, 2], vec![0], vec![1.0]).is_err());
         // decreasing indptr
-        assert!(
-            CsrMatrix::from_raw_parts(2, 2, vec![0, 1, 0], vec![0], vec![1.0]).is_err()
-        );
+        assert!(CsrMatrix::from_raw_parts(2, 2, vec![0, 1, 0], vec![0], vec![1.0]).is_err());
         // column out of range
         assert!(CsrMatrix::from_raw_parts(1, 2, vec![0, 1], vec![5], vec![1.0]).is_err());
         // unsorted columns within a row
-        assert!(CsrMatrix::from_raw_parts(
-            1,
-            3,
-            vec![0, 2],
-            vec![2, 0],
-            vec![1.0, 1.0]
-        )
-        .is_err());
+        assert!(CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).is_err());
         // duplicate column within a row
-        assert!(CsrMatrix::from_raw_parts(
-            1,
-            3,
-            vec![0, 2],
-            vec![1, 1],
-            vec![1.0, 1.0]
-        )
-        .is_err());
+        assert!(CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 1.0]).is_err());
     }
 
     #[test]
@@ -652,7 +642,13 @@ mod tests {
 
     #[test]
     fn dense_roundtrip() {
-        let d = Mat::from_fn(4, 5, |i, j| if (i + j) % 3 == 0 { (i * j) as f64 } else { 0.0 });
+        let d = Mat::from_fn(4, 5, |i, j| {
+            if (i + j) % 3 == 0 {
+                (i * j) as f64
+            } else {
+                0.0
+            }
+        });
         let s = CsrMatrix::from_dense(&d, 0.0);
         assert!(s.to_dense().approx_eq(&d, 0.0));
     }
@@ -713,7 +709,10 @@ mod tests {
             assert!(a
                 .gram_t_dense_checked_exec(usize::MAX, &exec)
                 .unwrap()
-                .approx_eq(&a.gram_t_dense_checked_exec(usize::MAX, &serial).unwrap(), 0.0));
+                .approx_eq(
+                    &a.gram_t_dense_checked_exec(usize::MAX, &serial).unwrap(),
+                    0.0
+                ));
         }
     }
 

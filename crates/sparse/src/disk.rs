@@ -78,7 +78,7 @@ pub fn write_csr(path: &Path, m: &CsrMatrix) -> io::Result<()> {
     header.put_u64_le(m.nnz() as u64);
     header.put_u32_le(0); // crc placeholder, patched below
     header.put_u32_le(0); // reserved
-    // rebuild indptr from row_nnz (the CSR internals stay private)
+                          // rebuild indptr from row_nnz (the CSR internals stay private)
     let mut indptr = Vec::with_capacity(8 * (m.nrows() + 1));
     let mut acc = 0u64;
     indptr.put_u64_le(0);
@@ -509,7 +509,10 @@ mod tests {
         full[48..56].copy_from_slice(&u64::MAX.to_le_bytes());
         std::fs::write(&path, &full).unwrap();
         let err = DiskCsr::open(&path).unwrap_err();
-        assert!(err.to_string().contains("monotone") || err.to_string().contains("nnz"), "{err}");
+        assert!(
+            err.to_string().contains("monotone") || err.to_string().contains("nnz"),
+            "{err}"
+        );
         std::fs::remove_file(&path).ok();
     }
 

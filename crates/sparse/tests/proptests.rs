@@ -8,8 +8,7 @@ use srda_sparse::{io, CooBuilder, CsrMatrix};
 fn coo_strategy() -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, f64)>)> {
     (1usize..10, 1usize..10).prop_flat_map(|(m, n)| {
         let triplet = (0..m, 0..n, -5.0f64..5.0);
-        proptest::collection::vec(triplet, 0..30)
-            .prop_map(move |ts| (m, n, ts))
+        proptest::collection::vec(triplet, 0..30).prop_map(move |ts| (m, n, ts))
     })
 }
 

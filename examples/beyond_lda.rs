@@ -33,7 +33,12 @@ fn main() {
             class_noise: 0.16,
         };
         let (x, labels) = srda_data::model::generate(&spec, 17);
-        srda_data::DenseDataset { x, labels, n_classes: 10, name: "clustered" }
+        srda_data::DenseDataset {
+            x,
+            labels,
+            n_classes: 10,
+            name: "clustered",
+        }
     };
     let split = per_class_split(&data.labels, 30, 0);
     let pool = data.select(&split.train);
@@ -61,8 +66,7 @@ fn main() {
         let zl = z_train.select_rows(&keep.train);
         let yl: Vec<usize> = keep.train.iter().map(|&i| pool.labels[i]).collect();
         let z_test = emb.transform_dense(&test.x).unwrap();
-        let err =
-            nearest_centroid_error_rate(&zl, &yl, &z_test, &test.labels, data.n_classes);
+        let err = nearest_centroid_error_rate(&zl, &yl, &z_test, &test.labels, data.n_classes);
         println!("  {tag:32} test error {:.2}%", err * 100.0);
     };
 
@@ -71,19 +75,10 @@ fn main() {
     let supervised = srda::Srda::new(srda::SrdaConfig::default())
         .fit_dense(&labeled_only.x, &labeled_only.labels)
         .unwrap();
-    eval_embedding(
-        supervised.embedding(),
-        "SRDA on labeled subset only",
-    );
+    eval_embedding(supervised.embedding(), "SRDA on labeled subset only");
 
     // semi-supervised: labeled pairs + k-NN structure over everything
-    let graph = AffinityGraph::semi_supervised(
-        &pool.x,
-        &partial,
-        6,
-        EdgeWeight::Binary,
-        0.3,
-    );
+    let graph = AffinityGraph::semi_supervised(&pool.x, &partial, 6, EdgeWeight::Binary, 0.3);
     let ssl = SpectralRegression::new(SpectralRegressionConfig {
         n_components: data.n_classes - 1,
         alpha: 0.5,
@@ -117,8 +112,8 @@ fn main() {
             alpha: 0.1,
             ..KernelSrdaConfig::default()
         })
-            .fit_dense(&x, &y)
-            .unwrap();
+        .fit_dense(&x, &y)
+        .unwrap();
         let z = model.transform_dense(&x).unwrap();
         let err = nearest_centroid_error_rate(&z, &y, &z, &y, 2);
         println!("  {tag:32} training error {:.2}%", err * 100.0);

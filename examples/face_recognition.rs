@@ -23,7 +23,10 @@ fn main() {
     let train = data.select(&split.train);
     let test = data.select(&split.test);
 
-    println!("{:8} {:>9} {:>10} {:>14}", "method", "error %", "train s", "train Gflam");
+    println!(
+        "{:8} {:>9} {:>10} {:>14}",
+        "method", "error %", "train s", "train Gflam"
+    );
     for algo in [
         Algo::Lda,
         Algo::Rlda { alpha: 1.0 },

@@ -43,10 +43,7 @@ fn main() {
                 alpha,
                 ..SrdaConfig::default()
             }));
-            println!(
-                "{name},{l},{r:.1},{:.4},{:.4},{:.4}",
-                srda_err, lda, idr
-            );
+            println!("{name},{l},{r:.1},{:.4},{:.4},{:.4}", srda_err, lda, idr);
         }
     }
 

@@ -34,8 +34,14 @@ fn main() {
     );
 
     // 4. Embed both sets and classify.
-    let z_train = model.embedding().transform_dense(&train.x).expect("transform");
-    let z_test = model.embedding().transform_dense(&test.x).expect("transform");
+    let z_train = model
+        .embedding()
+        .transform_dense(&train.x)
+        .expect("transform");
+    let z_test = model
+        .embedding()
+        .transform_dense(&test.x)
+        .expect("transform");
     let err = nearest_centroid_error_rate(
         &z_train,
         &train.labels,

@@ -77,10 +77,17 @@ fn main() {
         ..SrdaConfig::lsqr_default()
     })
     .fit_sparse(&train.x, &train.labels);
-    println!("SRDA+LSQR under budget: {}", if guarded.is_ok() { "ok" } else { "failed" });
+    println!(
+        "SRDA+LSQR under budget: {}",
+        if guarded.is_ok() { "ok" } else { "failed" }
+    );
     let densify = train.x.to_dense_bounded(budget);
     println!(
         "densifying the same training set under the same budget: {}",
-        if densify.is_some() { "ok" } else { "refused (out of budget)" }
+        if densify.is_some() {
+            "ok"
+        } else {
+            "refused (out of budget)"
+        }
     );
 }

@@ -20,6 +20,12 @@ SRDA_THREADS=1 cargo test --workspace -q
 echo "==> cargo test (SRDA_THREADS=4, threaded backend)"
 SRDA_THREADS=4 cargo test --workspace -q
 
+# Tracing must be a pure observer: the whole suite also passes with the
+# recorder armed from the environment (golden-trajectory and bitwise
+# determinism tests then run with live telemetry attached).
+echo "==> cargo test (SRDA_TRACE=1, recorder armed)"
+SRDA_TRACE=1 cargo test --workspace -q
+
 # Bench smoke: tiny scale, still exercises all four kernels and the
 # serial-vs-threaded bitwise check (bench_kernels exits nonzero on any
 # divergence). The full-scale BENCH_kernels.json is produced manually.
@@ -27,6 +33,19 @@ echo "==> bench smoke (bench_kernels, reduced scale)"
 SRDA_BENCH_SCALE=0.05 SRDA_BENCH_THREADS=4 \
     cargo run -q --release -p srda-bench --bin bench_kernels \
     -- target/BENCH_kernels.smoke.json
+
+# Zero-overhead gate: an instrumented-but-disabled recorder must cost
+# < 2% on a hot kernel versus an enabled one (the overhead probe in
+# bench_kernels runs at a fixed, noise-resistant shape regardless of
+# SRDA_BENCH_SCALE). This is the observability layer's core promise:
+# leaving the plumbing compiled in is free.
+echo "==> recorder zero-overhead gate (< 2%)"
+rel_delta=$(sed -n 's/.*"rel_delta": \([-0-9.e]*\).*/\1/p' \
+    target/BENCH_kernels.smoke.json)
+awk -v d="$rel_delta" 'BEGIN { exit !(d < 0.02) }' || {
+    echo "recorder overhead $rel_delta exceeds the 2% budget" >&2
+    exit 1
+}
 
 # Kill-and-resume smoke: a fit cut off by an iteration budget must exit
 # with code 3, leave a checkpoint behind, and — after `srda resume` —
@@ -64,6 +83,26 @@ test ! -f "$SMOKE_DIR/partial.json" || {
     --model "$SMOKE_DIR/resumed.json"
 cmp "$SMOKE_DIR/baseline.json" "$SMOKE_DIR/resumed.json" || {
     echo "resumed model diverges from the uninterrupted baseline" >&2
+    exit 1
+}
+
+# Observability smoke: a traced train must emit the srda-obs-v1 report
+# to --metrics-out, cover the fit with solver telemetry, and produce a
+# model byte-identical to the untraced baseline above.
+echo "==> trace smoke (srda train --trace --metrics-out)"
+"$SRDA" train --data "$SMOKE_DIR/data.svm" \
+    --model "$SMOKE_DIR/traced.json" --solver lsqr --iters 8 \
+    --trace --metrics-out "$SMOKE_DIR/metrics.json" 2>/dev/null
+grep -q '"schema": "srda-obs-v1"' "$SMOKE_DIR/metrics.json" || {
+    echo "--metrics-out did not emit the srda-obs-v1 schema" >&2
+    exit 1
+}
+grep -q '"solver": "lsqr"' "$SMOKE_DIR/metrics.json" || {
+    echo "metrics report carries no LSQR telemetry" >&2
+    exit 1
+}
+cmp "$SMOKE_DIR/baseline.json" "$SMOKE_DIR/traced.json" || {
+    echo "traced model diverges from the untraced baseline" >&2
     exit 1
 }
 

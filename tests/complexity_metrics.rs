@@ -1,0 +1,176 @@
+//! Empirical check that the flam counters exposed through the metrics
+//! registry reproduce the *shape* of the paper's Table I:
+//!
+//! * SRDA via normal equations is cheaper than classical (SVD-based) LDA
+//!   at the square `m = n` shape, where Table I gives SRDA
+//!   `¼mn² + O(ms)` flam against LDA's `3/2 mn² + O(n³)`.
+//! * LSQR training cost grows **linearly** in the sample count: the
+//!   log-log slope of flam against `m` (fixed per-row density, fixed
+//!   iteration count) sits in `[0.9, 1.1]` — the paper's headline
+//!   "linear time" claim (§III.C.2).
+//!
+//! The counts come from the same pipeline `--metrics-out` reports: the
+//! fit installs its `flam.fit` registry counter as a thread-local flam
+//! sink, so these tests double as an end-to-end check that the
+//! observability counter and a direct [`flam::measure`] agree exactly.
+
+use srda::{Lda, LdaConfig, Recorder, Srda, SrdaConfig, SrdaSolver};
+use srda_linalg::{flam, ExecPolicy, Mat};
+use srda_sparse::CsrMatrix;
+
+/// Deterministic pseudo-random value in [-0.5, 0.5).
+fn noise(seed: usize) -> f64 {
+    let x = (seed as f64 * 12.9898).sin() * 43758.5453;
+    x - x.floor() - 0.5
+}
+
+/// `m × n` dense data with `classes` separated blobs.
+fn dense_blobs(m: usize, n: usize, classes: usize) -> (Mat, Vec<usize>) {
+    let mut x = Mat::zeros(m, n);
+    let mut y = Vec::with_capacity(m);
+    for i in 0..m {
+        let k = i % classes;
+        for j in 0..n {
+            let center = if j % classes == k { 4.0 } else { 0.0 };
+            x[(i, j)] = center + noise(1 + i * n + j);
+        }
+        y.push(k);
+    }
+    (x, y)
+}
+
+/// Sparse `m × n` data, ~`per_row` nonzeros per row, two classes.
+fn sparse_blobs(m: usize, n: usize, per_row: usize) -> (CsrMatrix, Vec<usize>) {
+    let mut indptr = vec![0];
+    let mut indices = Vec::new();
+    let mut data = Vec::new();
+    let mut y = Vec::with_capacity(m);
+    for i in 0..m {
+        let k = i % 2;
+        let mut cols: Vec<usize> = (0..per_row)
+            .map(|c| {
+                let u = noise(7 + i * per_row + c) + 0.5;
+                ((u * n as f64) as usize).min(n - 1)
+            })
+            .collect();
+        cols.sort_unstable();
+        cols.dedup();
+        for &j in &cols {
+            data.push(noise(31 * (i + j)) + if j % 2 == k { 2.0 } else { 0.5 });
+            indices.push(j);
+        }
+        indptr.push(indices.len());
+        y.push(k);
+    }
+    (
+        CsrMatrix::from_raw_parts(m, n, indptr, indices, data).unwrap(),
+        y,
+    )
+}
+
+/// Fit SRDA with an enabled recorder and return the `flam.fit` counter —
+/// the exact number `--metrics-out` would report for this fit.
+fn srda_fit_flam(cfg: SrdaConfig, fit: impl FnOnce(&Srda)) -> u64 {
+    let rec = Recorder::new_enabled();
+    let srda = Srda::new(SrdaConfig {
+        recorder: rec,
+        ..cfg
+    });
+    fit(&srda);
+    *rec.snapshot()
+        .counters
+        .get("flam.fit")
+        .expect("instrumented fit must publish flam.fit")
+}
+
+#[test]
+fn srda_ne_is_cheaper_than_lda_at_square_shape() {
+    // m = n = 120: the square shape where Table I's SRDA advantage is
+    // smallest — if SRDA wins here it wins everywhere on the table's axis
+    let (x, y) = dense_blobs(120, 120, 4);
+
+    let cfg = SrdaConfig {
+        solver: SrdaSolver::NormalEquations,
+        exec: ExecPolicy::serial(),
+        ..SrdaConfig::default()
+    };
+    let srda_flam = srda_fit_flam(cfg, |s| {
+        s.fit_dense(&x, &y).unwrap();
+    });
+
+    let lda = Lda::new(LdaConfig {
+        exec: ExecPolicy::serial(),
+        ..LdaConfig::default()
+    });
+    let ((), lda_flam) = flam::measure(|| {
+        lda.fit_dense(&x, &y).unwrap();
+    });
+
+    assert!(srda_flam > 0, "SRDA fit reported no flam");
+    assert!(lda_flam > 0, "LDA fit reported no flam");
+    assert!(
+        srda_flam < lda_flam,
+        "Table I shape violated at m = n: SRDA-NE {srda_flam} flam ≥ LDA {lda_flam} flam"
+    );
+}
+
+#[test]
+fn lsqr_flam_grows_linearly_in_samples() {
+    // fixed density, fixed iteration count (tol = 0 pins it at max_iter),
+    // fixed feature count → cost should be Θ(m)
+    let sizes = [200usize, 400, 800, 1600];
+    let flams: Vec<u64> = sizes
+        .iter()
+        .map(|&m| {
+            let (x, y) = sparse_blobs(m, 50, 8);
+            let cfg = SrdaConfig {
+                solver: SrdaSolver::Lsqr {
+                    max_iter: 10,
+                    tol: 0.0,
+                },
+                exec: ExecPolicy::serial(),
+                ..SrdaConfig::default()
+            };
+            srda_fit_flam(cfg, |s| {
+                s.fit_sparse(&x, &y).unwrap();
+            })
+        })
+        .collect();
+
+    // end-to-end log-log slope over the 8× span of m
+    let slope =
+        ((flams[3] as f64) / (flams[0] as f64)).ln() / ((sizes[3] as f64) / (sizes[0] as f64)).ln();
+    assert!(
+        (0.9..=1.1).contains(&slope),
+        "LSQR flam not linear in m: counts {flams:?} give log-log slope {slope:.3}"
+    );
+    // and monotone, for good measure
+    assert!(flams.windows(2).all(|w| w[0] < w[1]), "counts {flams:?}");
+}
+
+#[test]
+fn metrics_counter_agrees_with_direct_flam_measure() {
+    // the registry counter and an enclosing flam::measure sink see the
+    // same thread-local add() stream, so they must agree *exactly*
+    let (x, y) = dense_blobs(60, 20, 3);
+    let rec = Recorder::new_enabled();
+    let srda = Srda::new(SrdaConfig {
+        solver: SrdaSolver::NormalEquations,
+        exec: ExecPolicy::serial(),
+        recorder: rec,
+        ..SrdaConfig::default()
+    });
+    let ((), measured) = flam::measure(|| {
+        srda.fit_dense(&x, &y).unwrap();
+    });
+    let counter = *rec
+        .snapshot()
+        .counters
+        .get("flam.fit")
+        .expect("flam.fit counter missing");
+    assert!(measured > 0);
+    assert_eq!(
+        counter, measured,
+        "--metrics-out flam counter diverged from flam::measure"
+    );
+}

@@ -59,7 +59,10 @@ fn forced_cholesky_failure_recovers_via_jitter_retry() {
         rep.responses
     );
     assert_eq!(rep.recoveries.len(), 1);
-    assert!(matches!(rep.recoveries[0], RecoveryAction::JitterRetry { .. }));
+    assert!(matches!(
+        rep.recoveries[0],
+        RecoveryAction::JitterRetry { .. }
+    ));
     assert!(rep.warnings.iter().any(|w| w.contains("recovered")));
     assert!(rep.condition_estimate.is_some());
     // the jittered model is a valid (more-regularized) SRDA model
@@ -85,7 +88,10 @@ fn exhausted_jitter_retries_fall_back_to_lsqr() {
         .responses
         .iter()
         .all(|s| *s == ResponseSolver::LsqrFallback));
-    assert_eq!(*rep.recoveries.last().unwrap(), RecoveryAction::LsqrFallback);
+    assert_eq!(
+        *rep.recoveries.last().unwrap(),
+        RecoveryAction::LsqrFallback
+    );
     assert!(rep.condition_estimate.is_none());
     // LSQR solves the same damped problem the direct path would have:
     // the fallback model must match the clean one
@@ -103,12 +109,16 @@ fn sparse_dual_path_recovers_via_jitter_and_fallback() {
     failpoint::reset();
     let (x, y) = blobs();
     let xs = CsrMatrix::from_dense(&x, 0.0);
-    let clean = Srda::new(SrdaConfig::default()).fit_sparse(&xs, &y).unwrap();
+    let clean = Srda::new(SrdaConfig::default())
+        .fit_sparse(&xs, &y)
+        .unwrap();
     assert!(clean.fit_report().clean());
 
     // one forced failure → jittered retry
     failpoint::arm("cholesky.singular", 1);
-    let jittered = Srda::new(SrdaConfig::default()).fit_sparse(&xs, &y).unwrap();
+    let jittered = Srda::new(SrdaConfig::default())
+        .fit_sparse(&xs, &y)
+        .unwrap();
     failpoint::reset();
     assert!(jittered
         .fit_report()
@@ -118,7 +128,9 @@ fn sparse_dual_path_recovers_via_jitter_and_fallback() {
 
     // four forced failures → LSQR fallback, matching the clean weights
     failpoint::arm("cholesky.singular", 4);
-    let fallback = Srda::new(SrdaConfig::default()).fit_sparse(&xs, &y).unwrap();
+    let fallback = Srda::new(SrdaConfig::default())
+        .fit_sparse(&xs, &y)
+        .unwrap();
     failpoint::reset();
     let rep = fallback.fit_report();
     assert!(rep

@@ -63,10 +63,8 @@ fn weight_bits(m: &srda::SrdaModel) -> Vec<u64> {
 /// final weights against the uninterrupted baseline, bit for bit.
 fn kill_resume_roundtrip(exec: ExecPolicy, k: usize, tag: &str) {
     let (x, y) = three_blobs();
-    let dir = std::env::temp_dir().join(format!(
-        "srda-kill-resume-{tag}-{k}-{}",
-        std::process::id()
-    ));
+    let dir =
+        std::env::temp_dir().join(format!("srda-kill-resume-{tag}-{k}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
 
     failpoint::reset();
@@ -137,10 +135,8 @@ fn serial_and_threaded_resumes_agree_with_each_other() {
     // interrupted under serial may be resumed under threaded (and vice
     // versa) without changing the trajectory
     let (x, y) = three_blobs();
-    let dir = std::env::temp_dir().join(format!(
-        "srda-cross-backend-resume-{}",
-        std::process::id()
-    ));
+    let dir =
+        std::env::temp_dir().join(format!("srda-cross-backend-resume-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
 
     failpoint::reset();

@@ -84,7 +84,9 @@ fn sparse_and_densified_srda_agree() {
             solver,
             ..SrdaConfig::default()
         };
-        let ms = Srda::new(cfg.clone()).fit_sparse(&tr.x, &tr.labels).unwrap();
+        let ms = Srda::new(cfg.clone())
+            .fit_sparse(&tr.x, &tr.labels)
+            .unwrap();
         let md = Srda::new(cfg).fit_dense(&dense, &tr.labels).unwrap();
         let ws = ms.embedding().weights();
         let wd = md.embedding().weights();

@@ -61,10 +61,134 @@ fn model_persistence_workflow() {
         .unwrap();
     std::fs::write(&path, serde_json::to_vec(model.embedding()).unwrap()).unwrap();
 
-    let loaded: Embedding =
-        serde_json::from_slice(&std::fs::read(&path).unwrap()).unwrap();
+    let loaded: Embedding = serde_json::from_slice(&std::fs::read(&path).unwrap()).unwrap();
     let z1 = model.embedding().transform_dense(&te.x).unwrap();
     let z2 = loaded.transform_dense(&te.x).unwrap();
     assert!(z1.approx_eq(&z2, 0.0));
     std::fs::remove_file(&path).ok();
+}
+
+// ---------------------------------------------------------------------------
+// checkpoint corruption: the binary `SRDACKP1` (solver state) and
+// `SRDAFCK1` (fit state) formats are CRC-32 sealed, so *every* single-bit
+// flip anywhere in the file — magic, kind tag, payload, or the CRC
+// trailer itself — must be rejected with a typed error, never parsed
+// into silently-wrong resume state.
+// ---------------------------------------------------------------------------
+
+use srda::{CompletedResponse, FitCheckpoint, FitFingerprint};
+use srda_solvers::{CglsCheckpoint, LsqrCheckpoint, ProblemFingerprint, StopReason};
+
+/// A small but fully-populated LSQR checkpoint (every field non-trivial,
+/// so flips in any region hit live data).
+fn sample_lsqr_checkpoint() -> LsqrCheckpoint {
+    let b = vec![1.0, -2.0, 3.5, 0.25];
+    LsqrCheckpoint {
+        fingerprint: ProblemFingerprint::new(4, 3, 0.5, 1e-8, 20, &b),
+        iteration: 7,
+        x: vec![0.1, -0.2, 0.3],
+        w: vec![1.5, 2.5, -3.5],
+        u: vec![0.4, 0.3, 0.2, 0.1],
+        v: vec![-1.0, 0.0, 1.0],
+        alpha: 1.25,
+        phibar: -0.75,
+        rhobar: 2.0,
+        anorm_sq: 42.0,
+        b_norm: 4.25,
+        best_res: 0.125,
+        no_improve: 2,
+        residual_trace: vec![1.0, 0.5, 0.25, 0.2, 0.19, 0.15, 0.125],
+    }
+}
+
+fn sample_fit_checkpoint() -> FitCheckpoint {
+    let y = vec![0usize, 0, 1, 1, 2, 2];
+    FitCheckpoint {
+        fingerprint: FitFingerprint::new(6, 3, 2, 1.0, 15, 1e-10, &y),
+        completed: vec![CompletedResponse {
+            x: vec![0.25, -0.5, 0.75, 0.125],
+            iterations: 9,
+            stop: StopReason::Converged,
+        }],
+        in_flight: Some(sample_lsqr_checkpoint()),
+        warnings: vec!["response 0: solution near breakdown".to_string()],
+    }
+}
+
+/// Flip every bit of `bytes` in turn and assert `parse` rejects each
+/// corrupted copy (and accepts the original).
+fn assert_every_bit_flip_rejected<T>(
+    bytes: &[u8],
+    parse: impl Fn(&[u8]) -> Result<T, srda::CheckpointError>,
+) {
+    assert!(parse(bytes).is_ok(), "pristine bytes must parse");
+    let mut corrupt = bytes.to_vec();
+    for byte in 0..bytes.len() {
+        for bit in 0..8 {
+            corrupt[byte] ^= 1 << bit;
+            assert!(
+                parse(&corrupt).is_err(),
+                "bit flip at byte {byte} bit {bit} was not detected \
+                 ({} bytes total)",
+                bytes.len()
+            );
+            corrupt[byte] ^= 1 << bit; // restore
+        }
+    }
+    assert_eq!(corrupt, bytes, "harness must leave the buffer pristine");
+}
+
+#[test]
+fn lsqr_checkpoint_rejects_every_single_bit_flip() {
+    let ckpt = sample_lsqr_checkpoint();
+    let bytes = ckpt.to_bytes();
+    assert_eq!(&bytes[..8], b"SRDACKP1");
+    assert_eq!(LsqrCheckpoint::from_bytes(&bytes).unwrap(), ckpt);
+    assert_every_bit_flip_rejected(&bytes, LsqrCheckpoint::from_bytes);
+}
+
+#[test]
+fn cgls_checkpoint_rejects_every_single_bit_flip() {
+    let ckpt = CglsCheckpoint {
+        fingerprint: ProblemFingerprint::new(4, 3, 0.1, 1e-9, 30, &[0.5, 1.5, -2.5, 3.0]),
+        iteration: 4,
+        x: vec![0.1, 0.2, 0.3],
+        r: vec![-0.5, 0.25, -0.125, 0.0625],
+        p: vec![1.0, -1.0, 0.5],
+        gamma: 0.75,
+        gamma0: 12.5,
+    };
+    let bytes = ckpt.to_bytes();
+    assert_eq!(&bytes[..8], b"SRDACKP1");
+    assert_eq!(CglsCheckpoint::from_bytes(&bytes).unwrap(), ckpt);
+    assert_every_bit_flip_rejected(&bytes, CglsCheckpoint::from_bytes);
+}
+
+#[test]
+fn fit_checkpoint_rejects_every_single_bit_flip() {
+    let ckpt = sample_fit_checkpoint();
+    let bytes = ckpt.to_bytes();
+    assert_eq!(&bytes[..8], b"SRDAFCK1");
+    assert_eq!(FitCheckpoint::from_bytes(&bytes).unwrap(), ckpt);
+    assert_every_bit_flip_rejected(&bytes, FitCheckpoint::from_bytes);
+}
+
+#[test]
+fn truncated_checkpoints_are_rejected() {
+    // every strict prefix fails too — a torn write can drop a tail, not
+    // just flip bits
+    let bytes = sample_fit_checkpoint().to_bytes();
+    for len in 0..bytes.len() {
+        assert!(
+            FitCheckpoint::from_bytes(&bytes[..len]).is_err(),
+            "prefix of {len} bytes parsed"
+        );
+    }
+    let bytes = sample_lsqr_checkpoint().to_bytes();
+    for len in 0..bytes.len() {
+        assert!(
+            LsqrCheckpoint::from_bytes(&bytes[..len]).is_err(),
+            "prefix of {len} bytes parsed"
+        );
+    }
 }

@@ -100,8 +100,7 @@ fn corollary_3_classes_collapse_when_samples_independent() {
     let (cent, _) = srda_linalg::stats::class_means(&z, &y, 3).unwrap();
     let mut max_within = 0.0f64;
     for (i, &k) in y.iter().enumerate() {
-        max_within = max_within
-            .max(srda_linalg::vector::dist2_sq(z.row(i), cent.row(k)).sqrt());
+        max_within = max_within.max(srda_linalg::vector::dist2_sq(z.row(i), cent.row(k)).sqrt());
     }
     let between = srda_linalg::vector::dist2_sq(cent.row(0), cent.row(1)).sqrt();
     assert!(
