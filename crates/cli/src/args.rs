@@ -14,7 +14,7 @@ pub struct ParsedArgs {
 
 /// Flags that may appear without a value (stored as `"true"`); everything
 /// else keeps the strict `--key value` grammar.
-const BOOLEAN_FLAGS: &[&str] = &["trace"];
+const BOOLEAN_FLAGS: &[&str] = &["trace", "certify"];
 
 /// Parse `args` (excluding the program name).
 pub fn parse(args: &[String]) -> Result<ParsedArgs> {
@@ -103,7 +103,7 @@ USAGE:
                  [--time-budget SECS] [--iter-budget N]
                  [--checkpoint-dir DIR] [--checkpoint-every 25]
                  [--sanitize off|reject|drop|impute] [--strict true]
-                 [--trace] [--trace-format json|flame]
+                 [--trace] [--trace-format json|flame] [--certify]
                  [--metrics-out FILE.json]
   srda resume    --data FILE --checkpoint FILE.ckpt --model OUT.json
                  [--threads N] [--time-budget SECS] [--iter-budget N]
@@ -123,6 +123,12 @@ to a bitwise-identical model. --sanitize quarantines degenerate input
 (NaN/Inf cells, duplicate rows, under-sized classes, constant
 features); --strict true fails the run when the fit ledger is not
 clean.
+
+Certification: --certify prints the fit's per-response solution
+certificates to stderr (backward error, condition estimate,
+refinement steps, verdict) and fails the run (exit 4) when any
+solution is Suspect — i.e. it failed its forward-error bound even
+after iterative refinement and ladder escalation.
 
 Observability: --trace prints the fit's span tree / telemetry to
 stderr (--trace-format json is the srda-obs-v1 report, flame is

@@ -3,7 +3,7 @@
 
 use crate::args::ParsedArgs;
 use crate::model_file::{SavedModel, FORMAT_VERSION};
-use crate::{CliError, Result, EXIT_INTERRUPTED};
+use crate::{CliError, Result, EXIT_INTERRUPTED, EXIT_SUSPECT};
 use srda::{
     CheckpointPolicy, FitCheckpoint, FitOutcome, QuarantineSummary, Recorder, RunBudget,
     RunGovernor, Srda, SrdaConfig, SrdaSolver,
@@ -250,6 +250,7 @@ pub fn train(args: &ParsedArgs) -> Result<String> {
         "checkpoint-every",
         "strict",
         "sanitize",
+        "certify",
         "trace",
         "trace-format",
         "metrics-out",
@@ -263,6 +264,7 @@ pub fn train(args: &ParsedArgs) -> Result<String> {
     let alpha: f64 = args.parse_or("alpha", 1.0)?;
     let iters: usize = args.parse_or("iters", 15)?;
     let strict: bool = args.parse_or("strict", false)?;
+    let certify: bool = args.parse_or("certify", false)?;
     let exec = exec_policy(args)?;
     let (governor, checkpoint) = governance(args)?;
     let obs = obs_settings(args)?;
@@ -291,7 +293,7 @@ pub fn train(args: &ParsedArgs) -> Result<String> {
         recorder: obs.recorder,
         ..SrdaConfig::default()
     };
-    fit_and_save(config, data, &model_path, quarantine, notes, strict, &obs)
+    fit_and_save(config, data, &model_path, quarantine, notes, strict, certify, &obs)
 }
 
 /// `srda resume`: continue an interrupted LSQR fit from its checkpoint.
@@ -352,11 +354,12 @@ pub fn resume(args: &ParsedArgs) -> Result<String> {
         recorder: obs.recorder,
         ..SrdaConfig::default()
     };
-    fit_and_save(config, data, &model_path, None, Vec::new(), strict, &obs)
+    fit_and_save(config, data, &model_path, None, Vec::new(), strict, false, &obs)
 }
 
 /// Shared tail of `train` and `resume`: fit, handle interrupts, save the
 /// model, and render/emit the robustness ledger.
+#[allow(clippy::too_many_arguments)] // private plumbing for two call sites
 fn fit_and_save(
     config: SrdaConfig,
     data: LabeledSparse,
@@ -364,6 +367,7 @@ fn fit_and_save(
     quarantine: Option<QuarantineSummary>,
     mut warned: Vec<String>,
     strict: bool,
+    certify: bool,
     obs: &ObsSettings,
 ) -> Result<String> {
     let n_classes = data
@@ -453,6 +457,38 @@ fn fit_and_save(
                 warned.len().max(1),
                 model_path
             )));
+        }
+    }
+    // --certify: print the per-response solution certificates and fail
+    // with EXIT_SUSPECT when any solution missed its forward-error bound
+    // even after refinement and ladder escalation
+    if certify {
+        let certs = &report.certificates;
+        for (j, c) in certs.iter().enumerate() {
+            eprintln!(
+                "certify: response {j}: backward error {:.3e}, cond estimate {:.3e}, \
+                 {} refinement step(s), verdict {:?}",
+                c.backward_error, c.cond_estimate, c.refinement_steps, c.certified
+            );
+        }
+        let suspect = certs.iter().filter(|c| c.is_suspect()).count();
+        match report.worst_backward_error {
+            Some(worst) => eprintln!(
+                "certify: {} response(s), worst backward error {worst:.3e}, {suspect} suspect",
+                certs.len()
+            ),
+            None => eprintln!("certify: fit recorded no solution certificates"),
+        }
+        if suspect > 0 {
+            return Err(CliError::with_code(
+                format!(
+                    "--certify: {suspect} of {} solution(s) are Suspect \
+                     (worst backward error {:.3e}); model written to {model_path}",
+                    certs.len(),
+                    report.worst_backward_error.unwrap_or(f64::NAN)
+                ),
+                EXIT_SUSPECT,
+            ));
         }
     }
     Ok(out)
@@ -1014,6 +1050,78 @@ mod tests {
             "zebra",
         ]))
         .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn certify_passes_direct_path_and_flags_budget_limited_lsqr() {
+        let dir = tmpdir("certify");
+        let data = dir.join("data.svm");
+        run(&sv(&[
+            "generate",
+            "--dataset",
+            "news",
+            "--scale",
+            "0.02",
+            "--seed",
+            "9",
+            "--out",
+            data.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let model = dir.join("m.json");
+
+        // well-conditioned Gram, direct solver: every certificate is
+        // Certified, so --certify changes nothing about the exit
+        let msg = run(&sv(&[
+            "train",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+            "--solver",
+            "ne",
+            "--certify",
+        ]))
+        .unwrap();
+        assert!(msg.contains("trained"), "{msg}");
+
+        // one LSQR iteration cannot drive the normal-equation residual
+        // below the certification threshold: the certificates come back
+        // Suspect and --certify turns that into exit 4 (the model file
+        // is still written)
+        let err = run(&sv(&[
+            "train",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+            "--solver",
+            "lsqr",
+            "--iters",
+            "1",
+            "--certify",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code, EXIT_SUSPECT, "{}", err.message);
+        assert!(err.message.contains("Suspect"), "{}", err.message);
+        assert!(err.message.contains("model written"), "{}", err.message);
+        assert!(model.exists());
+
+        // without --certify the same budget-limited run succeeds: the
+        // certificates still ride in the report, they just don't gate
+        run(&sv(&[
+            "train",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+            "--solver",
+            "lsqr",
+            "--iters",
+            "1",
+        ]))
+        .unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -32,6 +32,11 @@ pub const EXIT_USAGE: i32 = 2;
 /// state was checkpointed (when `--checkpoint-dir` was given) and the
 /// run can be continued with `srda resume`.
 pub const EXIT_INTERRUPTED: i32 = 3;
+/// Exit code for a `--certify` run whose fit produced at least one
+/// `Suspect` solution certificate: the model file is still written, but
+/// a solution failed its forward-error bound even after iterative
+/// refinement and ladder escalation.
+pub const EXIT_SUSPECT: i32 = 4;
 
 /// CLI error type: a message destined for stderr plus an exit code.
 #[derive(Debug)]

@@ -74,7 +74,9 @@ pub use labels::ClassIndex;
 pub use lda::{Lda, LdaConfig, SvdMethod};
 pub use model::Embedding;
 pub use pca::{Fisherfaces, FisherfacesConfig, Pca, PcaConfig, PcaModel};
-pub use report::{FitReport, QuarantineSummary, RecoveryAction, ResponseSolver};
+pub use report::{
+    CertStatus, FitReport, QuarantineSummary, RecoveryAction, ResponseSolver, SolveCertificate,
+};
 pub use rlda::{Rlda, RldaConfig};
 pub use spectral_regression::{GraphEigensolver, SpectralRegression, SpectralRegressionConfig};
 pub use srda::{

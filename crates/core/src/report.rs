@@ -10,6 +10,7 @@
 
 pub use srda_solvers::robust::RecoveryAction;
 use srda_solvers::robust::{RobustSolveReport, SolverUsed};
+pub use srda_solvers::{CertStatus, SolveCertificate};
 use srda_solvers::{Interrupt, StopReason};
 
 /// How one response (one column of `Ȳ`) was solved.
@@ -59,6 +60,14 @@ pub struct FitReport {
     /// CLI `train` pipeline fills this in). `None` when no sanitization
     /// ran.
     pub quarantine: Option<QuarantineSummary>,
+    /// Per-response solution certificates (one per solved response, in
+    /// response order) — backward error, condition estimate, refinement
+    /// steps, and the certification verdict. Empty when the fit path
+    /// predates certification or solved nothing.
+    pub certificates: Vec<SolveCertificate>,
+    /// Largest backward error across [`FitReport::certificates`];
+    /// `None` when no certificates were recorded.
+    pub worst_backward_error: Option<f64>,
 }
 
 /// Counts of what a pre-fit sanitization pass removed or repaired. The
@@ -117,7 +126,15 @@ impl FitReport {
             condition_estimate: rep.condition_estimate,
             interrupt: None,
             quarantine: None,
+            worst_backward_error: srda_solvers::worst_backward_error(&rep.certificates),
+            certificates: rep.certificates.clone(),
         }
+    }
+
+    /// Recompute [`FitReport::worst_backward_error`] from the current
+    /// certificate list. Call after appending certificates directly.
+    pub(crate) fn refresh_certificate_summary(&mut self) {
+        self.worst_backward_error = srda_solvers::worst_backward_error(&self.certificates);
     }
 }
 
@@ -169,6 +186,7 @@ mod tests {
             warnings: vec!["direct solve failed".into()],
             condition_estimate: Some(42.0),
             form: None,
+            certificates: Vec::new(),
         };
         let r = FitReport::from_robust(&rep, 3);
         assert!(!r.clean());
@@ -178,5 +196,29 @@ mod tests {
             .iter()
             .all(|s| *s == ResponseSolver::DirectJittered { jitter: 0.5 }));
         assert_eq!(r.condition_estimate, Some(42.0));
+        assert!(r.certificates.is_empty());
+        assert_eq!(r.worst_backward_error, None);
+    }
+
+    #[test]
+    fn from_robust_carries_certificates_and_summary() {
+        let cert = |e: f64| SolveCertificate {
+            backward_error: e,
+            cond_estimate: 10.0,
+            refinement_steps: 0,
+            certified: CertStatus::Certified,
+        };
+        let rep = RobustSolveReport {
+            solver: SolverUsed::Direct,
+            actions: vec![],
+            warnings: vec![],
+            condition_estimate: Some(10.0),
+            form: None,
+            certificates: vec![cert(1e-15), cert(3e-12)],
+        };
+        let r = FitReport::from_robust(&rep, 2);
+        assert!(r.clean(), "certified certificates do not dirty a report");
+        assert_eq!(r.certificates.len(), 2);
+        assert_eq!(r.worst_backward_error, Some(3e-12));
     }
 }

@@ -53,6 +53,15 @@ pub enum LinalgError {
         /// Description of the invalid argument.
         context: &'static str,
     },
+    /// A solve completed without raising an error but failed its a
+    /// posteriori quality certificate: the forward-error bound
+    /// `cond_estimate × backward_error` stayed above the certification
+    /// threshold even after iterative refinement. Retryable: recovery
+    /// ladders treat this like a factorization failure and escalate.
+    CertificationFailed {
+        /// The forward-error bound that exceeded the threshold.
+        error_bound: f64,
+    },
 }
 
 impl fmt::Display for LinalgError {
@@ -86,6 +95,10 @@ impl fmt::Display for LinalgError {
             LinalgError::InvalidDimension { context } => {
                 write!(f, "invalid dimension: {context}")
             }
+            LinalgError::CertificationFailed { error_bound } => write!(
+                f,
+                "solution failed certification: error bound {error_bound:e} above threshold"
+            ),
         }
     }
 }
@@ -122,6 +135,14 @@ mod tests {
     fn error_is_std_error() {
         fn takes_err(_e: &dyn std::error::Error) {}
         takes_err(&LinalgError::Singular { pivot: 0 });
+    }
+
+    #[test]
+    fn display_certification_failed_mentions_bound() {
+        let e = LinalgError::CertificationFailed { error_bound: 1e-3 };
+        let s = e.to_string();
+        assert!(s.contains("certification"));
+        assert!(s.contains("1e-3"));
     }
 
     #[test]

@@ -3,9 +3,11 @@
 //! Compiled only with the `failpoints` cargo feature; production builds
 //! carry none of this code. A failpoint is a named site in a fallible
 //! routine (e.g. `"cholesky.singular"`, `"diskcsr.read"`,
-//! `"lsqr.breakdown"`) that a test can *arm* to fail a fixed number of
-//! times, letting recovery paths be driven without contriving numerically
-//! pathological inputs.
+//! `"lsqr.breakdown"`, `"refine.stagnate"` — force iterative refinement to
+//! report immediate stagnation — and `"cond.inflate"` — inflate the Hager
+//! condition estimate so certification fails) that a test can *arm* to
+//! fail a fixed number of times, letting recovery paths be driven without
+//! contriving numerically pathological inputs.
 //!
 //! State is thread-local, so concurrently running tests cannot trip each
 //! other's failpoints. The usual pattern:

@@ -25,8 +25,14 @@ pub enum GsOutcome {
 /// unspecified) if the residual norm falls below `tol` times the original
 /// norm.
 pub fn orthogonalize_against(basis: &[Vec<f64>], v: &mut [f64], tol: f64) -> GsOutcome {
-    let orig = vector::norm2(v);
+    // norm2_robust: a NaN-poisoned input must not read as norm 0 and be
+    // silently dropped as "dependent" (bit-identical to norm2 on finite
+    // input).
+    let orig = vector::norm2_robust(v);
     if orig == 0.0 {
+        return GsOutcome::Dependent;
+    }
+    if !orig.is_finite() {
         return GsOutcome::Dependent;
     }
     flam::add((2 * basis.len() * v.len()) as u64);
@@ -36,8 +42,8 @@ pub fn orthogonalize_against(basis: &[Vec<f64>], v: &mut [f64], tol: f64) -> GsO
             vector::axpy(-proj, b, v);
         }
     }
-    let after = vector::norm2(v);
-    if after <= tol * orig {
+    let after = vector::norm2_robust(v);
+    if !after.is_finite() || after <= tol * orig {
         return GsOutcome::Dependent;
     }
     vector::scale(1.0 / after, v);
@@ -134,6 +140,23 @@ mod tests {
         let mut v = vec![0.0, 3.0, 4.0];
         assert_eq!(orthogonalize_against(&[], &mut v, 1e-12), GsOutcome::Added);
         assert!((vector::norm2(&v) - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn non_finite_vectors_are_rejected_not_misclassified() {
+        // A NaN-poisoned vector must read as Dependent (rejected), never as
+        // a normalizable basis vector.
+        let basis = vec![vec![1.0, 0.0, 0.0]];
+        let mut v = vec![f64::NAN, 1.0, 0.0];
+        assert_eq!(
+            orthogonalize_against(&basis, &mut v, 1e-12),
+            GsOutcome::Dependent
+        );
+        let mut v = vec![f64::INFINITY, 1.0, 0.0];
+        assert_eq!(
+            orthogonalize_against(&basis, &mut v, 1e-12),
+            GsOutcome::Dependent
+        );
     }
 
     #[test]

@@ -21,7 +21,11 @@
 //!   matrix, recover the other side) and one-sided Jacobi as a
 //!   high-accuracy cross-check.
 //! * [`cholesky`] — SPD factorization used to solve SRDA's regularized
-//!   normal equations (Eqn 18/20 of the paper).
+//!   normal equations (Eqn 18/20 of the paper), with a Hager 1-norm
+//!   condition estimator for solution certification.
+//! * [`refine`] — fixed-precision iterative refinement (compensated
+//!   residuals + correction solves against the existing factor), the
+//!   backward-error repair step of the certified-solve pipeline.
 //! * [`lu`] — LU with partial pivoting (general solves, test oracles).
 //! * [`gram_schmidt`] — modified Gram-Schmidt with reorthogonalization,
 //!   used verbatim by SRDA's response-generation step (§III.B step 1).
@@ -53,6 +57,7 @@ pub mod matrix_ops;
 pub mod ops;
 pub mod power;
 pub mod qr;
+pub mod refine;
 pub mod stats;
 pub mod svd;
 pub mod triangular;

@@ -1,0 +1,324 @@
+//! Fixed-precision iterative refinement for Cholesky solves.
+//!
+//! The classic Wilkinson/Higham loop: given a factorization of `A` and a
+//! computed solution `x₀` of `A·x = b`, repeat
+//!
+//! ```text
+//!   r ← b − A·x        (residual in compensated arithmetic)
+//!   d ← A⁻¹ r          (one cheap solve against the existing factor)
+//!   x ← x + d
+//! ```
+//!
+//! until the normwise relative backward error
+//! `η(x) = ‖b − A·x‖∞ / (‖A‖∞·‖x‖∞ + ‖b‖∞)` reaches the working-precision
+//! floor, the correction stops shrinking (stagnation), or the step budget
+//! runs out. Each step costs one `O(n²)` residual plus one `O(n²)`
+//! back-substitution against the already-computed factor — negligible next
+//! to the `O(n³/6)` factorization — and in fixed precision it restores
+//! backward stability even when the factorization itself was computed from
+//! a worryingly conditioned matrix (Higham, *Accuracy and Stability of
+//! Numerical Algorithms*, ch. 12).
+//!
+//! The residual is accumulated with an Ogita–Rump compensated dot
+//! (`mul_add`-extracted product errors + Neumaier summation), giving close
+//! to twice-working-precision residuals without any extended type.
+
+use crate::cholesky::Cholesky;
+use crate::error::LinalgError;
+use crate::matrix::Mat;
+use crate::{flam, Result};
+
+/// Outcome of [`refine_solve`]: how many correction steps ran and the best
+/// backward error achieved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefineReport {
+    /// Number of correction steps applied (0 if `x` was already at the
+    /// working-precision floor).
+    pub steps: usize,
+    /// Normwise relative backward error of the returned `x` (the best
+    /// iterate seen, not necessarily the last).
+    pub backward_error: f64,
+    /// The backward error reached the working-precision target.
+    pub converged: bool,
+    /// The correction norm stopped contracting before the target was met
+    /// (the textbook signal that refinement cannot help further — usually
+    /// because `κ(A)·ε ≳ 1`).
+    pub stagnated: bool,
+}
+
+/// Normwise relative backward error
+/// `η(x) = ‖b − A·x‖∞ / (‖A‖∞·‖x‖∞ + ‖b‖∞)` of a candidate solution.
+///
+/// This is the Rigal–Gaches quantity: the size of the smallest relative
+/// perturbation `(ΔA, Δb)` for which `x` solves `(A+ΔA)·x = b+Δb` exactly.
+/// A backward-stable solve keeps it near machine epsilon regardless of
+/// conditioning; values far above that mean the *solve itself* misbehaved.
+/// Reads the full matrix `a` (both triangles must be valid).
+pub fn backward_error(a: &Mat, b: &[f64], x: &[f64]) -> f64 {
+    let n = a.nrows();
+    let mut r = vec![0.0; n];
+    residual_into(a, b, x, &mut r);
+    eta(a_inf_norm(a), &r, b, x)
+}
+
+/// Refine a computed solution of `A·x = b` in place against an existing
+/// Cholesky factor of `A` (or of a nearby matrix — refinement against a
+/// jittered factor still contracts as long as the factor is a reasonable
+/// preconditioner for `A`).
+///
+/// `a` must be the *full* symmetric matrix (both triangles valid), unlike
+/// [`Cholesky::factor`] which reads only the lower triangle. On return `x`
+/// holds the best iterate seen — the backward error of the output is never
+/// worse than that of the input, even when refinement stagnates or
+/// diverges (the loop tracks and restores the best candidate).
+pub fn refine_solve(
+    chol: &Cholesky,
+    a: &Mat,
+    b: &[f64],
+    x: &mut [f64],
+    max_steps: usize,
+) -> Result<RefineReport> {
+    let n = a.nrows();
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            rows: a.nrows(),
+            cols: a.ncols(),
+        });
+    }
+    if b.len() != n || x.len() != n || chol.dim() != n {
+        return Err(LinalgError::ShapeMismatch {
+            op: "refine_solve",
+            lhs: (n, n),
+            rhs: (b.len(), x.len()),
+        });
+    }
+    let a_inf = a_inf_norm(a);
+    let mut r = vec![0.0; n];
+    residual_into(a, b, x, &mut r);
+    let mut best_eta = eta(a_inf, &r, b, x);
+    // Working-precision target: a backward-stable solve lands at O(n·ε).
+    let target = (n as f64 * f64::EPSILON).max(4.0 * f64::EPSILON);
+    if best_eta <= target {
+        return Ok(RefineReport {
+            steps: 0,
+            backward_error: best_eta,
+            converged: true,
+            stagnated: false,
+        });
+    }
+    #[cfg(feature = "failpoints")]
+    if crate::failpoint::should_fail("refine.stagnate") {
+        // Simulate refinement that cannot make progress: report immediate
+        // stagnation so the certification layer must escalate instead.
+        return Ok(RefineReport {
+            steps: 0,
+            backward_error: best_eta,
+            converged: false,
+            stagnated: true,
+        });
+    }
+    let mut best_x = x.to_vec();
+    let mut prev_d_inf = f64::INFINITY;
+    let mut steps = 0;
+    let mut converged = false;
+    let mut stagnated = false;
+    for _ in 0..max_steps {
+        let mut d = r.clone();
+        chol.solve_inplace(&mut d)?;
+        let d_inf = d.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        if !d_inf.is_finite() {
+            stagnated = true;
+            break;
+        }
+        for (xi, di) in x.iter_mut().zip(&d) {
+            *xi += di;
+        }
+        steps += 1;
+        residual_into(a, b, x, &mut r);
+        let eta_now = eta(a_inf, &r, b, x);
+        if eta_now < best_eta {
+            best_eta = eta_now;
+            best_x.copy_from_slice(x);
+        }
+        if eta_now <= target {
+            converged = true;
+            break;
+        }
+        // Correction norms of a working refinement contract by ~κ·ε per
+        // step; a step shrinking by less than half signals stagnation.
+        if d_inf >= 0.5 * prev_d_inf {
+            stagnated = true;
+            break;
+        }
+        prev_d_inf = d_inf;
+    }
+    x.copy_from_slice(&best_x);
+    Ok(RefineReport {
+        steps,
+        backward_error: best_eta,
+        converged,
+        stagnated,
+    })
+}
+
+/// `‖A‖∞` (max absolute row sum).
+fn a_inf_norm(a: &Mat) -> f64 {
+    let mut best = 0.0f64;
+    for i in 0..a.nrows() {
+        let s: f64 = a.row(i).iter().map(|v| v.abs()).sum();
+        best = best.max(s);
+    }
+    best
+}
+
+/// `η = ‖r‖∞ / (‖A‖∞·‖x‖∞ + ‖b‖∞)`, with the 0/0 case defined as 0.
+fn eta(a_inf: f64, r: &[f64], b: &[f64], x: &[f64]) -> f64 {
+    let r_inf = r.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    let x_inf = x.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    let b_inf = b.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    let denom = a_inf * x_inf + b_inf;
+    if r_inf == 0.0 {
+        0.0
+    } else if denom == 0.0 || !r_inf.is_finite() {
+        f64::INFINITY
+    } else {
+        r_inf / denom
+    }
+}
+
+/// `r ← b − A·x` with an Ogita–Rump compensated accumulation: each product
+/// contributes its `mul_add`-extracted rounding error, and the running sum
+/// uses Neumaier's branch. Costs ~4× a naive residual but keeps ~2×
+/// working precision, which is what makes fixed-precision refinement
+/// converge.
+fn residual_into(a: &Mat, b: &[f64], x: &[f64], r: &mut [f64]) {
+    let n = a.nrows();
+    flam::add((n * n) as u64);
+    for i in 0..n {
+        let row = a.row(i);
+        let mut sum = b[i];
+        let mut comp = 0.0f64;
+        for (&aij, &xj) in row.iter().zip(x) {
+            let p = -aij * xj;
+            let e = (-aij).mul_add(xj, -p); // exact rounding error of p
+            let s = sum + p;
+            if sum.abs() >= p.abs() {
+                comp += (sum - s) + p;
+            } else {
+                comp += (p - s) + sum;
+            }
+            sum = s;
+            comp += e;
+        }
+        r[i] = sum + comp;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::matvec;
+
+    /// Hilbert matrix: the canonical ill-conditioned SPD test case.
+    fn hilbert(n: usize) -> Mat {
+        Mat::from_fn(n, n, |i, j| 1.0 / (i as f64 + j as f64 + 1.0))
+    }
+
+    #[test]
+    fn exact_solution_needs_no_steps() {
+        let a = Mat::from_diag(&[2.0, 4.0]);
+        let chol = Cholesky::factor(&a).unwrap();
+        let mut x = vec![3.0, 0.5];
+        let b = vec![6.0, 2.0];
+        let rep = refine_solve(&chol, &a, &b, &mut x, 5).unwrap();
+        assert_eq!(rep.steps, 0);
+        assert!(rep.converged);
+        assert_eq!(rep.backward_error, 0.0);
+        assert_eq!(x, vec![3.0, 0.5]);
+    }
+
+    #[test]
+    fn refinement_reduces_backward_error_on_hilbert() {
+        let n = 10;
+        let mut a = hilbert(n);
+        a.add_to_diag(1e-10);
+        let chol = Cholesky::factor(&a).unwrap();
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64) - 4.0).collect();
+        let b = matvec(&a, &x_true).unwrap();
+        // Deliberately perturb the solve so there is something to refine.
+        let mut x = chol.solve(&b).unwrap();
+        for v in x.iter_mut() {
+            *v *= 1.0 + 1e-7;
+        }
+        let before = backward_error(&a, &b, &x);
+        assert!(before > 1e-12, "perturbed start must be bad: {before:e}");
+        let rep = refine_solve(&chol, &a, &b, &mut x, 5).unwrap();
+        assert!(rep.steps >= 1);
+        assert!(rep.backward_error < before);
+        assert!(
+            rep.backward_error <= 1e-12,
+            "refined η = {:e}",
+            rep.backward_error
+        );
+        // the report matches the returned iterate
+        let after = backward_error(&a, &b, &x);
+        assert!((after - rep.backward_error).abs() <= after.max(1e-300) * 1e-6 + 1e-18);
+    }
+
+    #[test]
+    fn never_returns_a_worse_iterate() {
+        // Extremely ill-conditioned: refinement may stagnate, but the
+        // returned x must never have a larger backward error than the input.
+        let n = 12;
+        let mut a = hilbert(n);
+        a.add_to_diag(1e-14);
+        let chol = Cholesky::factor(&a).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let mut x = chol.solve(&b).unwrap();
+        let before = backward_error(&a, &b, &x);
+        let rep = refine_solve(&chol, &a, &b, &mut x, 8).unwrap();
+        let after = backward_error(&a, &b, &x);
+        assert!(after <= before * (1.0 + 1e-12) + f64::EPSILON);
+        assert!(rep.backward_error.is_finite());
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let a = Mat::from_diag(&[1.0, 2.0]);
+        let chol = Cholesky::factor(&a).unwrap();
+        let mut x = vec![0.0; 3];
+        assert!(refine_solve(&chol, &a, &[1.0, 2.0], &mut x, 3).is_err());
+    }
+
+    #[test]
+    fn zero_rhs_certifies_trivially() {
+        let a = Mat::from_diag(&[1.0, 2.0]);
+        let chol = Cholesky::factor(&a).unwrap();
+        let mut x = vec![0.0, 0.0];
+        let rep = refine_solve(&chol, &a, &[0.0, 0.0], &mut x, 3).unwrap();
+        assert!(rep.converged);
+        assert_eq!(rep.backward_error, 0.0);
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn stagnate_failpoint_reports_immediate_stagnation() {
+        use crate::failpoint;
+        let n = 10;
+        let mut a = hilbert(n);
+        a.add_to_diag(1e-10);
+        let chol = Cholesky::factor(&a).unwrap();
+        let b: Vec<f64> = vec![1.0; n];
+        let mut x = chol.solve(&b).unwrap();
+        for v in x.iter_mut() {
+            *v *= 1.0 + 1e-6; // make the start bad enough to need refinement
+        }
+        failpoint::reset();
+        failpoint::arm("refine.stagnate", 1);
+        let rep = refine_solve(&chol, &a, &b, &mut x, 5).unwrap();
+        failpoint::reset();
+        assert_eq!(rep.steps, 0);
+        assert!(rep.stagnated);
+        assert!(!rep.converged);
+    }
+}

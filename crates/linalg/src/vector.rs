@@ -36,6 +36,26 @@ pub fn norm2(x: &[f64]) -> f64 {
     max * acc.sqrt()
 }
 
+/// Euclidean norm with full non-finite propagation: any NaN entry yields
+/// NaN and any ±∞ entry yields +∞, instead of the silent answers [`norm2`]
+/// can produce (its overflow guard folds magnitudes with `f64::max`, which
+/// *ignores* NaN — an all-NaN vector comes back as 0.0). On finite input
+/// this delegates to [`norm2`] and is bit-for-bit identical to it, so it is
+/// safe to substitute into solvers whose trajectories are locked by golden
+/// tests.
+///
+/// Use this in iterative solvers and orthogonalization loops where a
+/// poisoned vector must surface as a detectable non-finite norm rather
+/// than a plausible-looking number.
+pub fn norm2_robust(x: &[f64]) -> f64 {
+    for &v in x {
+        if v.is_nan() {
+            return f64::NAN;
+        }
+    }
+    norm2(x)
+}
+
 /// Sum of entries.
 pub fn sum(x: &[f64]) -> f64 {
     flam::add(x.len() as u64);
@@ -150,6 +170,42 @@ mod tests {
         let n = norm2(&[tiny, tiny]);
         assert!(n > 0.0);
         assert!((n - tiny * std::f64::consts::SQRT_2).abs() / n < 1e-14);
+    }
+
+    #[test]
+    fn norm2_robust_bitwise_matches_norm2_on_finite_input() {
+        let xs: Vec<Vec<f64>> = vec![
+            vec![],
+            vec![0.0, 0.0],
+            vec![3.0, 4.0],
+            vec![1e200, -1e200, 3.5],
+            vec![1e-300, 2e-300],
+        ];
+        for x in &xs {
+            assert_eq!(norm2_robust(x).to_bits(), norm2(x).to_bits());
+        }
+    }
+
+    #[test]
+    fn norm2_robust_survives_entries_near_sqrt_max() {
+        // entries ~1.3e154: a naive sum-of-squares (dot(x, x)) overflows,
+        // the scaled norm must not.
+        let big = f64::MAX.sqrt() * 0.99;
+        let x = vec![big, -big, big];
+        assert!(dot(&x, &x).is_infinite(), "naive path should overflow");
+        let n = norm2_robust(&x);
+        assert!(n.is_finite());
+        assert!((n - big * 3.0f64.sqrt()).abs() / n < 1e-14);
+    }
+
+    #[test]
+    fn norm2_robust_propagates_non_finite() {
+        // norm2's max-scan ignores NaN: an all-NaN vector reads as 0.0.
+        assert_eq!(norm2(&[f64::NAN, f64::NAN]), 0.0);
+        assert!(norm2_robust(&[f64::NAN, f64::NAN]).is_nan());
+        assert!(norm2_robust(&[1.0, f64::NAN, 2.0]).is_nan());
+        assert_eq!(norm2_robust(&[1.0, f64::INFINITY]), f64::INFINITY);
+        assert_eq!(norm2_robust(&[f64::NEG_INFINITY, 2.0]), f64::INFINITY);
     }
 
     #[test]

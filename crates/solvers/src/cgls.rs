@@ -182,6 +182,12 @@ pub fn cgls_controlled<A: LinearOperator + ?Sized>(
         iterations = iter + 1;
         a.apply_into(&p, &mut q);
         let delta = vector::dot(&q, &q) + cfg.alpha * vector::dot(&p, &p);
+        if !delta.is_finite() {
+            // overflow/NaN in the curvature term: `delta <= 0.0` is false
+            // for NaN, so without this check a poisoned matvec would spin
+            // to max_iter corrupting x. Stop on the last finite iterate.
+            break;
+        }
         if delta <= 0.0 {
             break; // p in the (numerical) null space; cannot progress
         }
@@ -199,6 +205,13 @@ pub fn cgls_controlled<A: LinearOperator + ?Sized>(
             // tracks, so it fills both telemetry columns (pure read)
             t.iteration(iter + 1, gamma_new.sqrt(), gamma_new.sqrt());
         }
+        if !gamma_new.is_finite() {
+            // poisoned gradient: report it (gradient_norm = NaN/∞) instead
+            // of iterating on garbage — the NaN would fail every further
+            // convergence test and run to max_iter
+            gamma = gamma_new;
+            break;
+        }
         if gamma_new.sqrt() <= cfg.tol * gamma0.sqrt() {
             gamma = gamma_new;
             break;
@@ -214,6 +227,12 @@ pub fn cgls_controlled<A: LinearOperator + ?Sized>(
                 cb(&snapshot(iter + 1, &x, &r, &p, gamma));
             }
         }
+    }
+
+    // a poisoned iterate must never be returned under a finite (stale)
+    // gradient norm: downstream certificates key off gradient_norm
+    if gamma.is_finite() && !x.iter().all(|t| t.is_finite()) {
+        gamma = f64::NAN;
     }
 
     CglsResult {
@@ -337,6 +356,31 @@ mod tests {
             },
         );
         assert!(r.iterations <= 8, "took {} iterations", r.iterations);
+    }
+
+    #[test]
+    fn nan_operator_stops_instead_of_spinning() {
+        // NaN fails every comparison, so without explicit guards a
+        // poisoned matvec would run to max_iter corrupting x
+        let mut a = noise_mat(6, 3);
+        a[(2, 1)] = f64::NAN;
+        let r = cgls(
+            &a,
+            &[1.0; 6],
+            &CglsConfig {
+                alpha: 0.1,
+                max_iter: 50,
+                tol: 1e-12,
+            },
+        );
+        assert!(
+            r.iterations <= 1,
+            "poisoned run must stop immediately, ran {}",
+            r.iterations
+        );
+        // the poison is reported, never hidden behind a stale finite norm
+        assert!(r.gradient_norm.is_nan());
+        assert!(r.x.iter().all(|t| t.is_finite()));
     }
 
     #[test]

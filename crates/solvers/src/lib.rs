@@ -22,9 +22,15 @@
 //!   `(XXᵀ + αI)u = ȳ, a = Xᵀu` (paper Eqn 21) that is cheaper when
 //!   `n > m`. An `auto` entry point picks the smaller system.
 //! * [`robust`] — a fault-tolerant wrapper around the direct solvers:
-//!   on `Singular`/non-finite breakdown it retries with bounded
-//!   escalating diagonal jitter and finally falls back to damped LSQR,
-//!   reporting every recovery step it took.
+//!   on `Singular`/non-finite breakdown *or a failed solution
+//!   certificate* it retries with bounded escalating diagonal jitter and
+//!   finally falls back to damped LSQR, reporting every recovery step it
+//!   took.
+//! * [`certificate`] — machine-checkable [`SolveCertificate`]s: a
+//!   backward error × condition estimate forward-error bound for direct
+//!   solves (with iterative refinement as the repair step) and a
+//!   post-hoc normal-equation-residual certificate for matrix-free
+//!   solves.
 //! * [`governor`] — wall-clock/iteration budgets and cooperative
 //!   cancellation ([`RunGovernor`]/[`CancelToken`]), checked inside every
 //!   iterative loop and before every expensive factorization attempt.
@@ -35,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod certificate;
 pub mod cgls;
 pub mod checkpoint;
 pub mod governor;
@@ -43,6 +50,10 @@ pub mod operator;
 pub mod ridge;
 pub mod robust;
 
+pub use certificate::{
+    certify_operator, certify_spd_solve, worst_backward_error, CertStatus, SolveCertificate,
+    CERTIFY_BOUND, CERTIFY_RESIDUAL,
+};
 pub use checkpoint::{CglsCheckpoint, CheckpointError, LsqrCheckpoint, ProblemFingerprint};
 pub use governor::{CancelToken, Interrupt, RunBudget, RunGovernor};
 pub use lsqr::{

@@ -320,7 +320,7 @@ pub fn lsqr_controlled<A: LinearOperator + ?Sized>(
     } else {
         // Golub-Kahan bidiagonalization initialization
         u = b.to_vec();
-        let beta = vector::norm2(&u);
+        let beta = vector::norm2_robust(&u);
         if beta == 0.0 {
             return LsqrResult {
                 x,
@@ -338,12 +338,14 @@ pub fn lsqr_controlled<A: LinearOperator + ?Sized>(
         vector::scale(1.0 / beta, &mut u);
 
         v = a.apply_t(&u);
-        // check the raw operator output, not its norm: norm2's overflow-safe
-        // max ignores NaN, so a poisoned matvec can masquerade as a zero norm
+        // check the raw operator output so a poisoned matvec surfaces as a
+        // breakdown before the NaN reaches the iteration state
+        // (norm2_robust would also flag it, but this check is earlier and
+        // pinpoints the operator, not the norm)
         if !v.iter().all(|t| t.is_finite()) {
             return diverged(x, 0, vec![]);
         }
-        alpha = vector::norm2(&v);
+        alpha = vector::norm2_robust(&v);
         if !alpha.is_finite() {
             // finite entries but overflowing norm: treat as breakdown
             return diverged(x, 0, vec![]);
@@ -426,8 +428,9 @@ pub fn lsqr_controlled<A: LinearOperator + ?Sized>(
         a.apply_into(&v, &mut av);
         if !av.iter().all(|t| t.is_finite()) {
             // a bad matvec (NaN/∞ from the operator) — stop before the
-            // poison reaches x. Checked on the raw product because
-            // norm2's overflow-safe max ignores NaN.
+            // poison reaches x. Checked on the raw product so the
+            // breakdown is attributed to the operator; norm2_robust below
+            // is the backstop for overflow in the recombination.
             stop = StopReason::Diverged;
             iterations = iter;
             break;
@@ -435,7 +438,7 @@ pub fn lsqr_controlled<A: LinearOperator + ?Sized>(
         for (ui, avi) in u.iter_mut().zip(&av) {
             *ui = avi - alpha * *ui;
         }
-        beta = vector::norm2(&u);
+        beta = vector::norm2_robust(&u);
         if !beta.is_finite() {
             // finite entries but overflowing norm: treat as breakdown
             stop = StopReason::Diverged;
@@ -455,7 +458,7 @@ pub fn lsqr_controlled<A: LinearOperator + ?Sized>(
         for (vi, atui) in v.iter_mut().zip(&atu) {
             *vi = atui - beta * *vi;
         }
-        alpha = vector::norm2(&v);
+        alpha = vector::norm2_robust(&v);
         if !alpha.is_finite() {
             stop = StopReason::Diverged;
             iterations = iter;
@@ -754,6 +757,32 @@ mod tests {
         for (u, v) in r.x.iter().zip(&x_true) {
             assert!((u - v).abs() < 1e-6, "{u} vs {v}");
         }
+    }
+
+    #[test]
+    fn huge_but_finite_rhs_does_not_overflow_the_norms() {
+        // entries near √(f64::MAX): dot(b, b) overflows to ∞ but the
+        // scaled norm2_robust stays finite, so the solve proceeds instead
+        // of reporting a spurious breakdown
+        let a = noise_mat(8, 3);
+        let big = f64::MAX.sqrt() * 0.5;
+        let b = vec![big; 8];
+        let r = lsqr(
+            &a,
+            &b,
+            &LsqrConfig {
+                damp: 0.1,
+                max_iter: 60,
+                tol: 1e-10,
+            },
+        );
+        assert!(
+            !matches!(r.stop, StopReason::Diverged),
+            "stop = {:?}",
+            r.stop
+        );
+        assert!(r.x.iter().all(|t| t.is_finite()));
+        assert!(r.residual_norm.is_finite());
     }
 
     #[test]

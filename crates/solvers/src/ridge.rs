@@ -15,6 +15,7 @@
 //! all `c − 1` SRDA responses, so the per-response cost is only the
 //! triangular solves.
 
+use crate::certificate::{certify_spd_solve, SolveCertificate};
 use srda_linalg::ops::{gram_exec, gram_t_exec, matmul_transa_exec};
 use srda_linalg::{Cholesky, Executor, Mat, Result};
 
@@ -31,6 +32,10 @@ pub enum RidgeForm {
 #[derive(Debug, Clone)]
 pub struct RidgeSolver {
     chol: Cholesky,
+    /// The shifted Gram matrix that was factored (`XᵀX + αI` or
+    /// `XXᵀ + αI`), retained so solutions can be certified and refined a
+    /// posteriori against the exact system that was solved.
+    gram: Mat,
     form: RidgeForm,
     alpha: f64,
     exec: Executor,
@@ -50,6 +55,7 @@ impl RidgeSolver {
         g.add_to_diag(alpha);
         Ok(RidgeSolver {
             chol: Cholesky::factor(&g)?,
+            gram: g,
             form: RidgeForm::Primal,
             alpha,
             exec,
@@ -67,6 +73,7 @@ impl RidgeSolver {
         k.add_to_diag(alpha);
         Ok(RidgeSolver {
             chol: Cholesky::factor(&k)?,
+            gram: k,
             form: RidgeForm::Dual,
             alpha,
             exec,
@@ -97,12 +104,29 @@ impl RidgeSolver {
         self.alpha
     }
 
-    /// Cheap condition-number estimate of the factored Gram matrix: the
-    /// squared ratio of the extreme Cholesky diagonal entries. A lower
-    /// bound on the true 2-norm condition number, O(n) to compute —
-    /// useful as a conditioning diagnostic, not a rigorous bound.
+    /// Hager 1-norm condition estimate of the factored Gram matrix
+    /// (`‖G‖₁·‖G⁻¹‖₁` with the inverse norm estimated by a few solves
+    /// against the existing factor). Reliable enough to gate solution
+    /// certification; see [`Cholesky::condition_estimate`].
     pub fn condition_estimate(&self) -> f64 {
         self.chol.condition_estimate()
+    }
+
+    /// The O(n) diagonal-ratio condition *lower bound* — a quick screen
+    /// that can read arbitrarily low on matrices whose ill-conditioning
+    /// lives off the diagonal; see [`Cholesky::condition_lower_bound`].
+    pub fn condition_lower_bound(&self) -> f64 {
+        self.chol.condition_lower_bound()
+    }
+
+    /// The shifted Gram matrix this solver factored.
+    pub fn gram(&self) -> &Mat {
+        &self.gram
+    }
+
+    /// The underlying Cholesky factor.
+    pub fn cholesky(&self) -> &Cholesky {
+        &self.chol
     }
 
     /// Solve for a matrix of responses `Y` (`m × k`, one column per
@@ -131,6 +155,72 @@ impl RidgeSolver {
         let ym = Mat::from_vec(y.len(), 1, y.to_vec())?;
         let w = self.solve(x, &ym)?;
         Ok(w.col(0))
+    }
+
+    /// [`RidgeSolver::solve`] plus a [`SolveCertificate`] per response
+    /// column, with iterative refinement applied in place whenever a
+    /// column's forward-error bound fails
+    /// ([`crate::certificate::CERTIFY_BOUND`]).
+    ///
+    /// When every column certifies on the first try (the overwhelmingly
+    /// common case), the returned weights are bitwise identical to
+    /// [`RidgeSolver::solve`]. Certification happens on the factored
+    /// system — `XᵀX + αI` in the primal, `XXᵀ + αI` in the dual (the
+    /// dual certifies `u` before back-projecting `W = Xᵀu`).
+    pub fn solve_certified(
+        &self,
+        x: &Mat,
+        y: &Mat,
+        max_refine_steps: usize,
+    ) -> Result<(Mat, Vec<SolveCertificate>)> {
+        // One Hager estimate per factorization, shared by all columns.
+        let cond = self.chol.condition_estimate();
+        match self.form {
+            RidgeForm::Primal => {
+                let xty = matmul_transa_exec(x, y, &self.exec)?;
+                let mut w = self.chol.solve_mat(&xty)?;
+                let mut certs = Vec::with_capacity(w.ncols());
+                for j in 0..w.ncols() {
+                    let mut col = w.col(j);
+                    let rhs = xty.col(j);
+                    let cert = certify_spd_solve(
+                        &self.chol,
+                        &self.gram,
+                        cond,
+                        &rhs,
+                        &mut col,
+                        max_refine_steps,
+                    )?;
+                    if cert.refinement_steps > 0 {
+                        w.set_col(j, &col);
+                    }
+                    certs.push(cert);
+                }
+                Ok((w, certs))
+            }
+            RidgeForm::Dual => {
+                let mut u = self.chol.solve_mat(y)?;
+                let mut certs = Vec::with_capacity(u.ncols());
+                for j in 0..u.ncols() {
+                    let mut col = u.col(j);
+                    let rhs = y.col(j);
+                    let cert = certify_spd_solve(
+                        &self.chol,
+                        &self.gram,
+                        cond,
+                        &rhs,
+                        &mut col,
+                        max_refine_steps,
+                    )?;
+                    if cert.refinement_steps > 0 {
+                        u.set_col(j, &col);
+                    }
+                    certs.push(cert);
+                }
+                let w = matmul_transa_exec(x, &u, &self.exec)?;
+                Ok((w, certs))
+            }
+        }
     }
 }
 
@@ -207,6 +297,30 @@ mod tests {
             let wj = solver.solve_vec(&x, &y.col(j)).unwrap();
             for (a, b) in w.col(j).iter().zip(&wj) {
                 assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn certified_solve_matches_plain_solve_on_clean_problems() {
+        use crate::certificate::CertStatus;
+        for (m, n) in [(12, 5), (5, 12)] {
+            let x = noise_mat(m, n);
+            let y = Mat::from_fn(m, 2, |i, j| ((i + j) as f64 * 0.37).cos());
+            let solver = RidgeSolver::auto(&x, 0.25).unwrap();
+            let w_plain = solver.solve(&x, &y).unwrap();
+            let (w_cert, certs) = solver.solve_certified(&x, &y, 3).unwrap();
+            assert_eq!(certs.len(), 2);
+            for c in &certs {
+                assert_eq!(c.certified, CertStatus::Certified);
+                assert_eq!(c.refinement_steps, 0);
+                assert!(c.cond_estimate >= 1.0);
+            }
+            // certified-clean ⇒ bitwise identical weights
+            for i in 0..w_plain.nrows() {
+                for j in 0..w_plain.ncols() {
+                    assert_eq!(w_cert[(i, j)].to_bits(), w_plain[(i, j)].to_bits());
+                }
             }
         }
     }

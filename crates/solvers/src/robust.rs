@@ -21,12 +21,23 @@
 //!    which never forms the Gram matrix and tolerates rank deficiency
 //!    (it returns the minimum-norm least-squares solution).
 //!
+//! The ladder is **certificate-driven**, not just error-driven: a direct
+//! solve that returns finite numbers must still pass its
+//! [`SolveCertificate`] (forward-error bound
+//! `cond × backward_error ≤` [`crate::certificate::CERTIFY_BOUND`],
+//! with iterative refinement attempted first). A solution that stays
+//! [`Suspect`](crate::certificate::CertStatus::Suspect) is treated as a
+//! retryable breakdown ([`LinalgError::CertificationFailed`]) and
+//! escalated exactly like a failed factorization — extra diagonal
+//! loading lowers κ, which is what shrinks the failed bound.
+//!
 //! Every step taken is recorded in a [`RobustSolveReport`] so callers —
 //! and ultimately `FitReport` in `srda-core` — can surface what happened
 //! instead of silently returning a subtly different model. The chain is
 //! *bounded*: it never loops, and non-retryable errors (shape mismatches,
 //! invalid dimensions) propagate immediately.
 
+use crate::certificate::{certify_operator, SolveCertificate};
 use crate::governor::{Interrupt, RunGovernor};
 use crate::lsqr::{lsqr_controlled, LsqrConfig, SolveControls, StopReason};
 use crate::operator::ExecDense;
@@ -45,6 +56,11 @@ pub struct RobustConfig {
     pub fallback_max_iter: usize,
     /// Convergence tolerance for the LSQR fallback.
     pub fallback_tol: f64,
+    /// Iterative-refinement step budget used when a direct solution's
+    /// certificate fails its forward-error bound (see
+    /// [`crate::certificate`]). `0` disables refinement, making any
+    /// bound failure escalate immediately.
+    pub max_refine_steps: usize,
 }
 
 impl Default for RobustConfig {
@@ -54,6 +70,7 @@ impl Default for RobustConfig {
             jitter_factor: 10.0,
             fallback_max_iter: 500,
             fallback_tol: 1e-10,
+            max_refine_steps: 3,
         }
     }
 }
@@ -104,6 +121,11 @@ pub struct RobustSolveReport {
     /// Normal-equation form that was factored; `None` for the LSQR
     /// fallback.
     pub form: Option<RidgeForm>,
+    /// One [`SolveCertificate`] per response column of the returned
+    /// weights (direct path: Rigal–Gaches backward error against the
+    /// factored system; fallback path: post-hoc operator certificate).
+    /// Empty only when the solve was interrupted before completing.
+    pub certificates: Vec<SolveCertificate>,
 }
 
 impl RobustSolveReport {
@@ -122,13 +144,16 @@ pub struct RobustRidge {
 }
 
 /// Is this an error the jitter/fallback ladder can plausibly fix with
-/// more diagonal loading?
+/// more diagonal loading? Certification failures are retryable: extra
+/// diagonal loading lowers κ, which is exactly what shrinks the failed
+/// forward-error bound.
 pub fn retryable(e: &LinalgError) -> bool {
     matches!(
         e,
         LinalgError::NotPositiveDefinite { .. }
             | LinalgError::Singular { .. }
             | LinalgError::NonFinite { .. }
+            | LinalgError::CertificationFailed { .. }
     )
 }
 
@@ -250,18 +275,33 @@ impl RobustRidge {
         RobustRidge { cfg, exec }
     }
 
-    /// Factor `x` with ridge `alpha_eff`, solve for all responses, and
-    /// verify the result is finite. Any retryable breakdown comes back
-    /// as `Err`.
-    fn try_direct(&self, x: &Mat, y: &Mat, alpha_eff: f64) -> Result<(Mat, RidgeForm, f64)> {
+    /// Factor `x` with ridge `alpha_eff`, solve for all responses with
+    /// per-column certification (refining in place when a bound fails),
+    /// and verify the result is finite. Any retryable breakdown — a
+    /// factorization error, a non-finite solution, or a certificate that
+    /// stays [`Suspect`](crate::certificate::CertStatus::Suspect) after
+    /// refinement — comes back as `Err` so the ladder escalates.
+    fn try_direct(
+        &self,
+        x: &Mat,
+        y: &Mat,
+        alpha_eff: f64,
+    ) -> Result<(Mat, RidgeForm, f64, Vec<SolveCertificate>)> {
         let solver = RidgeSolver::auto_exec(x, alpha_eff, self.exec)?;
-        let w = solver.solve(x, y)?;
+        let (w, certs) = solver.solve_certified(x, y, self.cfg.max_refine_steps)?;
         if !w.as_slice().iter().all(|v| v.is_finite()) {
             return Err(LinalgError::NonFinite {
                 context: "ridge solution",
             });
         }
-        Ok((w, solver.form(), solver.condition_estimate()))
+        if let Some(bad) = certs.iter().find(|c| c.is_suspect()) {
+            return Err(LinalgError::CertificationFailed {
+                error_bound: bad.error_bound(),
+            });
+        }
+        // every certificate of one factorization shares the same Hager κ
+        let cond = certs.first().map_or(1.0, |c| c.cond_estimate);
+        Ok((w, solver.form(), cond, certs))
     }
 
     /// Jitter schedule: the extra diagonal loading for retry `attempt`
@@ -312,6 +352,7 @@ impl RobustRidge {
             warnings: Vec::new(),
             condition_estimate: None,
             form: None,
+            certificates: Vec::new(),
         };
 
         // Rungs 1 + 2: the shared direct → escalating-jitter ladder
@@ -335,12 +376,13 @@ impl RobustRidge {
         if let Some(reason) = outcome.interrupted {
             return Ok(RobustOutcome::Interrupted { reason, report });
         }
-        if let Some(((w, form, cond), jitter)) = outcome.value {
+        if let Some(((w, form, cond, certs), jitter)) = outcome.value {
             if jitter > 0.0 {
                 report.solver = SolverUsed::DirectJittered { jitter };
             }
             report.condition_estimate = Some(cond);
             report.form = Some(form);
+            report.certificates = certs;
             return Ok(RobustOutcome::Solved(w, report));
         }
 
@@ -391,6 +433,17 @@ impl RobustRidge {
                 }
                 _ => {}
             }
+            // Post-hoc certificate from the final iterate: deterministic in
+            // r.x, so serial/threaded runs certify identically.
+            let cert = certify_operator(&op, &y.col(j), &r.x, cfg.damp);
+            if cert.is_suspect() {
+                report.warnings.push(format!(
+                    "LSQR fallback solution for response {j} failed certification \
+                     (relative NE residual {:.3e})",
+                    cert.backward_error
+                ));
+            }
+            report.certificates.push(cert);
             w.set_col(j, &r.x);
         }
         report
@@ -442,6 +495,53 @@ mod tests {
         assert_eq!(rep.form, Some(RidgeForm::Primal));
         assert!(rep.condition_estimate.unwrap() >= 1.0);
         assert!(w.approx_eq(&ridge_oracle(&x, &y, 0.5), 1e-12));
+    }
+
+    #[test]
+    fn clean_path_attaches_certified_certificates() {
+        use crate::certificate::{CertStatus, CERTIFY_BOUND};
+        let x = noise_mat(15, 6);
+        let y = Mat::from_fn(15, 2, |i, j| ((i + 2 * j) as f64 * 0.31).sin());
+        let (_, rep) = RobustRidge::default().solve(&x, &y, 0.5).unwrap();
+        assert!(rep.clean());
+        assert_eq!(rep.certificates.len(), 2);
+        for c in &rep.certificates {
+            assert_eq!(c.certified, CertStatus::Certified);
+            assert_eq!(c.refinement_steps, 0);
+            assert!(c.error_bound() <= CERTIFY_BOUND);
+            assert_eq!(c.cond_estimate, rep.condition_estimate.unwrap());
+        }
+    }
+
+    #[test]
+    fn graded_spectrum_escalates_on_certification_not_breakdown() {
+        // Columns scaled by 10⁻ʲ make κ(XᵀX) ≈ 10¹⁴·O(10): the Cholesky
+        // factorization *succeeds* (graded matrices factor fine), but the
+        // forward-error bound κ·η fails, so the ladder must escalate via
+        // CertificationFailed and land on a jittered, certified solve.
+        let m = 16;
+        let n = 8;
+        let x = Mat::from_fn(m, n, |i, j| {
+            let t = (i as f64 * 91.17 + j as f64 * 13.73).sin() * 43758.5453;
+            (t - t.floor() - 0.5) * 10f64.powi(-(j as i32))
+        });
+        let y = Mat::from_fn(m, 1, |i, _| ((i as f64) * 0.4).cos());
+        // the un-certified direct factorization itself does not break down
+        assert!(RidgeSolver::primal(&x, 0.0).is_ok());
+        let (w, rep) = RobustRidge::default().solve(&x, &y, 0.0).unwrap();
+        assert!(!rep.clean());
+        assert!(
+            matches!(rep.solver, SolverUsed::DirectJittered { .. }),
+            "expected jitter escalation, got {:?}",
+            rep.solver
+        );
+        assert!(rep
+            .warnings
+            .iter()
+            .any(|w| w.contains("failed certification")));
+        assert!(!rep.certificates.is_empty());
+        assert!(rep.certificates.iter().all(|c| !c.is_suspect()));
+        assert!(w.as_slice().iter().all(|v| v.is_finite()));
     }
 
     #[test]
@@ -624,6 +724,27 @@ mod tests {
             assert_eq!(rep.warnings.len(), 2); // failure + recovery
             assert!(w.as_slice().iter().all(|v| v.is_finite()));
             // jittered α = 0.5 + 5.0: must match that oracle exactly
+            assert!(w.approx_eq(&ridge_oracle(&x, &y, 5.5), 1e-10));
+        }
+
+        #[test]
+        fn inflated_condition_estimate_escalates_the_ladder() {
+            failpoint::reset();
+            let x = noise_mat(15, 6);
+            let y = Mat::from_fn(15, 2, |i, j| ((i + j) as f64 * 0.23).sin());
+            // Poison only the first factorization's Hager estimate: the
+            // direct solve succeeds numerically but fails certification,
+            // and retry 1 (clean estimate) must certify.
+            failpoint::arm("cond.inflate", 1);
+            let (w, rep) = RobustRidge::default().solve(&x, &y, 0.5).unwrap();
+            let fired = failpoint::fired("cond.inflate");
+            failpoint::reset();
+            assert_eq!(fired, 1);
+            assert!(matches!(rep.solver, SolverUsed::DirectJittered { .. }));
+            assert_eq!(rep.actions.len(), 1);
+            assert!(rep.warnings[0].contains("failed certification"));
+            assert!(rep.certificates.iter().all(|c| !c.is_suspect()));
+            // jittered α = 0.5 + 5.0, same rung as a forced factor failure
             assert!(w.approx_eq(&ridge_oracle(&x, &y, 5.5), 1e-10));
         }
 

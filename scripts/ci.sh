@@ -26,6 +26,16 @@ SRDA_THREADS=4 cargo test --workspace -q
 echo "==> cargo test (SRDA_TRACE=1, recorder armed)"
 SRDA_TRACE=1 cargo test --workspace -q
 
+# Certified-numerics hardening pass: the linalg and solver suites run
+# again at release codegen with debug assertions and overflow checks
+# baked in, so the condition-estimation / refinement / certification
+# kernels are exercised with every internal invariant armed under the
+# same optimizations production uses.
+echo "==> cargo test (release + debug-assertions + overflow-checks, linalg/solvers)"
+CARGO_PROFILE_RELEASE_DEBUG_ASSERTIONS=true \
+CARGO_PROFILE_RELEASE_OVERFLOW_CHECKS=true \
+    cargo test -q --release -p srda-linalg -p srda-solvers
+
 # Bench smoke: tiny scale, still exercises all four kernels and the
 # serial-vs-threaded bitwise check (bench_kernels exits nonzero on any
 # divergence). The full-scale BENCH_kernels.json is produced manually.
@@ -105,5 +115,33 @@ cmp "$SMOKE_DIR/baseline.json" "$SMOKE_DIR/traced.json" || {
     echo "traced model diverges from the untraced baseline" >&2
     exit 1
 }
+
+# Certification smoke: one sample with a huge-magnitude feature drives
+# κ(K) ≈ 1e13, so the plain direct solve cannot pass its forward-error
+# bound — the jitter ladder must escalate until a rung certifies, and
+# `--certify` must then exit 0 with no Suspect certificate (a Suspect
+# survivor exits 4, failing this gate under `set -e`).
+echo "==> certify smoke (srda train --certify on ill-conditioned data)"
+cat > "$SMOKE_DIR/illcond.svm" <<'EOF'
+0 0:3e6 1:0.4
+0 0:1.1 1:0.7 2:0.2
+0 1:0.9 2:0.4
+0 0:0.8 1:0.3 2:0.6
+1 0:0.2 2:1.3
+1 0:0.5 1:1.1 2:0.9
+1 1:0.3 2:1.4
+1 0:0.1 1:0.8 2:1.2
+EOF
+"$SRDA" train --data "$SMOKE_DIR/illcond.svm" \
+    --model "$SMOKE_DIR/illcond.json" --solver ne --certify \
+    2> "$SMOKE_DIR/certify.log"
+grep -q "verdict" "$SMOKE_DIR/certify.log" || {
+    echo "--certify printed no solution certificates" >&2
+    exit 1
+}
+if grep -q "Suspect" "$SMOKE_DIR/certify.log"; then
+    echo "--certify left a Suspect certificate on the smoke fixture" >&2
+    exit 1
+fi
 
 echo "CI OK"

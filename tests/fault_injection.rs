@@ -148,6 +148,92 @@ fn sparse_dual_path_recovers_via_jitter_and_fallback() {
 }
 
 #[test]
+fn poisoned_condition_estimate_escalates_fit_ladder() {
+    failpoint::reset();
+    let (x, y) = blobs();
+    // Poison only the first factorization's Hager estimate: the direct
+    // solve succeeds numerically, but its certificate sees a κ inflated by
+    // 1e14, fails the forward-error bound even after refinement, and the
+    // ladder must escalate exactly as if the factorization had broken.
+    failpoint::arm("cond.inflate", 1);
+    let model = Srda::new(SrdaConfig::default()).fit_dense(&x, &y).unwrap();
+    assert_eq!(failpoint::fired("cond.inflate"), 1);
+    failpoint::reset();
+
+    let rep = model.fit_report();
+    assert!(!rep.clean());
+    assert!(
+        rep.responses
+            .iter()
+            .all(|s| matches!(s, ResponseSolver::DirectJittered { jitter } if *jitter > 0.0)),
+        "a suspect certificate must escalate to a jittered solve, got {:?}",
+        rep.responses
+    );
+    assert_eq!(rep.recoveries.len(), 1);
+    assert!(matches!(
+        rep.recoveries[0],
+        RecoveryAction::JitterRetry { .. }
+    ));
+    assert!(
+        rep.warnings.iter().any(|w| w.contains("failed certification")),
+        "warnings: {:?}",
+        rep.warnings
+    );
+    // the retry re-certified with an honest κ: no surviving suspects
+    assert!(!rep.certificates.is_empty());
+    assert!(rep.certificates.iter().all(|c| !c.is_suspect()));
+    assert!(rep.worst_backward_error.is_some());
+    let w = model.embedding().weights();
+    assert!(w.as_slice().iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn stagnant_refinement_cannot_rescue_a_poisoned_certificate() {
+    failpoint::reset();
+    let (x, y) = blobs();
+    let clean = Srda::new(SrdaConfig::default()).fit_dense(&x, &y).unwrap();
+
+    // Poison every factorization's κ estimate AND force any refinement
+    // attempt to stagnate immediately: no direct rung can certify, so the
+    // fit must walk the whole ladder and land on the LSQR fallback — whose
+    // post-hoc operator certificates are honest and pass.
+    failpoint::arm("cond.inflate", 4);
+    failpoint::arm("refine.stagnate", 100);
+    let model = Srda::new(SrdaConfig::default()).fit_dense(&x, &y).unwrap();
+    assert_eq!(failpoint::fired("cond.inflate"), 4);
+    failpoint::reset();
+
+    let rep = model.fit_report();
+    assert!(!rep.clean());
+    assert!(rep
+        .responses
+        .iter()
+        .all(|s| *s == ResponseSolver::LsqrFallback));
+    assert_eq!(
+        *rep.recoveries.last().unwrap(),
+        RecoveryAction::LsqrFallback
+    );
+    assert!(
+        rep.warnings.iter().any(|w| w.contains("failed certification")),
+        "warnings: {:?}",
+        rep.warnings
+    );
+    assert!(rep.warnings.iter().any(|w| w.contains("damped LSQR")));
+    // fallback certificates describe the matrix-free solves and are clean
+    assert_eq!(rep.certificates.len(), rep.responses.len());
+    assert!(rep.certificates.iter().all(|c| !c.is_suspect()));
+    // the fallback solves the same damped problem: weights match the
+    // clean fit
+    let wf = model.embedding().weights();
+    let wc = clean.embedding().weights();
+    assert!(
+        wf.approx_eq(wc, 1e-6 * wc.max_abs().max(1.0)),
+        "fallback drifted from the clean solution by {}",
+        wf.sub(wc).unwrap().max_abs()
+    );
+}
+
+#[test]
 fn disk_read_failure_surfaces_as_error_not_nan_model() {
     failpoint::reset();
     let (x, y) = blobs();

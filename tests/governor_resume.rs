@@ -59,6 +59,25 @@ fn weight_bits(m: &srda::SrdaModel) -> Vec<u64> {
         .collect()
 }
 
+/// Bit patterns of every per-response solution certificate: the
+/// certificates are a pure function of the final iterates, so a resumed
+/// fit must reproduce them exactly — including across the SRDACKP1
+/// checkpoint round-trip, which persists no certificate state.
+fn cert_bits(m: &srda::SrdaModel) -> Vec<(u64, u64, usize, srda::CertStatus)> {
+    m.fit_report()
+        .certificates
+        .iter()
+        .map(|c| {
+            (
+                c.backward_error.to_bits(),
+                c.cond_estimate.to_bits(),
+                c.refinement_steps,
+                c.certified,
+            )
+        })
+        .collect()
+}
+
 /// Kill the fit at global LSQR iteration `k`, resume it, and check the
 /// final weights against the uninterrupted baseline, bit for bit.
 fn kill_resume_roundtrip(exec: ExecPolicy, k: usize, tag: &str) {
@@ -106,6 +125,20 @@ fn kill_resume_roundtrip(exec: ExecPolicy, k: usize, tag: &str) {
         "kill at iter {k} ({tag}): resume must be bitwise identical"
     );
     assert_eq!(baseline.embedding().bias(), resumed.embedding().bias());
+    let base_certs = cert_bits(&baseline);
+    assert_eq!(base_certs.len(), 2, "one certificate per response");
+    assert_eq!(
+        base_certs,
+        cert_bits(&resumed),
+        "kill at iter {k} ({tag}): certificates must survive resume bitwise"
+    );
+    assert_eq!(
+        baseline
+            .fit_report()
+            .worst_backward_error
+            .map(f64::to_bits),
+        resumed.fit_report().worst_backward_error.map(f64::to_bits)
+    );
     // the resumed, completed fit cleans up its own checkpoint... only if
     // it also has a checkpoint policy; here it has none, so the file
     // simply remains for inspection
@@ -167,5 +200,10 @@ fn serial_and_threaded_resumes_agree_with_each_other() {
     .fit_dense(&x, &y)
     .unwrap();
     assert_eq!(weight_bits(&baseline), weight_bits(&resumed));
+    assert_eq!(
+        cert_bits(&baseline),
+        cert_bits(&resumed),
+        "cross-backend resume must certify identically"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
